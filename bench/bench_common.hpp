@@ -1,0 +1,98 @@
+// Shared harness pieces for the table/figure benchmarks: dataset
+// builders matching the paper's experimental protocols, the five-method
+// runner, and TSV/threshold reporting.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algo/drfa.hpp"
+#include "algo/fedavg.hpp"
+#include "algo/hierfavg.hpp"
+#include "algo/hierminimax.hpp"
+#include "core/flags.hpp"
+#include "data/federated.hpp"
+#include "data/generators.hpp"
+#include "nn/mlp.hpp"
+#include "nn/softmax_regression.hpp"
+#include "sim/topology.hpp"
+
+namespace hm::bench {
+
+/// Image-like dataset family selector (EMNIST-Digits / MNIST / Fashion
+/// surrogates — see DESIGN.md §1).
+enum class ImageFamily { kEmnistDigits, kMnist, kFashion };
+
+ImageFamily family_from_string(const std::string& name);
+std::string family_name(ImageFamily family);
+
+/// Build a federated dataset with the paper's §6.1 protocol:
+/// one-class-per-edge partition of an image-like task.
+data::FederatedDataset make_one_class_fed(ImageFamily family, index_t dim,
+                                          index_t num_edges,
+                                          index_t clients_per_edge,
+                                          index_t num_samples, seed_t seed);
+
+/// Paper's §6.2 protocol: s%-similarity partition.
+data::FederatedDataset make_similarity_fed(ImageFamily family, index_t dim,
+                                           index_t num_edges,
+                                           index_t clients_per_edge,
+                                           scalar_t similarity,
+                                           index_t num_samples, seed_t seed);
+
+/// One labelled training run.
+struct MethodRun {
+  std::string name;
+  algo::TrainResult result;
+};
+
+/// Run the paper's five methods (FedAvg, Stochastic-AFL, DRFA, HierFAVG,
+/// HierMinimax) with the §6 conventions: tau1 from `opts` for all
+/// multi-step methods, tau2 from `opts` for the hierarchical ones, AFL
+/// single-step; two-layer methods sample opts.sampled_edges *
+/// clients_per_edge clients so every method trains the same device count
+/// per round.
+std::vector<MethodRun> run_five_methods(const nn::Model& model,
+                                        const data::FederatedDataset& fed,
+                                        const sim::HierTopology& topo,
+                                        const algo::TrainOptions& opts);
+
+/// TSV training-curve dump (one block per method) with a header line.
+void print_curves(std::ostream& os, const std::vector<MethodRun>& runs);
+
+/// The paper's headline metric: communication rounds to reach a target
+/// worst-edge accuracy, plus % overhead reduction of HierMinimax vs each
+/// baseline.
+void print_threshold_summary(std::ostream& os,
+                             const std::vector<MethodRun>& runs,
+                             scalar_t target_worst);
+
+/// Final-round Table-2-style rows: method, average, worst, variance.
+void print_final_summary(std::ostream& os, const std::string& dataset,
+                         const std::vector<MethodRun>& runs);
+
+/// Seed-averaged statistics for one method.
+struct SeedAveraged {
+  std::string name;
+  metrics::AccuracySummary tail;    // tail summaries averaged over seeds
+  double mean_payloads = 0;         // mean WAN payloads to target, over the
+                                    // seeds that reached it
+  index_t reached = 0;              // how many seeds reached the target
+  index_t seeds = 0;
+  double mean_seconds = 0;          // estimated wall-clock of the full run
+                                    // under the default sim::NetworkProfile
+};
+
+/// Average tail summaries and threshold payloads over repeated runs
+/// (per_seed[s] is the five-method result for seed s).
+std::vector<SeedAveraged> average_over_seeds(
+    const std::vector<std::vector<MethodRun>>& per_seed,
+    scalar_t target_worst);
+
+/// Print the seed-averaged threshold + final tables.
+void print_seed_averaged(std::ostream& os,
+                         const std::vector<SeedAveraged>& rows,
+                         scalar_t target_worst);
+
+}  // namespace hm::bench

@@ -1,0 +1,133 @@
+// Table 1 / §5 reproduction: the communication-convergence tradeoff.
+//
+// For each alpha in {0, 1/4, 1/2, 3/4} we (a) print the theoretical
+// scaling exponents of Table 1, (b) evaluate the Theorem 1 bound under
+// the §5.1 learning-rate schedule at growing T to show its decay rate,
+// and (c) run HierMinimax with tau1*tau2 ~ T^alpha on a convex task at
+// fixed total iteration budget T, reporting measured edge-cloud
+// communication and the measured duality gap — the empirical side of the
+// tradeoff: larger alpha => fewer edge-cloud rounds, slower convergence.
+//
+// Usage: bench_table1_tradeoff [--iterations T] [--dim D] [--seed S]
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "algo/duality_gap.hpp"
+#include "algo/theory.hpp"
+#include "bench_common.hpp"
+#include "core/stopwatch.hpp"
+
+namespace {
+
+using namespace hm;
+
+/// Factor tau_product into tau1 x tau2 as squarely as possible.
+std::pair<index_t, index_t> factor_tau(index_t tau_product) {
+  index_t tau1 = static_cast<index_t>(
+      std::llround(std::sqrt(static_cast<double>(tau_product))));
+  tau1 = std::max<index_t>(1, tau1);
+  while (tau_product % tau1 != 0) --tau1;
+  return {tau1, tau_product / tau1};
+}
+
+int run(int argc, char** argv) {
+  const Flags flags = Flags::parse(argc, argv);
+  const index_t t_budget = flags.get_int("iterations", 4096);
+  const index_t dim = flags.get_int("dim", 32);
+  const seed_t seed = static_cast<seed_t>(flags.get_int("seed", 4));
+  const std::vector<scalar_t> alphas = {0.0, 0.25, 0.5, 0.75};
+
+  std::cout << "# Table 1: communication complexity vs convergence rate\n"
+            << "# part (a): theoretical exponents (ours row, any alpha)\n"
+            << "alpha\tcomm_complexity\tconvex_rate\tnonconvex_rate\n";
+  for (const scalar_t alpha : alphas) {
+    const auto p = algo::theory::tradeoff(alpha);
+    std::cout << std::fixed << std::setprecision(2) << alpha << "\tO(T^"
+              << p.comm_exponent << ")\tO(T^-" << p.rate_exponent_convex
+              << ")\tO(T^-" << p.rate_exponent_nonconvex << ")\n";
+  }
+  std::cout << "# reference rows: [25] Stochastic-AFL = alpha 0 (convex "
+               "only); [10] DRFA = alpha 1/4\n";
+
+  std::cout << "\n# part (b): Theorem 1 bound under the Section 5.1 "
+               "schedule (decay with T)\n"
+            << "alpha\tT\ttheorem1_bound\n";
+  for (const scalar_t alpha : alphas) {
+    for (const index_t t : {1 << 10, 1 << 14, 1 << 18}) {
+      const auto s = algo::theory::convex_schedule(t, alpha);
+      algo::theory::AlgoConfig cfg;
+      const auto [tau1, tau2] = factor_tau(s.tau_product);
+      cfg.tau1 = tau1;
+      cfg.tau2 = tau2;
+      cfg.rounds = std::max<index_t>(1, t / s.tau_product);
+      cfg.eta_w = s.eta_w;
+      cfg.eta_p = s.eta_p;
+      const auto bound =
+          algo::theory::theorem1_bound(algo::theory::ProblemConstants{}, cfg);
+      std::cout << std::fixed << std::setprecision(2) << alpha << '\t' << t
+                << '\t' << std::scientific << std::setprecision(3)
+                << bound.total << std::defaultfloat << '\n';
+    }
+  }
+
+  // part (c): empirical runs at fixed iteration budget.
+  const index_t num_edges = 10, clients_per_edge = 3;
+  const auto fed = bench::make_one_class_fed(
+      bench::ImageFamily::kEmnistDigits, dim, num_edges, clients_per_edge,
+      /*num_samples=*/6000, seed);
+  const sim::HierTopology topo(num_edges, clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  parallel::ThreadPool pool;
+
+  std::cout << "\n# part (c): empirical tradeoff at T = " << t_budget
+            << " local iterations\n"
+            << "alpha\ttau1\ttau2\trounds\tedge_cloud_rounds\t"
+               "worst_acc\tavg_acc\tduality_gap\n";
+  Stopwatch sw;
+  for (const scalar_t alpha : alphas) {
+    const index_t tau_product = std::max<index_t>(
+        1, static_cast<index_t>(std::llround(
+               std::pow(static_cast<double>(t_budget), alpha))));
+    const auto [tau1, tau2] = factor_tau(tau_product);
+    algo::TrainOptions opts;
+    opts.tau1 = tau1;
+    opts.tau2 = tau2;
+    opts.rounds = std::max<index_t>(1, t_budget / tau_product);
+    opts.batch_size = 4;
+    // Scale the model step down with the local-update burst length, as
+    // the Section 5.1 schedule prescribes (larger tau1*tau2 needs smaller
+    // eta_w to control client drift between aggregations).
+    opts.eta_w = 0.08 / std::sqrt(static_cast<scalar_t>(tau_product));
+    opts.eta_p = 0.002;
+    opts.sampled_edges = 5;
+    opts.eval_every = 0;
+    opts.seed = seed;
+    const auto result =
+        algo::train_hierminimax(model, fed, topo, opts, pool);
+    algo::DualityGapOptions gap_opts;
+    gap_opts.minimize_iters = 60;
+    gap_opts.eta = 0.2;
+    const auto gap = algo::estimate_duality_gap(
+        model, fed, result.w_avg, result.p_avg, gap_opts, pool);
+    const auto& s = result.history.back().summary;
+    std::cout << std::fixed << std::setprecision(2) << alpha << '\t' << tau1
+              << '\t' << tau2 << '\t' << opts.rounds << '\t'
+              << result.comm.edge_cloud_rounds << '\t'
+              << std::setprecision(4) << s.worst << '\t' << s.average
+              << '\t' << gap.gap << std::defaultfloat << '\n';
+  }
+  std::cerr << "[bench_table1_tradeoff] done in " << sw.seconds() << " s\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,68 @@
+// Group-fairness scenario on the Adult-like salary-prediction task
+// (paper §6.3): two edge areas hold the Doctorate and non-Doctorate
+// populations. Plain hierarchical averaging is dominated by the large
+// majority group; HierMinimax reweights toward the minority group and
+// lifts its (worst) accuracy.
+//
+// Usage: ./adult_fairness [--rounds 300]
+#include <iomanip>
+#include <iostream>
+
+#include "algo/hierfavg.hpp"
+#include "algo/hierminimax.hpp"
+#include "core/flags.hpp"
+#include "data/federated.hpp"
+#include "data/generators.hpp"
+#include "nn/softmax_regression.hpp"
+#include "sim/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const Flags flags = Flags::parse(argc, argv);
+  const index_t rounds = flags.get_int("rounds", 300);
+
+  data::AdultLikeSpec spec;  // 8000 non-Doctorate vs 500 Doctorate samples
+  const auto groups = data::make_adult_like(spec);
+  rng::Xoshiro256 gen(31);
+  const auto fed = data::partition_by_group(groups, /*clients_per_edge=*/3,
+                                            /*test_fraction=*/0.25, gen);
+  const sim::HierTopology topo(2, 3);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+
+  algo::TrainOptions opts;
+  opts.rounds = rounds;
+  opts.tau1 = 2;
+  opts.tau2 = 2;
+  opts.batch_size = 4;
+  opts.eta_w = 0.05;
+  opts.eta_p = 0.005;
+  opts.sampled_edges = 0;  // both groups participate each round
+  opts.eval_every = 0;
+  opts.seed = 17;
+
+  const auto favg = algo::train_hierfavg(model, fed, topo, opts);
+  const auto mm = algo::train_hierminimax(model, fed, topo, opts);
+
+  auto report = [](const std::string& name, const algo::TrainResult& r) {
+    const auto& rec = r.history.back();
+    std::cout << std::left << std::setw(14) << name << std::right
+              << std::fixed << std::setprecision(4) << std::setw(16)
+              << rec.edge_acc[0] << std::setw(14) << rec.edge_acc[1]
+              << std::setw(10) << rec.summary.worst << std::defaultfloat
+              << std::setprecision(6) << '\n';
+  };
+  std::cout << "Adult-like salary prediction, 2 edge areas (groups)\n\n"
+            << std::left << std::setw(14) << "method" << std::right
+            << std::setw(16) << "non-Doctorate" << std::setw(14)
+            << "Doctorate" << std::setw(10) << "worst" << '\n';
+  report("HierFAVG", favg);
+  report("HierMinimax", mm);
+  const auto& acc = mm.history.back().edge_acc;
+  const std::size_t harder = acc[0] <= acc[1] ? 0 : 1;
+  std::cout << "\nHierMinimax edge weights p = [" << mm.p[0] << ", "
+            << mm.p[1] << "] (uniform start was [0.5, 0.5]);\n"
+            << "the weight shifted toward the harder group ("
+            << (harder == 0 ? "non-Doctorate" : "Doctorate") << ": p = "
+            << mm.p[harder] << ").\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Quickstart: train a fair global model over a client-edge-cloud
+// hierarchy with HierMinimax in ~40 lines of user code.
+//
+// The walkthrough:
+//   1. build a heterogeneous federated dataset (one class per edge area),
+//   2. describe the hierarchy (N_E edge areas x N_0 clients),
+//   3. pick a model (convex logistic regression here),
+//   4. configure HierMinimax (tau1/tau2, learning rates, participation),
+//   5. train and inspect per-edge fairness metrics and the learned
+//      adversarial edge weights p.
+//
+// Build & run:  ./quickstart [--rounds 200]
+#include <iostream>
+
+#include "algo/hierminimax.hpp"
+#include "io/checkpoint.hpp"
+#include "core/flags.hpp"
+#include "data/federated.hpp"
+#include "data/generators.hpp"
+#include "nn/softmax_regression.hpp"
+#include "sim/topology.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hm;
+  const Flags flags = Flags::parse(argc, argv);
+
+  // 1. Data: a 10-class Gaussian classification task, split so each of 5
+  //    edge areas only holds two classes' worth of data -> heterogeneous.
+  data::GaussianSpec spec;
+  spec.dim = 32;
+  spec.num_classes = 10;
+  spec.num_samples = 6000;
+  spec.separation = 2.8;
+  const auto all = data::make_gaussian_classes(spec);
+  rng::Xoshiro256 gen(7);
+  const auto tt = data::split_train_test(all, 0.2, gen);
+  const auto fed = data::partition_similarity(tt, /*num_edges=*/5,
+                                              /*clients_per_edge=*/3,
+                                              /*similarity=*/0.2, gen);
+
+  // 2. Topology: 5 edge servers, 3 clients each, one cloud.
+  const sim::HierTopology topo(5, 3);
+
+  // 3. Model: multinomial logistic regression over flat parameters.
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+
+  // 4. Algorithm configuration (Algorithm 1 of the paper).
+  algo::TrainOptions opts;
+  opts.rounds = flags.get_int("rounds", 200);  // K
+  opts.tau1 = 2;             // local SGD steps per client-edge aggregation
+  opts.tau2 = 2;             // client-edge aggregations per round
+  opts.batch_size = 4;
+  opts.eta_w = 0.05;         // model learning rate
+  opts.eta_p = 0.02;         // edge-weight learning rate
+  opts.sampled_edges = 3;    // m_E: partial edge participation
+  opts.eval_every = opts.rounds / 10;
+  opts.seed = 1;
+
+  // 5. Train and report.
+  const auto result = algo::train_hierminimax(model, fed, topo, opts);
+
+  std::cout << "round\tcomm_rounds\tavg_acc\tworst_acc\n";
+  for (const auto& r : result.history.records()) {
+    std::cout << r.round << '\t' << r.comm.total_rounds() << '\t'
+              << r.summary.average << '\t' << r.summary.worst << '\n';
+  }
+  std::cout << "\nlearned edge weights p (higher = harder edge):\n";
+  for (std::size_t e = 0; e < result.p.size(); ++e) {
+    std::cout << "  edge " << e << ": " << result.p[e] << '\n';
+  }
+  // Persist the trained model and the training curve.
+  io::save_vector("quickstart_model.bin", result.w);
+  io::save_history_csv("quickstart_history.csv", result.history);
+  std::cout << "\nwrote quickstart_model.bin and quickstart_history.csv\n";
+
+  const auto& final_summary = result.history.back().summary;
+  std::cout << "\nfinal: avg=" << final_summary.average
+            << " worst=" << final_summary.worst
+            << " variance=" << final_summary.variance_pct2 << " pct^2\n";
+  return 0;
+}

@@ -1,0 +1,134 @@
+#include "algo/centralized.hpp"
+
+#include "core/check.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+namespace {
+
+void validate(const SaddleOptions& opts, const std::vector<scalar_t>& x0,
+              const std::vector<scalar_t>& y0) {
+  HM_CHECK(opts.iterations > 0);
+  HM_CHECK(opts.eta_x > 0 && opts.eta_y > 0);
+  HM_CHECK(!x0.empty() && !y0.empty());
+}
+
+void maybe_project(const Projector& projector, VecView v) {
+  if (projector) projector(v);
+}
+
+struct Averager {
+  std::vector<scalar_t> x_avg;
+  std::vector<scalar_t> y_avg;
+  index_t count = 0;
+
+  void fold(const std::vector<scalar_t>& x, const std::vector<scalar_t>& y) {
+    if (x_avg.empty()) {
+      x_avg.assign(x.size(), 0);
+      y_avg.assign(y.size(), 0);
+    }
+    const scalar_t w_old =
+        static_cast<scalar_t>(count) / static_cast<scalar_t>(count + 1);
+    const scalar_t w_new = scalar_t{1} / static_cast<scalar_t>(count + 1);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x_avg[i] = w_old * x_avg[i] + w_new * x[i];
+    }
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y_avg[i] = w_old * y_avg[i] + w_new * y[i];
+    }
+    ++count;
+  }
+};
+
+}  // namespace
+
+SaddleResult solve_gda(const SaddleOracle& oracle, std::vector<scalar_t> x,
+                       std::vector<scalar_t> y, const SaddleOptions& opts) {
+  validate(opts, x, y);
+  std::vector<scalar_t> gx(x.size()), gy(y.size());
+  Averager avg;
+  for (index_t t = 0; t < opts.iterations; ++t) {
+    oracle(x, y, gx, gy);
+    tensor::axpy(-opts.eta_x, gx, VecView(x));
+    tensor::axpy(+opts.eta_y, gy, VecView(y));
+    maybe_project(opts.project_x, x);
+    maybe_project(opts.project_y, y);
+    if (opts.average_iterates) avg.fold(x, y);
+  }
+  SaddleResult result;
+  result.x_avg = opts.average_iterates ? avg.x_avg : x;
+  result.y_avg = opts.average_iterates ? avg.y_avg : y;
+  result.x = std::move(x);
+  result.y = std::move(y);
+  return result;
+}
+
+SaddleResult solve_extragradient(const SaddleOracle& oracle,
+                                 std::vector<scalar_t> x,
+                                 std::vector<scalar_t> y,
+                                 const SaddleOptions& opts) {
+  validate(opts, x, y);
+  std::vector<scalar_t> gx(x.size()), gy(y.size());
+  std::vector<scalar_t> x_mid(x.size()), y_mid(y.size());
+  Averager avg;
+  for (index_t t = 0; t < opts.iterations; ++t) {
+    // Half step to the mid point.
+    oracle(x, y, gx, gy);
+    tensor::copy(x, x_mid);
+    tensor::copy(y, y_mid);
+    tensor::axpy(-opts.eta_x, gx, VecView(x_mid));
+    tensor::axpy(+opts.eta_y, gy, VecView(y_mid));
+    maybe_project(opts.project_x, x_mid);
+    maybe_project(opts.project_y, y_mid);
+    // Real step with mid-point gradients.
+    oracle(x_mid, y_mid, gx, gy);
+    tensor::axpy(-opts.eta_x, gx, VecView(x));
+    tensor::axpy(+opts.eta_y, gy, VecView(y));
+    maybe_project(opts.project_x, x);
+    maybe_project(opts.project_y, y);
+    if (opts.average_iterates) avg.fold(x, y);
+  }
+  SaddleResult result;
+  result.x_avg = opts.average_iterates ? avg.x_avg : x;
+  result.y_avg = opts.average_iterates ? avg.y_avg : y;
+  result.x = std::move(x);
+  result.y = std::move(y);
+  return result;
+}
+
+SaddleResult solve_ogda(const SaddleOracle& oracle, std::vector<scalar_t> x,
+                        std::vector<scalar_t> y, const SaddleOptions& opts) {
+  validate(opts, x, y);
+  std::vector<scalar_t> gx(x.size()), gy(y.size());
+  std::vector<scalar_t> gx_prev(x.size(), 0), gy_prev(y.size(), 0);
+  Averager avg;
+  for (index_t t = 0; t < opts.iterations; ++t) {
+    oracle(x, y, gx, gy);
+    // Optimistic step: 2 g_t - g_{t-1} (g_{-1} = 0 makes step 0 plain GDA
+    // with doubled gradient; standard initialization uses g_{-1} = g_0).
+    if (t == 0) {
+      tensor::copy(gx, gx_prev);
+      tensor::copy(gy, gy_prev);
+    }
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] -= opts.eta_x * (2 * gx[i] - gx_prev[i]);
+    }
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      y[i] += opts.eta_y * (2 * gy[i] - gy_prev[i]);
+    }
+    maybe_project(opts.project_x, x);
+    maybe_project(opts.project_y, y);
+    tensor::copy(gx, gx_prev);
+    tensor::copy(gy, gy_prev);
+    if (opts.average_iterates) avg.fold(x, y);
+  }
+  SaddleResult result;
+  result.x_avg = opts.average_iterates ? avg.x_avg : x;
+  result.y_avg = opts.average_iterates ? avg.y_avg : y;
+  result.x = std::move(x);
+  result.y = std::move(y);
+  return result;
+}
+
+}  // namespace hm::algo

@@ -1,0 +1,60 @@
+// Centralized first-order minimax solvers — the classical family the
+// paper positions itself against (§2.2): Gradient Descent Ascent (GDA)
+// [9, 20], Extra-Gradient (EG) [16], and Optimistic GDA (OGDA) [7].
+//
+// These operate on an abstract saddle problem min_x max_y f(x, y) given
+// gradient oracles, and serve two purposes in this repo: (1) reference
+// solvers for testing the minimax substrate (EG/OGDA converge on
+// bilinear games where plain GDA orbits — the textbook separation), and
+// (2) centralized "upper bound" solvers for the federated objective
+// F(w, p) when all data is pooled.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "algo/projection.hpp"
+
+namespace hm::algo {
+
+/// Gradient oracle for min_x max_y f(x, y): writes grad_x and grad_y at
+/// (x, y). Implementations may be deterministic or stochastic.
+using SaddleOracle = std::function<void(
+    ConstVecView x, ConstVecView y, VecView grad_x, VecView grad_y)>;
+
+/// Projection hooks for the feasible sets (identity if empty).
+using Projector = std::function<void(VecView)>;
+
+struct SaddleOptions {
+  index_t iterations = 1000;
+  scalar_t eta_x = 0.01;
+  scalar_t eta_y = 0.01;
+  Projector project_x;  // nullptr = unconstrained
+  Projector project_y;
+  bool average_iterates = true;  // return time-averaged (x̄, ȳ)
+};
+
+struct SaddleResult {
+  std::vector<scalar_t> x;      // last iterate
+  std::vector<scalar_t> y;
+  std::vector<scalar_t> x_avg;  // time-averaged iterate
+  std::vector<scalar_t> y_avg;
+};
+
+/// Simultaneous GDA: x -= eta_x grad_x, y += eta_y grad_y.
+SaddleResult solve_gda(const SaddleOracle& oracle, std::vector<scalar_t> x0,
+                       std::vector<scalar_t> y0, const SaddleOptions& opts);
+
+/// Extra-gradient (Korpelevich): a half step to a mid point, then the
+/// real step using the mid-point gradients.
+SaddleResult solve_extragradient(const SaddleOracle& oracle,
+                                 std::vector<scalar_t> x0,
+                                 std::vector<scalar_t> y0,
+                                 const SaddleOptions& opts);
+
+/// Optimistic GDA: step with 2*g_t - g_{t-1} (one oracle call per
+/// iteration; approximates EG).
+SaddleResult solve_ogda(const SaddleOracle& oracle, std::vector<scalar_t> x0,
+                        std::vector<scalar_t> y0, const SaddleOptions& opts);
+
+}  // namespace hm::algo

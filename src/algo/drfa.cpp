@@ -1,0 +1,204 @@
+#include "algo/drfa.hpp"
+
+#include "algo/local_sgd.hpp"
+#include "sim/quantize.hpp"
+#include "algo/trainer_common.hpp"
+#include "core/check.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+namespace {
+
+using detail::Participants;
+
+/// Collapse a per-client weight vector to per-edge weights for reporting.
+std::vector<scalar_t> edge_weights_from_clients(
+    const std::vector<scalar_t>& q, index_t num_edges,
+    index_t clients_per_edge) {
+  std::vector<scalar_t> p(static_cast<std::size_t>(num_edges), 0);
+  for (index_t n = 0; n < static_cast<index_t>(q.size()); ++n) {
+    p[static_cast<std::size_t>(n / clients_per_edge)] +=
+        q[static_cast<std::size_t>(n)];
+  }
+  return p;
+}
+
+}  // namespace
+
+TrainResult train_drfa(const nn::Model& model,
+                       const data::FederatedDataset& fed,
+                       const TrainOptions& opts, parallel::ThreadPool& pool) {
+  fed.validate();
+  HM_CHECK(opts.rounds > 0 && opts.tau1 > 0 && opts.eta_p > 0);
+  const index_t d = model.num_params();
+  const index_t num_clients = fed.num_clients();
+  const index_t m =
+      opts.sampled_clients > 0 ? opts.sampled_clients : num_clients;
+  HM_CHECK(m <= num_clients);
+  // The client-level weight set mirrors opts.p_set scaled to N clients
+  // only in the full-simplex case; capped sets are re-validated here.
+  SimplexSet q_set = opts.p_set;
+  HM_CHECK(q_set.feasible(num_clients));
+
+  rng::Xoshiro256 root(opts.seed);
+
+  TrainResult result;
+  result.w.assign(static_cast<std::size_t>(d), 0);
+  {
+    rng::Xoshiro256 init_gen = root.split(detail::kTagInit);
+    model.init_params(result.w, init_gen);
+  }
+  result.w_avg = result.w;
+
+  std::vector<scalar_t> q = detail::uniform_weights(num_clients);
+  std::vector<scalar_t> q_avg = q;
+
+  std::vector<std::vector<scalar_t>> client_w(
+      static_cast<std::size_t>(num_clients),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<scalar_t>> client_ckpt = client_w;
+  std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
+
+  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                       result.w, result.comm, result.history);
+
+  for (index_t k = 0; k < opts.rounds; ++k) {
+    rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
+
+    // --- Phase 1: sample m clients ~ q (with replacement), local SGD
+    // with checkpoint index c in [tau1].
+    rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
+    const Participants parts = Participants::from_draws(
+        rng::sample_weighted_with_replacement(q, m, sample_gen));
+    rng::Xoshiro256 ckpt_gen = round_gen.split(detail::kTagCheckpoint);
+    const index_t c = 1 + static_cast<index_t>(ckpt_gen.uniform_index(
+                              static_cast<std::uint64_t>(opts.tau1)));
+    const auto participating = static_cast<std::uint64_t>(parts.ids.size());
+    result.comm.edge_cloud_models_down += participating;
+
+    parallel::parallel_for(
+        pool, 0, static_cast<index_t>(parts.ids.size()),
+        [&](index_t j) {
+          const index_t n = parts.ids[static_cast<std::size_t>(j)];
+          auto& w_local = client_w[static_cast<std::size_t>(n)];
+          tensor::copy(result.w, w_local);
+          LocalSgdConfig cfg;
+          cfg.steps = opts.tau1;
+          cfg.batch_size = opts.batch_size;
+          cfg.eta = opts.eta_w;
+          cfg.w_radius = opts.w_radius;
+          cfg.weight_decay = opts.weight_decay;
+          cfg.prox_mu = opts.prox_mu;
+          cfg.checkpoint_step = c;
+          rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
+                                    .split(static_cast<std::uint64_t>(n));
+          run_local_sgd(model, fed.client_train[static_cast<std::size_t>(n)],
+                        cfg, w_local,
+                        client_ckpt[static_cast<std::size_t>(n)], gen,
+                        scratch[static_cast<std::size_t>(n)]);
+          if (opts.quantize_bits > 0) {
+            rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
+            sim::quantize_payload(w_local, opts.quantize_bits, qgen);
+            sim::quantize_payload(client_ckpt[static_cast<std::size_t>(n)],
+                                  opts.quantize_bits, qgen);
+          }
+        },
+        /*grain=*/1);
+
+    detail::weighted_average(client_w, parts, result.w);
+    detail::weighted_average(client_ckpt, parts, checkpoint);
+    tensor::project_l2_ball(result.w, opts.w_radius);
+    result.comm.edge_cloud_rounds += 1;
+    result.comm.edge_cloud_models_up += 2 * participating;  // model + ckpt
+    result.comm.edge_cloud_bytes +=
+        participating * (sim::payload_bytes(d, 0) +
+                         2 * sim::payload_bytes(d, opts.quantize_bits));
+
+    // --- Phase 2: uniform client sample, loss estimation at checkpoint.
+    rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
+    const auto loss_clients =
+        rng::sample_without_replacement(num_clients, m, uniform_gen);
+    result.comm.edge_cloud_models_down +=
+        static_cast<std::uint64_t>(loss_clients.size());
+    std::vector<scalar_t> losses(loss_clients.size(), 0);
+    parallel::parallel_for(
+        pool, 0, static_cast<index_t>(loss_clients.size()),
+        [&](index_t j) {
+          const index_t n = loss_clients[static_cast<std::size_t>(j)];
+          auto& sc = scratch[static_cast<std::size_t>(n)];
+          sc.ensure(model);
+          const data::Dataset& shard =
+              fed.client_train[static_cast<std::size_t>(n)];
+          rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                    .split(static_cast<std::uint64_t>(n));
+          std::vector<index_t> batch;
+          if (opts.loss_est_batch > 0) {
+            batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+            for (auto& idx : batch) {
+              idx = static_cast<index_t>(gen.uniform_index(
+                  static_cast<std::uint64_t>(shard.size())));
+            }
+          } else {
+            batch = nn::all_indices(shard.size());
+          }
+          losses[static_cast<std::size_t>(j)] =
+              model.loss(checkpoint, shard, batch, *sc.ws);
+        },
+        /*grain=*/1);
+    result.comm.edge_cloud_scalars +=
+        static_cast<std::uint64_t>(loss_clients.size());
+    result.comm.edge_cloud_rounds += 1;
+    result.comm.edge_cloud_bytes +=
+        static_cast<std::uint64_t>(loss_clients.size()) *
+        (sim::payload_bytes(d, 0) + 8);
+
+    const scalar_t scale_v = static_cast<scalar_t>(num_clients) /
+                             static_cast<scalar_t>(loss_clients.size());
+    const scalar_t step = opts.eta_p * static_cast<scalar_t>(opts.tau1);
+    for (index_t j = 0; j < static_cast<index_t>(loss_clients.size()); ++j) {
+      q[static_cast<std::size_t>(loss_clients[static_cast<std::size_t>(j)])] +=
+          step * scale_v * losses[static_cast<std::size_t>(j)];
+    }
+    project_capped_simplex(q, q_set);
+
+    detail::update_running_average(result.w_avg, result.w, k);
+    detail::update_running_average(q_avg, q, k);
+    detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
+                         opts.eval_every, result.w, result.comm,
+                         result.history);
+  }
+
+  result.p =
+      edge_weights_from_clients(q, fed.num_edges(), fed.clients_per_edge);
+  result.p_avg = edge_weights_from_clients(q_avg, fed.num_edges(),
+                                           fed.clients_per_edge);
+  return result;
+}
+
+TrainResult train_drfa(const nn::Model& model,
+                       const data::FederatedDataset& fed,
+                       const TrainOptions& opts) {
+  return train_drfa(model, fed, opts, parallel::ThreadPool::global());
+}
+
+TrainResult train_stochastic_afl(const nn::Model& model,
+                                 const data::FederatedDataset& fed,
+                                 const TrainOptions& opts,
+                                 parallel::ThreadPool& pool) {
+  TrainOptions afl_opts = opts;
+  afl_opts.tau1 = 1;  // single-step local update per round
+  afl_opts.tau2 = 1;
+  return train_drfa(model, fed, afl_opts, pool);
+}
+
+TrainResult train_stochastic_afl(const nn::Model& model,
+                                 const data::FederatedDataset& fed,
+                                 const TrainOptions& opts) {
+  return train_stochastic_afl(model, fed, opts,
+                              parallel::ThreadPool::global());
+}
+
+}  // namespace hm::algo

@@ -1,0 +1,94 @@
+#include "algo/duality_gap.hpp"
+
+#include "core/check.hpp"
+#include "metrics/evaluation.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+namespace {
+
+/// F(w, p) = sum_e p_e f_e(w), with exact (full-shard) edge losses.
+scalar_t weighted_loss(const nn::Model& model,
+                       const data::FederatedDataset& fed, nn::ConstVecView w,
+                       const std::vector<scalar_t>& p,
+                       parallel::ThreadPool& pool) {
+  const auto losses = metrics::per_edge_loss(model, w, fed, pool);
+  scalar_t total = 0;
+  for (std::size_t e = 0; e < losses.size(); ++e) total += p[e] * losses[e];
+  return total;
+}
+
+/// Full gradient of F(., p) at w: sum over edges of p_e * grad f_e, with
+/// f_e the exact mean loss over the edge's client shards.
+void weighted_gradient(const nn::Model& model,
+                       const data::FederatedDataset& fed, nn::ConstVecView w,
+                       const std::vector<scalar_t>& p,
+                       parallel::ThreadPool& pool,
+                       std::vector<scalar_t>& grad) {
+  const index_t num_edges = fed.num_edges();
+  const index_t d = model.num_params();
+  std::vector<std::vector<scalar_t>> edge_grads(
+      static_cast<std::size_t>(num_edges),
+      std::vector<scalar_t>(static_cast<std::size_t>(d), 0));
+  parallel::parallel_for(
+      pool, 0, num_edges,
+      [&](index_t e) {
+        auto ws = model.make_workspace();
+        std::vector<scalar_t> g(static_cast<std::size_t>(d));
+        auto& acc = edge_grads[static_cast<std::size_t>(e)];
+        index_t samples = 0;
+        for (index_t i = 0; i < fed.clients_per_edge; ++i) {
+          const data::Dataset& shard = fed.shard(e, i);
+          const auto batch = nn::all_indices(shard.size());
+          model.loss_and_grad(w, shard, batch, g, *ws);
+          tensor::axpy(static_cast<scalar_t>(shard.size()), g, acc);
+          samples += shard.size();
+        }
+        tensor::scale(scalar_t{1} / static_cast<scalar_t>(samples), acc);
+      },
+      /*grain=*/1);
+  std::fill(grad.begin(), grad.end(), scalar_t{0});
+  for (index_t e = 0; e < num_edges; ++e) {
+    tensor::axpy(p[static_cast<std::size_t>(e)],
+                 edge_grads[static_cast<std::size_t>(e)], grad);
+  }
+}
+
+}  // namespace
+
+DualityGapEstimate estimate_duality_gap(const nn::Model& model,
+                                        const data::FederatedDataset& fed,
+                                        nn::ConstVecView w,
+                                        const std::vector<scalar_t>& p,
+                                        const DualityGapOptions& opts,
+                                        parallel::ThreadPool& pool) {
+  HM_CHECK_MSG(model.is_convex(),
+               "duality gap is only meaningful for convex losses");
+  HM_CHECK(p.size() == static_cast<std::size_t>(fed.num_edges()));
+  HM_CHECK(opts.minimize_iters > 0 && opts.eta > 0);
+
+  DualityGapEstimate est;
+
+  // Primal term: linear in p', maximized in closed form.
+  const auto losses = metrics::per_edge_loss(model, w, fed, pool);
+  est.primal = max_linear_over_simplex(losses, opts.p_set);
+
+  // Dual term: projected full-gradient descent on F(., p) from w.
+  std::vector<scalar_t> w_min(w.begin(), w.end());
+  std::vector<scalar_t> grad(w.size());
+  scalar_t best = weighted_loss(model, fed, w_min, p, pool);
+  for (index_t it = 0; it < opts.minimize_iters; ++it) {
+    weighted_gradient(model, fed, w_min, p, pool, grad);
+    tensor::axpy(-opts.eta, grad, nn::VecView(w_min));
+    tensor::project_l2_ball(w_min, opts.w_radius);
+    const scalar_t value = weighted_loss(model, fed, w_min, p, pool);
+    if (value < best) best = value;
+  }
+  est.dual = best;
+  est.gap = est.primal - est.dual;
+  return est;
+}
+
+}  // namespace hm::algo

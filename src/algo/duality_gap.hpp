@@ -1,0 +1,36 @@
+// Duality-gap estimation for convex losses (Eq. 8 of the paper):
+//   gap(w, p) = max_{p' in P} F(w, p') - min_{w' in W} F(w', p).
+// The max term is exact (linear objective over the capped simplex); the
+// min term is approximated by full-gradient projected descent on the
+// p-weighted objective, warm-started at w.
+#pragma once
+
+#include "algo/options.hpp"
+#include "data/federated.hpp"
+#include "nn/model.hpp"
+
+namespace hm::algo {
+
+struct DualityGapOptions {
+  index_t minimize_iters = 200;  // descent iterations for the min term
+  scalar_t eta = 0.05;           // descent step size
+  scalar_t w_radius = 0;         // W constraint (must match training)
+  SimplexSet p_set;              // P constraint (must match training)
+};
+
+struct DualityGapEstimate {
+  scalar_t gap = 0;        // primal_value - dual_value (>= 0 up to noise)
+  scalar_t primal = 0;     // max_{p' in P} F(w, p')
+  scalar_t dual = 0;       // approx min_{w' in W} F(w', p)
+};
+
+/// Estimate the duality gap of (w, p). Requires model.is_convex() so the
+/// inner minimization is globally solvable by descent.
+DualityGapEstimate estimate_duality_gap(const nn::Model& model,
+                                        const data::FederatedDataset& fed,
+                                        nn::ConstVecView w,
+                                        const std::vector<scalar_t>& p,
+                                        const DualityGapOptions& opts,
+                                        parallel::ThreadPool& pool);
+
+}  // namespace hm::algo

@@ -1,0 +1,101 @@
+#include "algo/fedavg.hpp"
+
+#include "algo/local_sgd.hpp"
+#include "sim/quantize.hpp"
+#include "algo/trainer_common.hpp"
+#include "core/check.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+TrainResult train_fedavg(const nn::Model& model,
+                         const data::FederatedDataset& fed,
+                         const TrainOptions& opts,
+                         parallel::ThreadPool& pool) {
+  fed.validate();
+  HM_CHECK(opts.rounds > 0 && opts.tau1 > 0);
+  const index_t d = model.num_params();
+  const index_t num_clients = fed.num_clients();
+  const index_t m =
+      opts.sampled_clients > 0 ? opts.sampled_clients : num_clients;
+  HM_CHECK(m <= num_clients);
+
+  rng::Xoshiro256 root(opts.seed);
+
+  TrainResult result;
+  result.w.assign(static_cast<std::size_t>(d), 0);
+  {
+    rng::Xoshiro256 init_gen = root.split(detail::kTagInit);
+    model.init_params(result.w, init_gen);
+  }
+  result.p = detail::uniform_weights(fed.num_edges());
+  result.w_avg = result.w;
+  result.p_avg = result.p;
+
+  std::vector<std::vector<scalar_t>> client_w(
+      static_cast<std::size_t>(num_clients),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+
+  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                       result.w, result.comm, result.history);
+
+  for (index_t k = 0; k < opts.rounds; ++k) {
+    rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
+    rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
+    const auto clients =
+        rng::sample_without_replacement(num_clients, m, sample_gen);
+    result.comm.edge_cloud_models_down +=
+        static_cast<std::uint64_t>(clients.size());
+
+    parallel::parallel_for(
+        pool, 0, static_cast<index_t>(clients.size()),
+        [&](index_t j) {
+          const index_t n = clients[static_cast<std::size_t>(j)];
+          auto& w_local = client_w[static_cast<std::size_t>(n)];
+          tensor::copy(result.w, w_local);
+          LocalSgdConfig cfg;
+          cfg.steps = opts.tau1;
+          cfg.batch_size = opts.batch_size;
+          cfg.eta = opts.eta_w;
+          cfg.w_radius = opts.w_radius;
+          cfg.weight_decay = opts.weight_decay;
+          cfg.prox_mu = opts.prox_mu;
+          rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
+                                    .split(static_cast<std::uint64_t>(n));
+          run_local_sgd(
+              model, fed.client_train[static_cast<std::size_t>(n)], cfg,
+              w_local, {}, gen, scratch[static_cast<std::size_t>(n)]);
+          if (opts.quantize_bits > 0) {
+            rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
+            sim::quantize_payload(w_local, opts.quantize_bits, qgen);
+          }
+        },
+        /*grain=*/1);
+
+    detail::uniform_average(client_w, clients, result.w);
+    tensor::project_l2_ball(result.w, opts.w_radius);
+    result.comm.edge_cloud_rounds += 1;
+    result.comm.edge_cloud_models_up +=
+        static_cast<std::uint64_t>(clients.size());
+    result.comm.edge_cloud_bytes +=
+        static_cast<std::uint64_t>(clients.size()) *
+        (sim::payload_bytes(d, 0) +
+         sim::payload_bytes(d, opts.quantize_bits));
+
+    detail::update_running_average(result.w_avg, result.w, k);
+    detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
+                         opts.eval_every, result.w, result.comm,
+                         result.history);
+  }
+  return result;
+}
+
+TrainResult train_fedavg(const nn::Model& model,
+                         const data::FederatedDataset& fed,
+                         const TrainOptions& opts) {
+  return train_fedavg(model, fed, opts, parallel::ThreadPool::global());
+}
+
+}  // namespace hm::algo

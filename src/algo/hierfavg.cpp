@@ -1,0 +1,140 @@
+#include "algo/hierfavg.hpp"
+
+#include "algo/local_sgd.hpp"
+#include "sim/quantize.hpp"
+#include "algo/trainer_common.hpp"
+#include "core/check.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+TrainResult train_hierfavg(const nn::Model& model,
+                           const data::FederatedDataset& fed,
+                           const sim::HierTopology& topo,
+                           const TrainOptions& opts,
+                           parallel::ThreadPool& pool) {
+  fed.validate();
+  HM_CHECK(fed.num_edges() == topo.num_edges());
+  HM_CHECK(fed.clients_per_edge == topo.clients_per_edge());
+  HM_CHECK(opts.rounds > 0 && opts.tau1 > 0 && opts.tau2 > 0);
+  const index_t d = model.num_params();
+  const index_t num_edges = topo.num_edges();
+  const index_t n0 = topo.clients_per_edge();
+  const index_t m_e = opts.sampled_edges > 0 ? opts.sampled_edges : num_edges;
+  HM_CHECK(m_e <= num_edges);
+
+  rng::Xoshiro256 root(opts.seed);
+
+  TrainResult result;
+  result.w.assign(static_cast<std::size_t>(d), 0);
+  {
+    rng::Xoshiro256 init_gen = root.split(detail::kTagInit);
+    model.init_params(result.w, init_gen);
+  }
+  result.p = detail::uniform_weights(num_edges);  // fixed uniform weights
+  result.w_avg = result.w;
+  result.p_avg = result.p;
+
+  std::vector<std::vector<scalar_t>> client_w(
+      static_cast<std::size_t>(topo.num_clients()),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<scalar_t>> edge_w(
+      static_cast<std::size_t>(num_edges),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<ClientScratch> scratch(
+      static_cast<std::size_t>(topo.num_clients()));
+
+  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                       result.w, result.comm, result.history);
+
+  for (index_t k = 0; k < opts.rounds; ++k) {
+    rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
+    rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
+    const auto edges =
+        rng::sample_without_replacement(num_edges, m_e, sample_gen);
+    const auto participating = static_cast<std::uint64_t>(edges.size());
+    result.comm.edge_cloud_models_down += participating;
+
+    for (const index_t e : edges) {
+      tensor::copy(result.w, edge_w[static_cast<std::size_t>(e)]);
+    }
+
+    for (index_t t2 = 0; t2 < opts.tau2; ++t2) {
+      const index_t jobs = static_cast<index_t>(edges.size()) * n0;
+      parallel::parallel_for(
+          pool, 0, jobs,
+          [&](index_t job) {
+            const index_t e = edges[static_cast<std::size_t>(job / n0)];
+            const index_t i = job % n0;
+            const index_t client = topo.client_id(e, i);
+            auto& w_local = client_w[static_cast<std::size_t>(client)];
+            tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
+            LocalSgdConfig cfg;
+            cfg.steps = opts.tau1;
+            cfg.batch_size = opts.batch_size;
+            cfg.eta = opts.eta_w;
+            cfg.w_radius = opts.w_radius;
+            cfg.weight_decay = opts.weight_decay;
+            cfg.prox_mu = opts.prox_mu;
+            rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
+                                      .split(static_cast<std::uint64_t>(e))
+                                      .split(static_cast<std::uint64_t>(t2))
+                                      .split(static_cast<std::uint64_t>(i));
+            run_local_sgd(model, fed.shard(e, i), cfg, w_local, {}, gen,
+                          scratch[static_cast<std::size_t>(client)]);
+            if (opts.quantize_bits > 0) {
+              rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
+              sim::quantize_payload(w_local, opts.quantize_bits, qgen);
+            }
+          },
+          /*grain=*/1);
+      for (const index_t e : edges) {
+        auto clients = topo.clients_of_edge(e);
+        detail::uniform_average(client_w, clients,
+                                edge_w[static_cast<std::size_t>(e)]);
+      }
+      result.comm.client_edge_rounds += 1;
+      result.comm.client_edge_models_down +=
+          participating * static_cast<std::uint64_t>(n0);
+      result.comm.client_edge_models_up +=
+          participating * static_cast<std::uint64_t>(n0);
+      result.comm.client_edge_bytes +=
+          participating * static_cast<std::uint64_t>(n0) *
+          (sim::payload_bytes(d, 0) +
+           sim::payload_bytes(d, opts.quantize_bits));
+    }
+
+    if (opts.quantize_bits > 0) {
+      for (const index_t e : edges) {
+        rng::Xoshiro256 qgen = round_gen.split(detail::kTagQuant)
+                                   .split(static_cast<std::uint64_t>(e));
+        sim::quantize_payload(edge_w[static_cast<std::size_t>(e)],
+                              opts.quantize_bits, qgen);
+      }
+    }
+    detail::uniform_average(edge_w, edges, result.w);
+    tensor::project_l2_ball(result.w, opts.w_radius);
+    result.comm.edge_cloud_rounds += 1;
+    result.comm.edge_cloud_models_up += participating;
+    result.comm.edge_cloud_bytes +=
+        participating * (sim::payload_bytes(d, 0) +
+                         sim::payload_bytes(d, opts.quantize_bits));
+
+    detail::update_running_average(result.w_avg, result.w, k);
+    detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
+                         opts.eval_every, result.w, result.comm,
+                         result.history);
+  }
+  return result;
+}
+
+TrainResult train_hierfavg(const nn::Model& model,
+                           const data::FederatedDataset& fed,
+                           const sim::HierTopology& topo,
+                           const TrainOptions& opts) {
+  return train_hierfavg(model, fed, topo, opts,
+                        parallel::ThreadPool::global());
+}
+
+}  // namespace hm::algo

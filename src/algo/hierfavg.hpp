@@ -1,0 +1,28 @@
+// HierFAVG (Liu et al., ICC'20): hierarchical federated averaging over
+// the client-edge-cloud architecture — the three-layer *minimization*
+// baseline of the paper (problem (1); no weight adaptation).
+//
+// Each round: sample m_E edges uniformly; each runs tau2 client-edge
+// aggregation blocks of tau1 local SGD steps; the cloud averages the
+// edge models.
+#pragma once
+
+#include "algo/options.hpp"
+#include "data/federated.hpp"
+#include "nn/model.hpp"
+#include "sim/topology.hpp"
+
+namespace hm::algo {
+
+TrainResult train_hierfavg(const nn::Model& model,
+                           const data::FederatedDataset& fed,
+                           const sim::HierTopology& topo,
+                           const TrainOptions& opts,
+                           parallel::ThreadPool& pool);
+
+TrainResult train_hierfavg(const nn::Model& model,
+                           const data::FederatedDataset& fed,
+                           const sim::HierTopology& topo,
+                           const TrainOptions& opts);
+
+}  // namespace hm::algo

@@ -1,0 +1,279 @@
+#include "algo/hierminimax.hpp"
+
+#include "algo/local_sgd.hpp"
+#include "sim/quantize.hpp"
+#include "algo/trainer_common.hpp"
+#include "core/check.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+namespace {
+
+using detail::Participants;
+
+void validate_inputs(const nn::Model& model, const data::FederatedDataset& fed,
+                     const sim::HierTopology& topo, const TrainOptions& opts) {
+  fed.validate();
+  HM_CHECK_MSG(fed.num_edges() == topo.num_edges(),
+               "dataset has " << fed.num_edges() << " edges, topology "
+                              << topo.num_edges());
+  HM_CHECK(fed.clients_per_edge == topo.clients_per_edge());
+  HM_CHECK(fed.dim() == model.input_dim());
+  HM_CHECK(fed.num_classes() == model.num_classes());
+  HM_CHECK(opts.rounds > 0 && opts.tau1 > 0 && opts.tau2 > 0);
+  HM_CHECK(opts.eta_w > 0 && opts.eta_p > 0);
+  HM_CHECK(opts.sampled_edges >= 0 &&
+           opts.sampled_edges <= topo.num_edges());
+  HM_CHECK(opts.p_set.feasible(topo.num_edges()));
+}
+
+}  // namespace
+
+TrainResult train_hierminimax(const nn::Model& model,
+                              const data::FederatedDataset& fed,
+                              const sim::HierTopology& topo,
+                              const TrainOptions& opts,
+                              parallel::ThreadPool& pool) {
+  validate_inputs(model, fed, topo, opts);
+  const index_t d = model.num_params();
+  const index_t num_edges = topo.num_edges();          // N_E
+  const index_t n0 = topo.clients_per_edge();          // N_0
+  const index_t num_clients = topo.num_clients();      // N
+  const index_t m_e = opts.sampled_edges > 0 ? opts.sampled_edges : num_edges;
+
+  rng::Xoshiro256 root(opts.seed);
+
+  TrainResult result;
+  result.w.assign(static_cast<std::size_t>(d), 0);
+  {
+    rng::Xoshiro256 init_gen = root.split(detail::kTagInit);
+    model.init_params(result.w, init_gen);
+  }
+  result.p = detail::uniform_weights(num_edges);
+  result.w_avg = result.w;
+  result.p_avg = result.p;
+
+  // Per-participant buffers, allocated once and reused every round.
+  std::vector<std::vector<scalar_t>> client_w(
+      static_cast<std::size_t>(num_clients),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<scalar_t>> client_ckpt = client_w;
+  std::vector<std::vector<scalar_t>> edge_w(
+      static_cast<std::size_t>(num_edges),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<scalar_t>> edge_ckpt = edge_w;
+  std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
+  std::vector<scalar_t> edge_losses(static_cast<std::size_t>(num_edges));
+
+  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                       result.w, result.comm, result.history);
+
+  for (index_t k = 0; k < opts.rounds; ++k) {
+    rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
+
+    // --- Phase 1: sample edges by p^(k) and the checkpoint index.
+    rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
+    const Participants parts = Participants::from_draws(
+        rng::sample_weighted_with_replacement(result.p, m_e, sample_gen));
+    rng::Xoshiro256 ckpt_gen = round_gen.split(detail::kTagCheckpoint);
+    const index_t c1 = 1 + static_cast<index_t>(ckpt_gen.uniform_index(
+                               static_cast<std::uint64_t>(opts.tau1)));
+    const index_t c2 = static_cast<index_t>(ckpt_gen.uniform_index(
+        static_cast<std::uint64_t>(opts.tau2)));
+
+    const auto participating =
+        static_cast<std::uint64_t>(parts.ids.size());  // physical edges
+    result.comm.edge_cloud_models_down += participating;
+
+    // Seed every participating edge's model with the global model.
+    for (const index_t e : parts.ids) {
+      tensor::copy(result.w, edge_w[static_cast<std::size_t>(e)]);
+    }
+
+    // tau2 client-edge aggregation blocks.
+    for (index_t t2 = 0; t2 < opts.tau2; ++t2) {
+      const index_t jobs =
+          static_cast<index_t>(parts.ids.size()) * n0;
+      parallel::parallel_for(
+          pool, 0, jobs,
+          [&](index_t job) {
+            const index_t e =
+                parts.ids[static_cast<std::size_t>(job / n0)];
+            const index_t i = job % n0;
+            const index_t client = topo.client_id(e, i);
+            auto& w_local = client_w[static_cast<std::size_t>(client)];
+            tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
+            LocalSgdConfig cfg;
+            cfg.steps = opts.tau1;
+            cfg.batch_size = opts.batch_size;
+            cfg.eta = opts.eta_w;
+            cfg.w_radius = opts.w_radius;
+            cfg.weight_decay = opts.weight_decay;
+            cfg.prox_mu = opts.prox_mu;
+            cfg.checkpoint_step = t2 == c2 ? c1 : 0;
+            rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
+                                      .split(static_cast<std::uint64_t>(e))
+                                      .split(static_cast<std::uint64_t>(t2))
+                                      .split(static_cast<std::uint64_t>(i));
+            run_local_sgd(model, fed.shard(e, i), cfg, w_local,
+                          client_ckpt[static_cast<std::size_t>(client)], gen,
+                          scratch[static_cast<std::size_t>(client)]);
+            if (opts.quantize_bits > 0) {
+              rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
+              sim::quantize_payload(w_local, opts.quantize_bits, qgen);
+              if (t2 == c2) {
+                sim::quantize_payload(
+                    client_ckpt[static_cast<std::size_t>(client)],
+                    opts.quantize_bits, qgen);
+              }
+            }
+          },
+          /*grain=*/1);
+
+      // Client-edge aggregation (and checkpoint aggregation at block c2).
+      for (const index_t e : parts.ids) {
+        auto clients = topo.clients_of_edge(e);
+        detail::uniform_average(client_w, clients,
+                                edge_w[static_cast<std::size_t>(e)]);
+        if (t2 == c2) {
+          detail::uniform_average(client_ckpt, clients,
+                                  edge_ckpt[static_cast<std::size_t>(e)]);
+        }
+      }
+      result.comm.client_edge_rounds += 1;
+      result.comm.client_edge_models_down +=
+          participating * static_cast<std::uint64_t>(n0);
+      result.comm.client_edge_models_up +=
+          participating * static_cast<std::uint64_t>(n0) *
+          (t2 == c2 ? 2 : 1);  // model + checkpoint at block c2
+      result.comm.client_edge_bytes +=
+          participating * static_cast<std::uint64_t>(n0) *
+          (sim::payload_bytes(d, 0) +  // broadcast down, uncompressed
+           static_cast<std::uint64_t>(t2 == c2 ? 2 : 1) *
+               sim::payload_bytes(d, opts.quantize_bits));
+    }
+
+    // Uplink quantization of the per-edge aggregates (Hier-Local-QSGD
+    // style: both hops compress toward the cloud).
+    if (opts.quantize_bits > 0) {
+      for (const index_t e : parts.ids) {
+        rng::Xoshiro256 qgen = round_gen.split(detail::kTagQuant)
+                                   .split(static_cast<std::uint64_t>(e));
+        sim::quantize_payload(edge_w[static_cast<std::size_t>(e)],
+                              opts.quantize_bits, qgen);
+        sim::quantize_payload(edge_ckpt[static_cast<std::size_t>(e)],
+                              opts.quantize_bits, qgen);
+      }
+    }
+
+    // Edge-cloud aggregation: global model (Eq. 5) + checkpoint (Eq. 6).
+    detail::weighted_average(edge_w, parts, result.w);
+    if (opts.use_checkpoint) {
+      detail::weighted_average(edge_ckpt, parts, checkpoint);
+    } else {
+      tensor::copy(result.w, checkpoint);  // ablation: last-iterate losses
+    }
+    tensor::project_l2_ball(result.w, opts.w_radius);
+    result.comm.edge_cloud_rounds += 1;
+    result.comm.edge_cloud_models_up += 2 * participating;
+    result.comm.edge_cloud_bytes +=
+        participating * (sim::payload_bytes(d, 0) +  // broadcast down
+                         2 * sim::payload_bytes(d, opts.quantize_bits));
+
+    // --- Phase 2: uniform edge sample, loss estimation on the checkpoint.
+    rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
+    const auto losses_set =
+        rng::sample_without_replacement(num_edges, m_e, uniform_gen);
+    result.comm.edge_cloud_models_down +=
+        static_cast<std::uint64_t>(losses_set.size());
+    result.comm.client_edge_models_down +=
+        static_cast<std::uint64_t>(losses_set.size()) *
+        static_cast<std::uint64_t>(n0);
+    result.comm.client_edge_rounds += 1;
+
+    std::fill(edge_losses.begin(), edge_losses.end(), scalar_t{0});
+    const index_t loss_jobs = static_cast<index_t>(losses_set.size()) * n0;
+    std::vector<scalar_t> client_losses(
+        static_cast<std::size_t>(loss_jobs), 0);
+    parallel::parallel_for(
+        pool, 0, loss_jobs,
+        [&](index_t job) {
+          const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
+          const index_t i = job % n0;
+          const index_t client = topo.client_id(e, i);
+          auto& sc = scratch[static_cast<std::size_t>(client)];
+          sc.ensure(model);
+          const data::Dataset& shard = fed.shard(e, i);
+          rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                    .split(static_cast<std::uint64_t>(e))
+                                    .split(static_cast<std::uint64_t>(i));
+          std::vector<index_t> batch;
+          if (opts.loss_est_batch > 0) {
+            batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+            for (auto& idx : batch) {
+              idx = static_cast<index_t>(gen.uniform_index(
+                  static_cast<std::uint64_t>(shard.size())));
+            }
+          } else {
+            batch = nn::all_indices(shard.size());
+          }
+          client_losses[static_cast<std::size_t>(job)] =
+              model.loss(checkpoint, shard, batch, *sc.ws);
+        },
+        /*grain=*/1);
+    for (index_t j = 0; j < static_cast<index_t>(losses_set.size()); ++j) {
+      scalar_t f_e = 0;
+      for (index_t i = 0; i < n0; ++i) {
+        f_e += client_losses[static_cast<std::size_t>(j * n0 + i)];
+      }
+      edge_losses[static_cast<std::size_t>(
+          losses_set[static_cast<std::size_t>(j)])] =
+          f_e / static_cast<scalar_t>(n0);
+    }
+    result.comm.client_edge_scalars +=
+        static_cast<std::uint64_t>(losses_set.size()) *
+        static_cast<std::uint64_t>(n0);
+    result.comm.edge_cloud_scalars +=
+        static_cast<std::uint64_t>(losses_set.size());
+    result.comm.edge_cloud_rounds += 1;
+    // Phase-2 bytes: checkpoint broadcasts down both hops + scalar losses.
+    result.comm.edge_cloud_bytes +=
+        static_cast<std::uint64_t>(losses_set.size()) *
+            sim::payload_bytes(d, 0) +
+        static_cast<std::uint64_t>(losses_set.size()) * 8;
+    result.comm.client_edge_bytes +=
+        static_cast<std::uint64_t>(losses_set.size()) *
+            static_cast<std::uint64_t>(n0) * (sim::payload_bytes(d, 0) + 8);
+
+    // Ascent step (Eq. 7): v_e = (N_E/m_E) f_e on sampled edges, else 0.
+    const scalar_t scale_v = static_cast<scalar_t>(num_edges) /
+                             static_cast<scalar_t>(losses_set.size());
+    const scalar_t step = opts.eta_p * static_cast<scalar_t>(opts.tau1) *
+                          static_cast<scalar_t>(opts.tau2);
+    for (const index_t e : losses_set) {
+      result.p[static_cast<std::size_t>(e)] +=
+          step * scale_v * edge_losses[static_cast<std::size_t>(e)];
+    }
+    project_capped_simplex(result.p, opts.p_set);
+
+    detail::update_running_average(result.w_avg, result.w, k);
+    detail::update_running_average(result.p_avg, result.p, k);
+    detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
+                         opts.eval_every, result.w, result.comm,
+                         result.history);
+  }
+  return result;
+}
+
+TrainResult train_hierminimax(const nn::Model& model,
+                              const data::FederatedDataset& fed,
+                              const sim::HierTopology& topo,
+                              const TrainOptions& opts) {
+  return train_hierminimax(model, fed, topo, opts,
+                           parallel::ThreadPool::global());
+}
+
+}  // namespace hm::algo

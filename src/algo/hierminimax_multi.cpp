@@ -1,0 +1,398 @@
+#include "algo/hierminimax_multi.hpp"
+
+#include <numeric>
+
+#include "algo/local_sgd.hpp"
+#include "algo/trainer_common.hpp"
+#include "core/check.hpp"
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+namespace {
+
+using detail::Participants;
+
+/// Recursive subtree runner for one Phase-1 round within a sampled area.
+/// Executes the node at `level` (depth = level within the tree), whose
+/// leaves are [first_leaf, first_leaf + span). `w` holds the node's model
+/// in/out. `base_iter` counts leaf iterations completed before this call
+/// so leaves can match the checkpoint index.
+struct SubtreeRunner {
+  const nn::Model& model;
+  const data::FederatedDataset& fed;
+  const sim::MultiTopology& topo;
+  const MultiTrainOptions& opts;
+  parallel::ThreadPool& pool;
+  rng::Xoshiro256 round_gen;           // per-round base stream
+  index_t checkpoint_iter = 0;         // in [1, prod(taus)]
+  MultiCommStats* comm = nullptr;
+
+  std::vector<std::vector<scalar_t>>* leaf_w = nullptr;
+  std::vector<std::vector<scalar_t>>* leaf_ckpt = nullptr;
+  std::vector<ClientScratch>* scratch = nullptr;
+  std::vector<char>* leaf_has_ckpt = nullptr;
+
+  /// Iterations one leaf performs when a node at depth `level` runs one
+  /// full child subtree: prod of taus[level .. depth-1]. (A node at depth
+  /// l runs taus[l-1] blocks; its child subtree contributes iters_from(l)
+  /// leaf iterations per block.)
+  index_t iters_from(index_t level) const {
+    index_t prod = 1;
+    for (index_t l = level; l < topo.depth(); ++l) {
+      prod *= opts.taus[static_cast<std::size_t>(l)];
+    }
+    return prod;
+  }
+
+  /// Run the subtree rooted at (level, node). Models flow: `w` is
+  /// broadcast to children, children run, results averaged back into `w`.
+  /// Returns nothing; `w` and the leaf checkpoint buffers are updated.
+  void run(index_t level, index_t node, nn::VecView w, index_t base_iter) {
+    if (level == topo.depth()) {
+      run_leaf(node, w, base_iter);
+      return;
+    }
+    const index_t blocks = opts.taus[static_cast<std::size_t>(level) - 1];
+    const index_t fanout =
+        topo.branching()[static_cast<std::size_t>(level)];
+    const index_t child_iters = iters_from(level);
+    std::vector<std::vector<scalar_t>> child_w(
+        static_cast<std::size_t>(fanout),
+        std::vector<scalar_t>(w.size()));
+
+    for (index_t b = 0; b < blocks; ++b) {
+      const index_t block_base = base_iter + b * child_iters;
+      if (level + 1 == topo.depth()) {
+        // Innermost aggregation: run this node's leaves in parallel.
+        parallel::parallel_for(
+            pool, 0, fanout,
+            [&](index_t c) {
+              auto& cw = child_w[static_cast<std::size_t>(c)];
+              tensor::copy(w, cw);
+              run_leaf(node * fanout + c, cw, block_base);
+            },
+            /*grain=*/1);
+      } else {
+        for (index_t c = 0; c < fanout; ++c) {
+          auto& cw = child_w[static_cast<std::size_t>(c)];
+          tensor::copy(w, cw);
+          run(level + 1, node * fanout + c, cw, block_base);
+        }
+      }
+      tensor::set_zero(w);
+      for (const auto& cw : child_w) {
+        tensor::axpy(scalar_t{1} / static_cast<scalar_t>(fanout), cw, w);
+      }
+      auto& lc = comm->levels[static_cast<std::size_t>(level)];
+      lc.rounds += 1;
+      lc.models_down += static_cast<std::uint64_t>(fanout);
+      lc.models_up += static_cast<std::uint64_t>(fanout);
+    }
+  }
+
+  void run_leaf(index_t leaf, nn::VecView w, index_t base_iter) {
+    const index_t steps = opts.taus.back();
+    LocalSgdConfig cfg;
+    cfg.steps = steps;
+    cfg.batch_size = opts.batch_size;
+    cfg.eta = opts.eta_w;
+    cfg.w_radius = opts.w_radius;
+    // Capture when the checkpoint iteration falls inside this leaf run.
+    if (checkpoint_iter > base_iter &&
+        checkpoint_iter <= base_iter + steps) {
+      cfg.checkpoint_step = checkpoint_iter - base_iter;
+      (*leaf_has_ckpt)[static_cast<std::size_t>(leaf)] = 1;
+    }
+    rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
+                              .split(static_cast<std::uint64_t>(leaf))
+                              .split(static_cast<std::uint64_t>(base_iter));
+    run_local_sgd(model, fed.client_train[static_cast<std::size_t>(leaf)],
+                  cfg, w, (*leaf_ckpt)[static_cast<std::size_t>(leaf)], gen,
+                  (*scratch)[static_cast<std::size_t>(leaf)]);
+    tensor::copy(w, (*leaf_w)[static_cast<std::size_t>(leaf)]);
+  }
+};
+
+}  // namespace
+
+MultiTrainResult train_hierminimax_multi(const nn::Model& model,
+                                         const data::FederatedDataset& fed,
+                                         const sim::MultiTopology& topo,
+                                         const MultiTrainOptions& opts,
+                                         parallel::ThreadPool& pool) {
+  fed.validate();
+  HM_CHECK_MSG(static_cast<index_t>(opts.taus.size()) == topo.depth(),
+               "need one tau per level: " << topo.depth());
+  for (const index_t t : opts.taus) HM_CHECK(t > 0);
+  HM_CHECK(fed.num_edges() == topo.num_areas());
+  HM_CHECK(fed.clients_per_edge == topo.leaves_per_area());
+  HM_CHECK(opts.rounds > 0 && opts.eta_w > 0 && opts.eta_p > 0);
+  HM_CHECK(opts.p_set.feasible(topo.num_areas()));
+  const index_t num_areas = topo.num_areas();
+  const index_t m =
+      opts.sampled_areas > 0 ? opts.sampled_areas : num_areas;
+  HM_CHECK(m <= num_areas);
+  const index_t d = model.num_params();
+  const index_t iters_per_round = std::accumulate(
+      opts.taus.begin(), opts.taus.end(), index_t{1},
+      [](index_t a, index_t b) { return a * b; });
+
+  rng::Xoshiro256 root(opts.seed);
+
+  MultiTrainResult result;
+  result.w.assign(static_cast<std::size_t>(d), 0);
+  {
+    rng::Xoshiro256 init_gen = root.split(detail::kTagInit);
+    model.init_params(result.w, init_gen);
+  }
+  result.p = detail::uniform_weights(num_areas);
+  result.comm.levels.resize(static_cast<std::size_t>(topo.depth()));
+
+  std::vector<std::vector<scalar_t>> leaf_w(
+      static_cast<std::size_t>(topo.num_leaves()),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<scalar_t>> leaf_ckpt = leaf_w;
+  std::vector<ClientScratch> scratch(
+      static_cast<std::size_t>(topo.num_leaves()));
+  std::vector<char> leaf_has_ckpt(
+      static_cast<std::size_t>(topo.num_leaves()), 0);
+  std::vector<std::vector<scalar_t>> area_w(
+      static_cast<std::size_t>(num_areas),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
+  std::vector<scalar_t> area_losses(static_cast<std::size_t>(num_areas));
+
+  // History recording reuses the three-layer CommStats shape by mapping
+  // level-0 traffic to edge_cloud and deeper levels to client_edge.
+  auto comm_snapshot = [&]() {
+    sim::CommStats flat;
+    flat.edge_cloud_rounds = result.comm.levels[0].rounds;
+    flat.edge_cloud_models_up = result.comm.levels[0].models_up;
+    flat.edge_cloud_models_down = result.comm.levels[0].models_down;
+    for (std::size_t l = 1; l < result.comm.levels.size(); ++l) {
+      flat.client_edge_rounds += result.comm.levels[l].rounds;
+      flat.client_edge_models_up += result.comm.levels[l].models_up;
+      flat.client_edge_models_down += result.comm.levels[l].models_down;
+    }
+    return flat;
+  };
+  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                       result.w, comm_snapshot(), result.history);
+
+  for (index_t k = 0; k < opts.rounds; ++k) {
+    rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
+
+    // --- Phase 1.
+    rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
+    const Participants parts = Participants::from_draws(
+        rng::sample_weighted_with_replacement(result.p, m, sample_gen));
+    rng::Xoshiro256 ckpt_gen = round_gen.split(detail::kTagCheckpoint);
+    const index_t checkpoint_iter =
+        1 + static_cast<index_t>(ckpt_gen.uniform_index(
+                static_cast<std::uint64_t>(iters_per_round)));
+
+    std::fill(leaf_has_ckpt.begin(), leaf_has_ckpt.end(), char{0});
+    SubtreeRunner runner{model,   fed,     topo,    opts,
+                         pool,    round_gen, checkpoint_iter,
+                         &result.comm, &leaf_w, &leaf_ckpt, &scratch,
+                         &leaf_has_ckpt};
+
+    auto& top = result.comm.levels[0];
+    for (const index_t area : parts.ids) {
+      auto& aw = area_w[static_cast<std::size_t>(area)];
+      tensor::copy(result.w, aw);
+      runner.run(/*level=*/1, area, aw, /*base_iter=*/0);
+      top.models_down += 1;
+      top.models_up += 2;  // final model + checkpoint aggregate
+    }
+    top.rounds += 1;
+
+    detail::weighted_average(area_w, parts, result.w);
+    tensor::project_l2_ball(result.w, opts.w_radius);
+
+    // Aggregate the checkpoint: average over the leaves that captured it
+    // (exactly the leaves of the sampled areas), weighted by area
+    // multiplicity — the L-level analogue of Eqs. (6).
+    tensor::set_zero(nn::VecView(checkpoint));
+    scalar_t ckpt_weight = 0;
+    for (std::size_t pi = 0; pi < parts.ids.size(); ++pi) {
+      const index_t area = parts.ids[pi];
+      const auto mult = static_cast<scalar_t>(parts.multiplicity[pi]);
+      const index_t first = topo.first_leaf_of(1, area);
+      for (index_t leaf = first; leaf < first + topo.leaves_per_area();
+           ++leaf) {
+        if (!leaf_has_ckpt[static_cast<std::size_t>(leaf)]) continue;
+        tensor::axpy(mult, leaf_ckpt[static_cast<std::size_t>(leaf)],
+                     nn::VecView(checkpoint));
+        ckpt_weight += mult;
+      }
+    }
+    HM_CHECK_MSG(ckpt_weight > 0, "no leaf captured the checkpoint");
+    tensor::scale(1 / ckpt_weight, nn::VecView(checkpoint));
+
+    // --- Phase 2: uniform area sample, loss estimation at the checkpoint.
+    rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
+    const auto loss_areas =
+        rng::sample_without_replacement(num_areas, m, uniform_gen);
+    std::fill(area_losses.begin(), area_losses.end(), scalar_t{0});
+    const index_t lpa = topo.leaves_per_area();
+    const index_t loss_jobs = static_cast<index_t>(loss_areas.size()) * lpa;
+    std::vector<scalar_t> leaf_losses(static_cast<std::size_t>(loss_jobs));
+    parallel::parallel_for(
+        pool, 0, loss_jobs,
+        [&](index_t job) {
+          const index_t area = loss_areas[static_cast<std::size_t>(job / lpa)];
+          const index_t leaf = topo.first_leaf_of(1, area) + job % lpa;
+          auto& sc = scratch[static_cast<std::size_t>(leaf)];
+          sc.ensure(model);
+          const data::Dataset& shard =
+              fed.client_train[static_cast<std::size_t>(leaf)];
+          rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                    .split(static_cast<std::uint64_t>(leaf));
+          std::vector<index_t> batch;
+          if (opts.loss_est_batch > 0) {
+            batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+            for (auto& idx : batch) {
+              idx = static_cast<index_t>(gen.uniform_index(
+                  static_cast<std::uint64_t>(shard.size())));
+            }
+          } else {
+            batch = nn::all_indices(shard.size());
+          }
+          leaf_losses[static_cast<std::size_t>(job)] =
+              model.loss(checkpoint, shard, batch, *sc.ws);
+        },
+        /*grain=*/1);
+    for (index_t j = 0; j < static_cast<index_t>(loss_areas.size()); ++j) {
+      scalar_t f = 0;
+      for (index_t i = 0; i < lpa; ++i) {
+        f += leaf_losses[static_cast<std::size_t>(j * lpa + i)];
+      }
+      area_losses[static_cast<std::size_t>(
+          loss_areas[static_cast<std::size_t>(j)])] =
+          f / static_cast<scalar_t>(lpa);
+    }
+    top.rounds += 1;
+    top.models_down += static_cast<std::uint64_t>(loss_areas.size());
+
+    const scalar_t scale_v = static_cast<scalar_t>(num_areas) /
+                             static_cast<scalar_t>(loss_areas.size());
+    const scalar_t step =
+        opts.eta_p * static_cast<scalar_t>(iters_per_round);
+    for (const index_t area : loss_areas) {
+      result.p[static_cast<std::size_t>(area)] +=
+          step * scale_v * area_losses[static_cast<std::size_t>(area)];
+    }
+    project_capped_simplex(result.p, opts.p_set);
+
+    detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
+                         opts.eval_every, result.w, comm_snapshot(),
+                         result.history);
+  }
+  return result;
+}
+
+MultiTrainResult train_hierminimax_multi(const nn::Model& model,
+                                         const data::FederatedDataset& fed,
+                                         const sim::MultiTopology& topo,
+                                         const MultiTrainOptions& opts) {
+  return train_hierminimax_multi(model, fed, topo, opts,
+                                 parallel::ThreadPool::global());
+}
+
+MultiTrainResult train_hierfavg_multi(const nn::Model& model,
+                                      const data::FederatedDataset& fed,
+                                      const sim::MultiTopology& topo,
+                                      const MultiTrainOptions& opts,
+                                      parallel::ThreadPool& pool) {
+  fed.validate();
+  HM_CHECK_MSG(static_cast<index_t>(opts.taus.size()) == topo.depth(),
+               "need one tau per level: " << topo.depth());
+  for (const index_t t : opts.taus) HM_CHECK(t > 0);
+  HM_CHECK(fed.num_edges() == topo.num_areas());
+  HM_CHECK(fed.clients_per_edge == topo.leaves_per_area());
+  HM_CHECK(opts.rounds > 0 && opts.eta_w > 0);
+  const index_t num_areas = topo.num_areas();
+  const index_t m = opts.sampled_areas > 0 ? opts.sampled_areas : num_areas;
+  HM_CHECK(m <= num_areas);
+  const index_t d = model.num_params();
+
+  rng::Xoshiro256 root(opts.seed);
+
+  MultiTrainResult result;
+  result.w.assign(static_cast<std::size_t>(d), 0);
+  {
+    rng::Xoshiro256 init_gen = root.split(detail::kTagInit);
+    model.init_params(result.w, init_gen);
+  }
+  result.p = detail::uniform_weights(num_areas);  // fixed
+  result.comm.levels.resize(static_cast<std::size_t>(topo.depth()));
+
+  std::vector<std::vector<scalar_t>> leaf_w(
+      static_cast<std::size_t>(topo.num_leaves()),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+  std::vector<std::vector<scalar_t>> leaf_ckpt = leaf_w;  // unused capture
+  std::vector<ClientScratch> scratch(
+      static_cast<std::size_t>(topo.num_leaves()));
+  std::vector<char> leaf_has_ckpt(
+      static_cast<std::size_t>(topo.num_leaves()), 0);
+  std::vector<std::vector<scalar_t>> area_w(
+      static_cast<std::size_t>(num_areas),
+      std::vector<scalar_t>(static_cast<std::size_t>(d)));
+
+  auto comm_snapshot = [&]() {
+    sim::CommStats flat;
+    flat.edge_cloud_rounds = result.comm.levels[0].rounds;
+    flat.edge_cloud_models_up = result.comm.levels[0].models_up;
+    flat.edge_cloud_models_down = result.comm.levels[0].models_down;
+    for (std::size_t l = 1; l < result.comm.levels.size(); ++l) {
+      flat.client_edge_rounds += result.comm.levels[l].rounds;
+      flat.client_edge_models_up += result.comm.levels[l].models_up;
+      flat.client_edge_models_down += result.comm.levels[l].models_down;
+    }
+    return flat;
+  };
+  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                       result.w, comm_snapshot(), result.history);
+
+  for (index_t k = 0; k < opts.rounds; ++k) {
+    rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
+    rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
+    const auto areas =
+        rng::sample_without_replacement(num_areas, m, sample_gen);
+
+    SubtreeRunner runner{model, fed,       topo,
+                         opts,  pool,      round_gen,
+                         /*checkpoint_iter=*/0, &result.comm,
+                         &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt};
+    auto& top = result.comm.levels[0];
+    for (const index_t area : areas) {
+      auto& aw = area_w[static_cast<std::size_t>(area)];
+      tensor::copy(result.w, aw);
+      runner.run(/*level=*/1, area, aw, /*base_iter=*/0);
+      top.models_down += 1;
+      top.models_up += 1;
+    }
+    top.rounds += 1;
+
+    detail::uniform_average(area_w, areas, result.w);
+    tensor::project_l2_ball(result.w, opts.w_radius);
+
+    detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
+                         opts.eval_every, result.w, comm_snapshot(),
+                         result.history);
+  }
+  return result;
+}
+
+MultiTrainResult train_hierfavg_multi(const nn::Model& model,
+                                      const data::FederatedDataset& fed,
+                                      const sim::MultiTopology& topo,
+                                      const MultiTrainOptions& opts) {
+  return train_hierfavg_multi(model, fed, topo, opts,
+                              parallel::ThreadPool::global());
+}
+
+}  // namespace hm::algo

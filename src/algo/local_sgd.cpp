@@ -1,0 +1,47 @@
+#include "algo/local_sgd.hpp"
+
+#include "core/check.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo {
+
+void run_local_sgd(const nn::Model& model, const data::Dataset& shard,
+                   const LocalSgdConfig& config, nn::VecView w,
+                   nn::VecView checkpoint, rng::Xoshiro256& gen,
+                   ClientScratch& scratch) {
+  HM_CHECK(config.steps >= 0 && config.batch_size > 0 && config.eta > 0);
+  HM_CHECK(static_cast<index_t>(w.size()) == model.num_params());
+  const bool capture =
+      config.checkpoint_step >= 1 && config.checkpoint_step <= config.steps;
+  if (capture) {
+    HM_CHECK(static_cast<index_t>(checkpoint.size()) == model.num_params());
+  }
+  scratch.ensure(model);
+  if (config.prox_mu > 0) {
+    scratch.prox_center.assign(w.begin(), w.end());
+  }
+
+  std::vector<index_t> batch(static_cast<std::size_t>(config.batch_size));
+  for (index_t step = 0; step < config.steps; ++step) {
+    for (auto& idx : batch) {
+      idx = static_cast<index_t>(gen.uniform_index(
+          static_cast<std::uint64_t>(shard.size())));
+    }
+    model.loss_and_grad(w, shard, batch, scratch.grad, *scratch.ws);
+    if (config.prox_mu > 0) {
+      for (std::size_t i = 0; i < scratch.grad.size(); ++i) {
+        scratch.grad[i] += config.prox_mu * (w[i] - scratch.prox_center[i]);
+      }
+    }
+    if (config.weight_decay > 0) {
+      tensor::scale(1 - config.eta * config.weight_decay, w);
+    }
+    tensor::axpy(-config.eta, scratch.grad, w);
+    tensor::project_l2_ball(w, config.w_radius);
+    if (capture && step + 1 == config.checkpoint_step) {
+      tensor::copy(w, checkpoint);
+    }
+  }
+}
+
+}  // namespace hm::algo

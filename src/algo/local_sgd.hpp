@@ -1,0 +1,46 @@
+// Projected mini-batch local SGD (Eq. 4 of the paper) — the inner loop
+// every algorithm shares — plus the checkpoint-capture hook HierMinimax
+// and DRFA need.
+#pragma once
+
+#include "data/dataset.hpp"
+#include "nn/model.hpp"
+
+namespace hm::algo {
+
+struct LocalSgdConfig {
+  index_t steps = 1;            // tau_1
+  index_t batch_size = 1;
+  scalar_t eta = 0.01;          // eta_w
+  scalar_t w_radius = 0;        // L2-ball projection radius; 0 = identity
+  scalar_t weight_decay = 0;    // decoupled L2 decay per step (lambda)
+  scalar_t prox_mu = 0;         // FedProx proximal strength: adds
+                                // mu * (w - w_start) to every gradient,
+                                // anchoring the client at the model it
+                                // received for this run
+  /// If in [1, steps], a copy of the iterate *after* that many steps is
+  /// written to `checkpoint` (the w_n^{(k,c2,c1)} of Algorithm 1).
+  index_t checkpoint_step = 0;
+};
+
+/// Per-thread reusable scratch for one simulated client.
+struct ClientScratch {
+  std::unique_ptr<nn::Workspace> ws;
+  std::vector<scalar_t> grad;
+  std::vector<scalar_t> prox_center;
+
+  void ensure(const nn::Model& model) {
+    if (!ws) ws = model.make_workspace();
+    grad.resize(static_cast<std::size_t>(model.num_params()));
+  }
+};
+
+/// Run config.steps projected SGD steps on `w` in place, sampling
+/// mini-batches from `shard` with `gen`. If checkpoint capture is
+/// requested, `checkpoint` must have num_params() length.
+void run_local_sgd(const nn::Model& model, const data::Dataset& shard,
+                   const LocalSgdConfig& config, nn::VecView w,
+                   nn::VecView checkpoint, rng::Xoshiro256& gen,
+                   ClientScratch& scratch);
+
+}  // namespace hm::algo

@@ -1,0 +1,49 @@
+// Shared configuration and result types for all five federated
+// algorithms, so benchmark comparisons are apples-to-apples.
+#pragma once
+
+#include <vector>
+
+#include "algo/projection.hpp"
+#include "metrics/history.hpp"
+#include "sim/comm.hpp"
+
+namespace hm::algo {
+
+struct TrainOptions {
+  index_t rounds = 100;          // K — cloud-level training rounds
+  index_t tau1 = 1;              // local SGD steps per aggregation
+  index_t tau2 = 1;              // client-edge aggregations per round
+                                 // (three-layer methods only)
+  index_t batch_size = 1;        // mini-batch size for local SGD
+  scalar_t eta_w = 0.01;         // model learning rate
+  scalar_t eta_p = 0.01;         // weight-vector learning rate
+  index_t sampled_edges = 0;     // m_E; 0 = all edges participate
+  index_t sampled_clients = 0;   // m for two-layer methods; 0 = all
+  scalar_t w_radius = 0;         // L2-ball radius for W; 0 = W = R^d
+  scalar_t weight_decay = 0;     // decoupled L2 regularization per SGD step
+  scalar_t prox_mu = 0;          // FedProx proximal term strength (0 = off)
+  SimplexSet p_set;              // the constraint set P
+  seed_t seed = 1;
+  index_t eval_every = 10;       // per-edge evaluation cadence in rounds
+                                 // (0 = final round only)
+  index_t loss_est_batch = 32;   // mini-batch for Phase-2 loss estimation
+                                 // (0 = full client shard)
+  int quantize_bits = 0;         // stochastic uplink quantization (bits per
+                                 // coordinate; 0 = off) a la Hier-Local-QSGD
+  bool use_checkpoint = true;    // HierMinimax only: ablation switch — when
+                                 // false, Phase 2 estimates losses on the
+                                 // final round model w^(k+1) instead of the
+                                 // random checkpoint of Eq. (6)
+};
+
+struct TrainResult {
+  std::vector<scalar_t> w;       // final global model w^(K)
+  std::vector<scalar_t> w_avg;   // running average of w^(k) (the ŵ of §5.1)
+  std::vector<scalar_t> p;       // final weights (uniform for min methods)
+  std::vector<scalar_t> p_avg;   // time-averaged weights (the p̂ of §5.1)
+  metrics::TrainingHistory history;
+  sim::CommStats comm;
+};
+
+}  // namespace hm::algo

@@ -1,0 +1,108 @@
+#include "algo/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace hm::algo {
+
+void project_simplex(VecView v) {
+  const auto n = static_cast<index_t>(v.size());
+  HM_CHECK(n > 0);
+  // Sort descending, find the pivot rho = max{j : u_j + (1 - sum u_1..j)/j > 0}.
+  std::vector<scalar_t> u(v.begin(), v.end());
+  std::sort(u.begin(), u.end(), std::greater<scalar_t>());
+  scalar_t cumsum = 0;
+  scalar_t theta = 0;
+  index_t rho = 0;
+  scalar_t best_theta = 0;
+  for (index_t j = 0; j < n; ++j) {
+    cumsum += u[static_cast<std::size_t>(j)];
+    theta = (cumsum - 1) / static_cast<scalar_t>(j + 1);
+    if (u[static_cast<std::size_t>(j)] - theta > 0) {
+      rho = j + 1;
+      best_theta = theta;
+    }
+  }
+  HM_CHECK(rho > 0);
+  for (auto& x : v) x = std::max<scalar_t>(x - best_theta, 0);
+}
+
+void project_capped_simplex(VecView v, const SimplexSet& set) {
+  const auto n = static_cast<index_t>(v.size());
+  HM_CHECK(n > 0);
+  HM_CHECK_MSG(set.feasible(n),
+               "infeasible simplex caps lo=" << set.lo << " hi=" << set.hi
+                                             << " n=" << n);
+  // g(theta) = sum_i clip(v_i - theta, lo, hi) is continuous and
+  // non-increasing in theta; bisect for g(theta) = 1.
+  const auto [vmin_it, vmax_it] = std::minmax_element(v.begin(), v.end());
+  scalar_t lo_theta = *vmin_it - set.hi - 1;   // g >= 1 here
+  scalar_t hi_theta = *vmax_it - set.lo + 1;   // g <= 1 here
+  auto mass = [&](scalar_t theta) {
+    scalar_t s = 0;
+    for (const scalar_t x : v) {
+      s += std::clamp(x - theta, set.lo, set.hi);
+    }
+    return s;
+  };
+  for (int iter = 0; iter < 128; ++iter) {
+    const scalar_t mid = scalar_t{0.5} * (lo_theta + hi_theta);
+    if (mass(mid) >= 1) {
+      lo_theta = mid;
+    } else {
+      hi_theta = mid;
+    }
+  }
+  const scalar_t theta = scalar_t{0.5} * (lo_theta + hi_theta);
+  for (auto& x : v) x = std::clamp(x - theta, set.lo, set.hi);
+  // Exact renormalization of the residual bisection error across the
+  // coordinates strictly inside their caps.
+  scalar_t total = 0;
+  for (const scalar_t x : v) total += x;
+  scalar_t slack = 0;
+  for (const scalar_t x : v) {
+    if (x > set.lo && x < set.hi) slack += 1;
+  }
+  if (slack > 0) {
+    const scalar_t adjust = (1 - total) / slack;
+    for (auto& x : v) {
+      if (x > set.lo && x < set.hi) x = std::clamp(x + adjust, set.lo, set.hi);
+    }
+  }
+}
+
+std::vector<scalar_t> argmax_linear_over_simplex(ConstVecView v,
+                                                 const SimplexSet& set) {
+  const auto n = static_cast<index_t>(v.size());
+  HM_CHECK(n > 0);
+  HM_CHECK(set.feasible(n));
+  // Start everyone at lo, then pour the remaining mass into coordinates
+  // in decreasing order of v until each hits hi.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  std::sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    return v[static_cast<std::size_t>(a)] > v[static_cast<std::size_t>(b)];
+  });
+  std::vector<scalar_t> p(static_cast<std::size_t>(n), set.lo);
+  scalar_t remaining = 1 - static_cast<scalar_t>(n) * set.lo;
+  for (const index_t i : order) {
+    if (remaining <= 0) break;
+    const scalar_t add = std::min(remaining, set.hi - set.lo);
+    p[static_cast<std::size_t>(i)] += add;
+    remaining -= add;
+  }
+  return p;
+}
+
+scalar_t max_linear_over_simplex(ConstVecView v, const SimplexSet& set) {
+  const auto p = argmax_linear_over_simplex(v, set);
+  scalar_t total = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) total += p[i] * v[i];
+  return total;
+}
+
+}  // namespace hm::algo

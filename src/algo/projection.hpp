@@ -1,0 +1,52 @@
+// Euclidean projections onto the constraint sets of problem (3):
+// P ⊆ Δ_{N_E - 1} for the edge weights and an L2 ball (or R^d) for W.
+//
+// P is modeled as the "capped simplex" {p : sum p = 1, lo <= p_i <= hi},
+// which covers the paper's two cases: the full simplex (lo=0, hi=1) and
+// regularized weight sets encoding prior knowledge (footnote 1 in §3).
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.hpp"
+
+namespace hm::algo {
+
+using tensor::ConstVecView;
+using tensor::VecView;
+
+/// Uniform box bounds on simplex coordinates. Feasible iff
+/// n*lo <= 1 <= n*hi.
+struct SimplexSet {
+  scalar_t lo = 0;
+  scalar_t hi = 1;
+
+  bool feasible(index_t n) const {
+    return lo >= 0 && hi >= lo && static_cast<scalar_t>(n) * lo <= 1 &&
+           static_cast<scalar_t>(n) * hi >= 1;
+  }
+
+  /// The full probability simplex (the paper's default P).
+  static SimplexSet full() { return SimplexSet{0, 1}; }
+};
+
+/// Euclidean projection of v onto the full probability simplex, via the
+/// exact O(n log n) sort-and-threshold algorithm (Held et al. / Duchi et
+/// al.). Result overwrites v.
+void project_simplex(VecView v);
+
+/// Euclidean projection of v onto {p : sum p = 1, set.lo <= p <= set.hi},
+/// via bisection on the KKT multiplier. Overwrites v. Requires
+/// set.feasible(v.size()).
+void project_capped_simplex(VecView v, const SimplexSet& set);
+
+/// Maximize <p, v> over the capped simplex. Used to evaluate
+/// max_{p in P} F(w, p) in closed form (the duality gap's first term).
+/// For the full simplex this is simply max_i v_i.
+scalar_t max_linear_over_simplex(ConstVecView v, const SimplexSet& set);
+
+/// The maximizing p itself (greedy cap-filling in decreasing order of v).
+std::vector<scalar_t> argmax_linear_over_simplex(ConstVecView v,
+                                                 const SimplexSet& set);
+
+}  // namespace hm::algo

@@ -1,0 +1,138 @@
+#include "algo/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace hm::algo::theory {
+
+Theorem1Bound theorem1_bound(const ProblemConstants& c, const AlgoConfig& a) {
+  HM_CHECK(a.rounds > 0 && a.tau1 > 0 && a.tau2 > 0);
+  HM_CHECK(a.eta_w > 0 && a.eta_p > 0);
+  const auto t = static_cast<scalar_t>(a.total_iterations());
+  const auto tau1 = static_cast<scalar_t>(a.tau1);
+  const auto tau2 = static_cast<scalar_t>(a.tau2);
+  const auto n_e = static_cast<scalar_t>(a.num_edges);
+  const auto n0 = static_cast<scalar_t>(a.clients_per_edge);
+  const auto m = static_cast<scalar_t>(a.sampled_clients());
+  const auto m_e = static_cast<scalar_t>(a.sampled_edges);
+
+  Theorem1Bound b;
+  b.maximization_gap_p = c.radius_p * c.radius_p / (2 * a.eta_p * t) +
+                         a.eta_p * tau1 * tau2 / 2 * c.grad_p * c.grad_p +
+                         a.eta_p * tau1 * tau2 / (2 * m) * c.sigma_p *
+                             c.sigma_p;
+  b.minimization_gap_w = n_e * c.radius_w * c.radius_w / (2 * a.eta_w * t) +
+                         a.eta_w * n_e / 2 * c.grad_w * c.grad_w +
+                         a.eta_w / (2 * n0) * c.sigma_w * c.sigma_w;
+  b.client_edge_term = 10 * c.smoothness * n_e * a.eta_w * a.eta_w * tau1 *
+                       tau1 *
+                       ((m + 1) / m * c.sigma_w * c.sigma_w +
+                        c.dissimilarity);
+  b.edge_cloud_term = 10 * c.smoothness * n_e * a.eta_w * a.eta_w * tau1 *
+                      tau1 * tau2 * tau2 *
+                      ((m_e + 1) / n0 * c.sigma_w * c.sigma_w +
+                       c.dissimilarity);
+  b.total = b.maximization_gap_p + b.minimization_gap_w +
+            b.client_edge_term + b.edge_cloud_term;
+  return b;
+}
+
+bool lemma1_step_size_ok(const ProblemConstants& c, const AlgoConfig& a) {
+  const auto tau1 = static_cast<scalar_t>(a.tau1);
+  const auto tau2 = static_cast<scalar_t>(a.tau2);
+  return 1 - 20 * a.eta_w * a.eta_w * c.smoothness * c.smoothness * tau1 *
+                 tau1 * (1 + tau2 * tau2) >=
+         scalar_t{0.5};
+}
+
+scalar_t theorem2_bound(const ProblemConstants& c, const AlgoConfig& a) {
+  HM_CHECK(a.rounds > 0 && a.tau1 > 0 && a.tau2 > 0);
+  const auto t = static_cast<scalar_t>(a.total_iterations());
+  const auto k = static_cast<scalar_t>(a.rounds);
+  const auto tau12 = static_cast<scalar_t>(a.tau1 * a.tau2);
+  const auto tau1 = static_cast<scalar_t>(a.tau1);
+  const auto n_e = static_cast<scalar_t>(a.num_edges);
+  const auto n0 = static_cast<scalar_t>(a.clients_per_edge);
+  const auto m = static_cast<scalar_t>(a.sampled_clients());
+  const auto m_e = static_cast<scalar_t>(a.sampled_edges);
+  const scalar_t l = c.smoothness;
+
+  // Phi_{1/2L}(w^0) is unknown in general; we use the (loose but
+  // scale-correct) surrogate L * R_W^2, the largest the envelope can be
+  // on a domain of diameter R_W.
+  const scalar_t phi0 = l * c.radius_w * c.radius_w;
+  const scalar_t gw2 = c.grad_w * c.grad_w;
+
+  scalar_t bound = 4 * phi0 / (a.eta_w * n_e * t);
+  bound += 16 * l * std::sqrt(k) * a.eta_w * tau12 * c.grad_w *
+           std::sqrt(gw2 + c.sigma_w * c.sigma_w);
+  bound += 4 * l * c.radius_p * c.radius_p / (std::sqrt(k) * a.eta_p * tau12);
+  bound += 8 * a.eta_p * tau12 * l *
+           (c.grad_p * c.grad_p + c.sigma_p * c.sigma_p / m);
+  bound += 4 * a.eta_w / n_e * (gw2 + c.sigma_w * c.sigma_w / m);
+  bound += 8 * a.eta_w * tau1 * c.radius_w * l * l / n_e *
+           ((m + 1) / m * c.sigma_w + std::sqrt(c.dissimilarity));
+  bound += 8 * a.eta_w * tau12 * c.radius_w * l * l / n_e *
+           ((m_e + 1) / n0 * c.sigma_w + std::sqrt(c.dissimilarity));
+  return bound;
+}
+
+bool lemma2_step_size_ok(const ProblemConstants& c, const AlgoConfig& a) {
+  const auto tau1 = static_cast<scalar_t>(a.tau1);
+  const auto tau2 = static_cast<scalar_t>(a.tau2);
+  return 1 - 2 * a.eta_w * c.smoothness * tau1 * (1 + tau2) >= scalar_t{0.5};
+}
+
+TradeoffPoint tradeoff(scalar_t alpha) {
+  HM_CHECK_MSG(0 <= alpha && alpha < 1, "alpha must be in [0,1)");
+  TradeoffPoint p;
+  p.alpha = alpha;
+  p.comm_exponent = 1 - alpha;
+  p.rate_exponent_convex = (1 - alpha) / 2;
+  p.rate_exponent_nonconvex = (1 - alpha) / 4;
+  p.eta_p_exponent_convex = (1 + alpha) / 2;
+  // Section 5.1 states eta_w ~ T^{-(1-2alpha)} for alpha in (0, 1/4) and
+  // T^{-1/2} for alpha in [1/4, 1). That schedule does NOT control the
+  // edge-cloud aggregation term of Theorem 1 for alpha > 1/3 (the term
+  // scales as eta_w^2 * (tau1 tau2)^2 = T^{2 alpha - 1}, which grows), so
+  // it appears to be a typo. We use eta_w ~ T^{-(1+alpha)/2}, under which
+  // every Theorem 1 term is O(T^{-(1-alpha)/2}) — the claimed rate:
+  //   R^2/(eta_w T)            = T^{(alpha-1)/2}
+  //   eta_w                    = T^{-(1+alpha)/2}  (faster)
+  //   eta_w^2 (tau1 tau2)^2    = T^{alpha-1}        (faster)
+  // See EXPERIMENTS.md "Deviations".
+  p.eta_w_exponent_convex = (1 + alpha) / 2;
+  p.eta_p_exponent_nonconvex = (1 + 3 * alpha) / 4;
+  p.eta_w_exponent_nonconvex = (3 + alpha) / 4;
+  return p;
+}
+
+Schedule convex_schedule(index_t total_iterations, scalar_t alpha,
+                         scalar_t eta_scale) {
+  HM_CHECK(total_iterations > 0);
+  const TradeoffPoint p = tradeoff(alpha);
+  const auto t = static_cast<scalar_t>(total_iterations);
+  Schedule s;
+  s.tau_product = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(std::pow(t, alpha))));
+  s.eta_w = eta_scale * std::pow(t, -p.eta_w_exponent_convex);
+  s.eta_p = eta_scale * std::pow(t, -p.eta_p_exponent_convex);
+  return s;
+}
+
+Schedule nonconvex_schedule(index_t total_iterations, scalar_t alpha,
+                            scalar_t eta_scale) {
+  HM_CHECK(total_iterations > 0);
+  const TradeoffPoint p = tradeoff(alpha);
+  const auto t = static_cast<scalar_t>(total_iterations);
+  Schedule s;
+  s.tau_product = std::max<index_t>(
+      1, static_cast<index_t>(std::llround(std::pow(t, alpha))));
+  s.eta_w = eta_scale * std::pow(t, -p.eta_w_exponent_nonconvex);
+  s.eta_p = eta_scale * std::pow(t, -p.eta_p_exponent_nonconvex);
+  return s;
+}
+
+}  // namespace hm::algo::theory

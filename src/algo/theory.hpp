@@ -1,0 +1,93 @@
+// Closed-form evaluation of the paper's convergence theory: the Theorem 1
+// duality-gap bound (convex), the Theorem 2 Moreau-envelope bound
+// (non-convex), and the §5 alpha-schedules trading communication
+// complexity against convergence rate (Table 1).
+#pragma once
+
+#include "core/types.hpp"
+
+namespace hm::algo::theory {
+
+/// Problem constants of Assumptions 1-5.
+struct ProblemConstants {
+  scalar_t radius_w = 10;   // R_W
+  scalar_t radius_p = 1.41; // R_P (diameter of the simplex is sqrt(2))
+  scalar_t smoothness = 1;  // L
+  scalar_t grad_w = 1;      // G_w
+  scalar_t grad_p = 1;      // G_p
+  scalar_t sigma_w = 1;     // stochastic gradient std on w
+  scalar_t sigma_p = 1;     // stochastic gradient std on p
+  scalar_t dissimilarity = 1;  // Psi
+};
+
+/// Algorithm configuration entering the bounds.
+struct AlgoConfig {
+  index_t num_edges = 10;      // N_E
+  index_t clients_per_edge = 3;  // N_0
+  index_t sampled_edges = 5;   // m_E
+  index_t tau1 = 2;
+  index_t tau2 = 2;
+  index_t rounds = 100;        // K; T = K * tau1 * tau2
+  scalar_t eta_w = 0.01;
+  scalar_t eta_p = 0.01;
+
+  index_t total_iterations() const { return rounds * tau1 * tau2; }  // T
+  index_t sampled_clients() const { return sampled_edges * clients_per_edge; }
+};
+
+/// Theorem 1: upper bound on the expected duality gap (convex loss).
+/// Also exposes the four labelled components of the bound.
+struct Theorem1Bound {
+  scalar_t maximization_gap_p = 0;   // first three terms (p update)
+  scalar_t minimization_gap_w = 0;   // next three terms (w update)
+  scalar_t client_edge_term = 0;     // client-edge aggregation penalty
+  scalar_t edge_cloud_term = 0;      // edge-cloud aggregation penalty
+  scalar_t total = 0;
+};
+
+Theorem1Bound theorem1_bound(const ProblemConstants& c, const AlgoConfig& a);
+
+/// Lemma 1 prerequisite: 1 - 20 eta_w^2 L^2 tau1^2 (1 + tau2^2) >= 1/2.
+bool lemma1_step_size_ok(const ProblemConstants& c, const AlgoConfig& a);
+
+/// Theorem 2: upper bound on the time-averaged squared Moreau-envelope
+/// gradient (non-convex loss).
+scalar_t theorem2_bound(const ProblemConstants& c, const AlgoConfig& a);
+
+/// Lemma 2 prerequisite: 1 - 2 eta_w L tau1 (1 + tau2) >= 1/2.
+bool lemma2_step_size_ok(const ProblemConstants& c, const AlgoConfig& a);
+
+/// §5 alpha-schedule: for tau1*tau2 ~ T^alpha, the edge-cloud
+/// communication complexity is Theta(T^{1-alpha}) and the convergence
+/// rates are O(T^{-(1-alpha)/2}) (convex) / O(T^{-(1-alpha)/4})
+/// (non-convex). This struct tabulates Table 1's scaling exponents.
+struct TradeoffPoint {
+  scalar_t alpha = 0;
+  scalar_t comm_exponent = 1;            // T^{1-alpha}
+  scalar_t rate_exponent_convex = 0.5;   // T^{-(1-alpha)/2}
+  scalar_t rate_exponent_nonconvex = 0.25;
+  scalar_t eta_p_exponent_convex = 0;    // eta_p ~ T^{-(1+alpha)/2}
+  scalar_t eta_w_exponent_convex = 0;    // eta_w ~ T^{-(1+alpha)/2}; the
+                                         // paper's printed §5.1 exponent is
+                                         // inconsistent for alpha > 1/3 —
+                                         // see theory.cpp for the derivation
+  scalar_t eta_p_exponent_nonconvex = 0; // eta_p ~ T^{-(1+3alpha)/4}
+  scalar_t eta_w_exponent_nonconvex = 0; // eta_w ~ T^{-(3+alpha)/4}
+};
+
+TradeoffPoint tradeoff(scalar_t alpha);
+
+/// Concrete (tau1*tau2, eta_w, eta_p) schedule for a given T and alpha
+/// under the convex rule of §5.1.
+struct Schedule {
+  index_t tau_product = 1;  // tau1 * tau2 ~ T^alpha
+  scalar_t eta_w = 0;
+  scalar_t eta_p = 0;
+};
+
+Schedule convex_schedule(index_t total_iterations, scalar_t alpha,
+                         scalar_t eta_scale = 1.0);
+Schedule nonconvex_schedule(index_t total_iterations, scalar_t alpha,
+                            scalar_t eta_scale = 1.0);
+
+}  // namespace hm::algo::theory

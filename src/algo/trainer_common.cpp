@@ -1,0 +1,90 @@
+#include "algo/trainer_common.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo::detail {
+
+Participants Participants::from_draws(const std::vector<index_t>& draws) {
+  Participants p;
+  p.total = static_cast<index_t>(draws.size());
+  for (const index_t id : draws) {
+    const auto it = std::find(p.ids.begin(), p.ids.end(), id);
+    if (it == p.ids.end()) {
+      p.ids.push_back(id);
+      p.multiplicity.push_back(1);
+    } else {
+      ++p.multiplicity[static_cast<std::size_t>(
+          std::distance(p.ids.begin(), it))];
+    }
+  }
+  return p;
+}
+
+void weighted_average(const std::vector<std::vector<scalar_t>>& vectors,
+                      const Participants& parts,
+                      std::vector<scalar_t>& out) {
+  HM_CHECK(!parts.ids.empty() && parts.total > 0);
+  const scalar_t inv_total = scalar_t{1} / static_cast<scalar_t>(parts.total);
+  std::fill(out.begin(), out.end(), scalar_t{0});
+  for (std::size_t i = 0; i < parts.ids.size(); ++i) {
+    const auto& src = vectors[static_cast<std::size_t>(parts.ids[i])];
+    HM_CHECK(src.size() == out.size());
+    tensor::axpy(static_cast<scalar_t>(parts.multiplicity[i]) * inv_total,
+                 src, out);
+  }
+}
+
+void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
+                     const std::vector<index_t>& ids,
+                     std::vector<scalar_t>& out) {
+  HM_CHECK(!ids.empty());
+  const scalar_t inv = scalar_t{1} / static_cast<scalar_t>(ids.size());
+  std::fill(out.begin(), out.end(), scalar_t{0});
+  for (const index_t id : ids) {
+    const auto& src = vectors[static_cast<std::size_t>(id)];
+    HM_CHECK(src.size() == out.size());
+    tensor::axpy(inv, src, out);
+  }
+}
+
+void update_running_average(std::vector<scalar_t>& avg,
+                            const std::vector<scalar_t>& value, index_t k) {
+  HM_CHECK(avg.size() == value.size() && k >= 0);
+  const scalar_t w_old =
+      static_cast<scalar_t>(k) / static_cast<scalar_t>(k + 1);
+  const scalar_t w_new = scalar_t{1} / static_cast<scalar_t>(k + 1);
+  for (std::size_t i = 0; i < avg.size(); ++i) {
+    avg[i] = w_old * avg[i] + w_new * value[i];
+  }
+}
+
+std::vector<scalar_t> uniform_weights(index_t n) {
+  HM_CHECK(n > 0);
+  return std::vector<scalar_t>(static_cast<std::size_t>(n),
+                               scalar_t{1} / static_cast<scalar_t>(n));
+}
+
+void maybe_record(const nn::Model& model, const data::FederatedDataset& fed,
+                  parallel::ThreadPool& pool, index_t round,
+                  index_t total_rounds, index_t eval_every,
+                  const std::vector<scalar_t>& w, const sim::CommStats& comm,
+                  metrics::TrainingHistory& history) {
+  const bool final_round = round == total_rounds;
+  const bool due = eval_every > 0 && round % eval_every == 0;
+  if (!final_round && !due) return;
+  metrics::RoundRecord record;
+  record.round = round;
+  record.comm = comm;
+  record.edge_acc = metrics::per_edge_accuracy(model, w, fed, pool);
+  record.summary = metrics::summarize(record.edge_acc);
+  const auto losses = metrics::per_edge_loss(model, w, fed, pool);
+  scalar_t total = 0;
+  for (const scalar_t l : losses) total += l;
+  record.global_loss = total / static_cast<scalar_t>(losses.size());
+  history.add(std::move(record));
+}
+
+}  // namespace hm::algo::detail

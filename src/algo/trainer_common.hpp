@@ -1,0 +1,63 @@
+// Internal helpers shared by the five trainers: deterministic stream
+// tags, participant dedup, model averaging, running averages, and the
+// evaluation/recording cadence.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/options.hpp"
+#include "data/federated.hpp"
+#include "nn/model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/sampling.hpp"
+
+namespace hm::algo::detail {
+
+// Stream-split tags (arbitrary distinct constants; ASCII mnemonics).
+inline constexpr std::uint64_t kTagInit = 0x696e6974;      // "init"
+inline constexpr std::uint64_t kTagSampleEdges = 0x73616d70;
+inline constexpr std::uint64_t kTagSampleUniform = 0x756e6966;
+inline constexpr std::uint64_t kTagCheckpoint = 0x636b7074;
+inline constexpr std::uint64_t kTagLocal = 0x6c6f636c;
+inline constexpr std::uint64_t kTagLoss = 0x6c6f7373;
+inline constexpr std::uint64_t kTagQuant = 0x71756e74;
+
+/// Distinct participant ids with multiplicities, preserving first-draw
+/// order. With-replacement sampling can repeat an id; the repeated runs
+/// would be bit-identical, so we execute once and weight the aggregate.
+struct Participants {
+  std::vector<index_t> ids;
+  std::vector<index_t> multiplicity;
+  index_t total = 0;  // sum of multiplicities == number of draws
+
+  static Participants from_draws(const std::vector<index_t>& draws);
+};
+
+/// out = sum_i weights[i] * vectors[ids[i]] with weights normalized to 1.
+void weighted_average(const std::vector<std::vector<scalar_t>>& vectors,
+                      const Participants& parts,
+                      std::vector<scalar_t>& out);
+
+/// out = mean of vectors[id] over `ids`.
+void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
+                     const std::vector<index_t>& ids,
+                     std::vector<scalar_t>& out);
+
+/// avg <- (avg * k + value) / (k + 1); k is the number of points already
+/// folded into avg.
+void update_running_average(std::vector<scalar_t>& avg,
+                            const std::vector<scalar_t>& value, index_t k);
+
+/// Uniform probability vector of length n.
+std::vector<scalar_t> uniform_weights(index_t n);
+
+/// Append a RoundRecord (per-edge accuracy + uniform-weight loss) when
+/// the cadence says this round is due (always due at the final round).
+void maybe_record(const nn::Model& model, const data::FederatedDataset& fed,
+                  parallel::ThreadPool& pool, index_t round,
+                  index_t total_rounds, index_t eval_every,
+                  const std::vector<scalar_t>& w, const sim::CommStats& comm,
+                  metrics::TrainingHistory& history);
+
+}  // namespace hm::algo::detail

@@ -1,0 +1,46 @@
+// Precondition / invariant checking. Violations throw hm::CheckError so
+// tests can assert on failure paths; checks stay on in release builds
+// because they guard API misuse, not hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hm {
+
+/// Thrown when an HM_CHECK* precondition fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace hm
+
+/// Abort (via exception) unless `cond` holds.
+#define HM_CHECK(cond)                                                \
+  do {                                                                \
+    if (!(cond)) ::hm::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like HM_CHECK but with a streamed message: HM_CHECK_MSG(n > 0, "n=" << n).
+#define HM_CHECK_MSG(cond, msg)                                       \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream hm_check_os_;                                \
+      hm_check_os_ << msg;                                            \
+      ::hm::detail::check_failed(#cond, __FILE__, __LINE__,           \
+                                 hm_check_os_.str());                 \
+    }                                                                 \
+  } while (0)

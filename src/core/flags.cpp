@@ -1,0 +1,99 @@
+#include "core/flags.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "core/check.hpp"
+
+namespace hm {
+
+namespace {
+
+bool looks_like_flag(const std::string& arg) {
+  return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+}  // namespace
+
+Flags Flags::parse(int argc, const char* const* argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!looks_like_flag(arg)) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      const std::string name = arg.substr(0, eq);
+      const std::string value = arg.substr(eq + 1);
+      HM_CHECK_MSG(!name.empty() && !value.empty(),
+                   "malformed flag --" << arg);
+      flags.values_[name] = value;
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag; otherwise a
+    // boolean "--name" / "--no-name".
+    if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+      flags.values_[arg] = argv[i + 1];
+      ++i;
+    } else if (arg.rfind("no-", 0) == 0) {
+      flags.values_[arg.substr(3)] = "false";
+    } else {
+      flags.values_[arg] = "true";
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get_string(const std::string& name, std::string def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+index_t Flags::get_int(const std::string& name, index_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  HM_CHECK_MSG(end != nullptr && *end == '\0',
+               "flag --" << name << " expects an integer, got '" << it->second
+                         << "'");
+  return static_cast<index_t>(v);
+}
+
+scalar_t Flags::get_double(const std::string& name, scalar_t def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  HM_CHECK_MSG(end != nullptr && *end == '\0',
+               "flag --" << name << " expects a number, got '" << it->second
+                         << "'");
+  return v;
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  HM_CHECK_MSG(false, "flag --" << name << " expects a boolean, got '" << v
+                                << "'");
+  return def;  // unreachable
+}
+
+std::vector<std::string> Flags::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace hm

@@ -1,0 +1,41 @@
+// Tiny command-line flag parser used by examples and bench harnesses.
+// Supports --name=value, --name value, and boolean --name / --no-name.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hm {
+
+class Flags {
+ public:
+  Flags() = default;
+
+  /// Parse argv. Unknown flags are retained and reported by unknown().
+  /// Throws CheckError on malformed input (e.g. "--x=" with no value).
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+
+  /// Typed getters with defaults. Throw CheckError on unparsable values.
+  std::string get_string(const std::string& name, std::string def) const;
+  index_t get_int(const std::string& name, index_t def) const;
+  scalar_t get_double(const std::string& name, scalar_t def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Names seen on the command line, for unknown-flag warnings.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace hm

@@ -1,0 +1,38 @@
+#include "core/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace hm::log {
+
+namespace {
+
+std::atomic<Level> g_threshold{Level::kInfo};
+std::mutex g_mutex;
+
+const char* level_tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    default: return "?????";
+  }
+}
+
+}  // namespace
+
+Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_threshold(Level level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
+
+void write(Level level, const std::string& message) {
+  if (level < threshold()) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[hm %s] %s\n", level_tag(level), message.c_str());
+}
+
+}  // namespace hm::log

@@ -1,0 +1,21 @@
+// Fundamental scalar and index types shared by every hm module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hm {
+
+/// Floating-point type for all model parameters, losses, and gradients.
+/// Double keeps finite-difference gradient checks and duality-gap
+/// estimates well-conditioned; the datasets in this repo are small enough
+/// that the 2x memory cost over float is irrelevant.
+using scalar_t = double;
+
+/// Index type for element counts and loop bounds.
+using index_t = std::ptrdiff_t;
+
+/// Seed type for all deterministic RNG streams.
+using seed_t = std::uint64_t;
+
+}  // namespace hm

@@ -1,0 +1,117 @@
+#include "data/csv.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/check.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::data {
+
+namespace {
+
+/// Split a CSV line; returns false for comment/blank lines.
+bool split_line(const std::string& line, std::vector<std::string>& out) {
+  out.clear();
+  if (line.empty() || line[0] == '#') return false;
+  std::stringstream ss(line);
+  std::string cell;
+  while (std::getline(ss, cell, ',')) out.push_back(cell);
+  return !out.empty();
+}
+
+bool parse_number(const std::string& cell, double& value) {
+  char* end = nullptr;
+  value = std::strtod(cell.c_str(), &end);
+  // Allow surrounding whitespace; require at least one consumed char.
+  if (end == cell.c_str()) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
+}  // namespace
+
+Dataset load_csv(const std::string& path, index_t num_classes) {
+  std::ifstream in(path);
+  HM_CHECK_MSG(in.good(), "cannot open '" << path << "'");
+
+  std::vector<std::vector<double>> rows;
+  std::vector<index_t> labels;
+  std::string line;
+  std::vector<std::string> cells;
+  index_t line_no = 0;
+  index_t dim = -1;
+  bool first_content_line = true;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!split_line(line, cells)) continue;
+    std::vector<double> values(cells.size());
+    bool numeric = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!parse_number(cells[i], values[i])) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) {
+      // Tolerate one header line at the top only.
+      HM_CHECK_MSG(first_content_line,
+                   "non-numeric cell at line " << line_no << " of '" << path
+                                               << "'");
+      first_content_line = false;
+      continue;
+    }
+    first_content_line = false;
+    HM_CHECK_MSG(values.size() >= 2,
+                 "line " << line_no << " needs >= 1 feature + label");
+    if (dim < 0) {
+      dim = static_cast<index_t>(values.size()) - 1;
+    } else {
+      HM_CHECK_MSG(static_cast<index_t>(values.size()) - 1 == dim,
+                   "line " << line_no << " has " << values.size() - 1
+                           << " features, expected " << dim);
+    }
+    const double label_raw = values.back();
+    const auto label = static_cast<index_t>(label_raw);
+    HM_CHECK_MSG(static_cast<double>(label) == label_raw && label >= 0,
+                 "line " << line_no << " label " << label_raw
+                         << " is not a nonnegative integer");
+    values.pop_back();
+    rows.push_back(std::move(values));
+    labels.push_back(label);
+  }
+  HM_CHECK_MSG(!rows.empty(), "'" << path << "' contains no samples");
+
+  Dataset d;
+  d.num_classes = num_classes > 0
+                      ? num_classes
+                      : *std::max_element(labels.begin(), labels.end()) + 1;
+  d.num_classes = std::max<index_t>(d.num_classes, 2);
+  d.x.resize(static_cast<index_t>(rows.size()), dim);
+  d.y = std::move(labels);
+  for (index_t r = 0; r < static_cast<index_t>(rows.size()); ++r) {
+    for (index_t c = 0; c < dim; ++c) {
+      d.x(r, c) = static_cast<scalar_t>(
+          rows[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+    }
+  }
+  d.validate();
+  return d;
+}
+
+void save_csv(const std::string& path, const Dataset& d) {
+  d.validate();
+  std::ofstream out(path, std::ios::trunc);
+  HM_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.precision(17);
+  for (index_t r = 0; r < d.size(); ++r) {
+    for (index_t c = 0; c < d.dim(); ++c) out << d.x(r, c) << ',';
+    out << d.y[static_cast<std::size_t>(r)] << '\n';
+  }
+  HM_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace hm::data

@@ -1,0 +1,25 @@
+// CSV dataset loading — the bridge to real data for users who have it
+// (this repo's experiments run on synthetic generators because the
+// environment is offline; see DESIGN.md §1).
+//
+// Format: one sample per line, comma-separated numeric features with the
+// integer class label in the last column. Lines starting with '#' and
+// blank lines are skipped; an optional non-numeric first line is treated
+// as a header and skipped.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace hm::data {
+
+/// Load a dataset from `path`. `num_classes` <= 0 infers it as
+/// max(label) + 1. Throws CheckError on malformed rows, inconsistent
+/// column counts, or out-of-range labels.
+Dataset load_csv(const std::string& path, index_t num_classes = 0);
+
+/// Write a dataset in the same format (features..., label).
+void save_csv(const std::string& path, const Dataset& d);
+
+}  // namespace hm::data

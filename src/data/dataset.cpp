@@ -1,0 +1,73 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::data {
+
+Dataset Dataset::subset(const std::vector<index_t>& idx) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.x.resize(static_cast<index_t>(idx.size()), dim());
+  out.y.reserve(idx.size());
+  for (index_t r = 0; r < static_cast<index_t>(idx.size()); ++r) {
+    const index_t src = idx[static_cast<std::size_t>(r)];
+    HM_CHECK_MSG(0 <= src && src < size(), "subset index " << src);
+    tensor::copy(x.row(src), out.x.row(r));
+    out.y.push_back(y[static_cast<std::size_t>(src)]);
+  }
+  return out;
+}
+
+void Dataset::append(const Dataset& other) {
+  if (size() == 0 && dim() == 0) {
+    *this = other;
+    return;
+  }
+  HM_CHECK(other.dim() == dim());
+  HM_CHECK(other.num_classes == num_classes);
+  tensor::Matrix merged(size() + other.size(), dim());
+  for (index_t r = 0; r < size(); ++r) tensor::copy(x.row(r), merged.row(r));
+  for (index_t r = 0; r < other.size(); ++r) {
+    tensor::copy(other.x.row(r), merged.row(size() + r));
+  }
+  x = std::move(merged);
+  y.insert(y.end(), other.y.begin(), other.y.end());
+}
+
+void Dataset::validate() const {
+  HM_CHECK_MSG(x.rows() == size(),
+               "feature rows " << x.rows() << " != labels " << size());
+  HM_CHECK(num_classes >= 2);
+  for (const index_t label : y) {
+    HM_CHECK_MSG(0 <= label && label < num_classes, "label " << label);
+  }
+}
+
+TrainTest split_train_test(const Dataset& all, double test_fraction,
+                           rng::Xoshiro256& gen) {
+  HM_CHECK(0.0 < test_fraction && test_fraction < 1.0);
+  std::vector<index_t> train_idx, test_idx;
+  for (index_t i = 0; i < all.size(); ++i) {
+    (gen.uniform() < test_fraction ? test_idx : train_idx).push_back(i);
+  }
+  return TrainTest{all.subset(train_idx), all.subset(test_idx)};
+}
+
+std::vector<index_t> indices_of_class(const Dataset& d, index_t label) {
+  std::vector<index_t> out;
+  for (index_t i = 0; i < d.size(); ++i) {
+    if (d.y[static_cast<std::size_t>(i)] == label) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<index_t> label_histogram(const Dataset& d) {
+  std::vector<index_t> hist(static_cast<std::size_t>(d.num_classes), 0);
+  for (const index_t label : d.y) ++hist[static_cast<std::size_t>(label)];
+  return hist;
+}
+
+}  // namespace hm::data

@@ -1,0 +1,46 @@
+// Supervised classification dataset container and basic manipulation.
+#pragma once
+
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hm::data {
+
+/// Dense features + integer labels. Rows of `x` are samples.
+struct Dataset {
+  tensor::Matrix x;             // size() x dim()
+  std::vector<index_t> y;       // labels in [0, num_classes)
+  index_t num_classes = 0;
+
+  index_t size() const { return static_cast<index_t>(y.size()); }
+  index_t dim() const { return x.cols(); }
+
+  /// Copy of the rows listed in `idx` (order preserved; repeats allowed).
+  Dataset subset(const std::vector<index_t>& idx) const;
+
+  /// Concatenate another dataset with identical dim/num_classes.
+  void append(const Dataset& other);
+
+  /// Internal consistency check (row count vs labels, label range).
+  void validate() const;
+};
+
+/// Train/test pair drawn from the same distribution.
+struct TrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+/// Random split: each sample goes to test with probability test_fraction.
+TrainTest split_train_test(const Dataset& all, double test_fraction,
+                           rng::Xoshiro256& gen);
+
+/// Indices of all samples with the given label.
+std::vector<index_t> indices_of_class(const Dataset& d, index_t label);
+
+/// Histogram of labels (length num_classes).
+std::vector<index_t> label_histogram(const Dataset& d);
+
+}  // namespace hm::data

@@ -1,0 +1,315 @@
+#include "data/federated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "rng/sampling.hpp"
+
+namespace hm::data {
+
+index_t FederatedDataset::dim() const {
+  HM_CHECK(!client_train.empty());
+  return client_train.front().dim();
+}
+
+index_t FederatedDataset::num_classes() const {
+  HM_CHECK(!client_train.empty());
+  return client_train.front().num_classes;
+}
+
+void FederatedDataset::validate() const {
+  HM_CHECK(clients_per_edge > 0);
+  HM_CHECK(num_clients() == num_edges() * clients_per_edge);
+  const index_t d = dim();
+  const index_t c = num_classes();
+  for (const auto& shard_data : client_train) {
+    HM_CHECK(shard_data.dim() == d && shard_data.num_classes == c);
+    HM_CHECK_MSG(shard_data.size() > 0, "empty client shard");
+    shard_data.validate();
+  }
+  for (const auto& test : edge_test) {
+    HM_CHECK(test.dim() == d && test.num_classes == c);
+    HM_CHECK_MSG(test.size() > 0, "empty edge test set");
+    test.validate();
+  }
+}
+
+namespace {
+
+/// Deal `idx` round-robin into `num_shards` equal-ish shards of `source`.
+std::vector<Dataset> deal_into_shards(const Dataset& source,
+                                      std::vector<index_t> idx,
+                                      index_t num_shards) {
+  HM_CHECK_MSG(static_cast<index_t>(idx.size()) >= num_shards,
+               "need >= " << num_shards << " samples, have " << idx.size());
+  std::vector<std::vector<index_t>> per_shard(
+      static_cast<std::size_t>(num_shards));
+  for (index_t i = 0; i < static_cast<index_t>(idx.size()); ++i) {
+    per_shard[static_cast<std::size_t>(i % num_shards)].push_back(
+        idx[static_cast<std::size_t>(i)]);
+  }
+  std::vector<Dataset> shards;
+  shards.reserve(static_cast<std::size_t>(num_shards));
+  for (const auto& s : per_shard) shards.push_back(source.subset(s));
+  return shards;
+}
+
+/// Sample a test set from `pool` whose label mix matches `target_hist`
+/// (counts per label). Falls back to sampling with replacement within a
+/// label if the pool runs short.
+Dataset matched_test_set(const Dataset& pool,
+                         const std::vector<index_t>& target_hist,
+                         index_t total_test, rng::Xoshiro256& gen) {
+  const index_t total_target =
+      std::accumulate(target_hist.begin(), target_hist.end(), index_t{0});
+  HM_CHECK(total_target > 0 && total_test > 0);
+  std::vector<std::vector<index_t>> by_class(
+      static_cast<std::size_t>(pool.num_classes));
+  for (index_t i = 0; i < pool.size(); ++i) {
+    by_class[static_cast<std::size_t>(pool.y[static_cast<std::size_t>(i)])]
+        .push_back(i);
+  }
+  std::vector<index_t> chosen;
+  for (index_t c = 0; c < pool.num_classes; ++c) {
+    const auto& candidates = by_class[static_cast<std::size_t>(c)];
+    const index_t want = (target_hist[static_cast<std::size_t>(c)] *
+                          total_test + total_target / 2) / total_target;
+    if (want == 0) continue;
+    HM_CHECK_MSG(!candidates.empty(),
+                 "test pool has no samples of class " << c);
+    if (want <= static_cast<index_t>(candidates.size())) {
+      auto picks = rng::sample_without_replacement(
+          static_cast<index_t>(candidates.size()), want, gen);
+      for (const index_t p : picks) {
+        chosen.push_back(candidates[static_cast<std::size_t>(p)]);
+      }
+    } else {
+      for (index_t i = 0; i < want; ++i) {
+        chosen.push_back(candidates[static_cast<std::size_t>(
+            gen.uniform_index(candidates.size()))]);
+      }
+    }
+  }
+  HM_CHECK(!chosen.empty());
+  return pool.subset(chosen);
+}
+
+}  // namespace
+
+FederatedDataset partition_one_class_per_edge(const TrainTest& data,
+                                              index_t num_edges,
+                                              index_t clients_per_edge,
+                                              rng::Xoshiro256& gen) {
+  HM_CHECK(num_edges > 0 && clients_per_edge > 0);
+  FederatedDataset fed;
+  fed.clients_per_edge = clients_per_edge;
+  for (index_t e = 0; e < num_edges; ++e) {
+    const index_t label = e % data.train.num_classes;
+    auto train_idx = indices_of_class(data.train, label);
+    rng::shuffle(train_idx, gen);
+    auto shards = deal_into_shards(data.train, std::move(train_idx),
+                                   clients_per_edge);
+    for (auto& s : shards) fed.client_train.push_back(std::move(s));
+
+    const auto test_idx = indices_of_class(data.test, label);
+    HM_CHECK_MSG(!test_idx.empty(), "no test samples of class " << label);
+    fed.edge_test.push_back(data.test.subset(test_idx));
+  }
+  fed.validate();
+  return fed;
+}
+
+FederatedDataset partition_similarity(const TrainTest& data,
+                                      index_t num_edges,
+                                      index_t clients_per_edge,
+                                      scalar_t similarity,
+                                      rng::Xoshiro256& gen) {
+  HM_CHECK(num_edges > 0 && clients_per_edge > 0);
+  HM_CHECK_MSG(0.0 <= similarity && similarity <= 1.0,
+               "similarity=" << similarity);
+  const index_t n = data.train.size();
+  HM_CHECK(n >= num_edges * clients_per_edge);
+
+  // Split sample indices into an i.i.d. pool (s-fraction) and a sorted
+  // pool ((1-s)-fraction), as in SCAFFOLD's similarity protocol.
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  rng::shuffle(order, gen);
+  const index_t iid_count =
+      static_cast<index_t>(similarity * static_cast<scalar_t>(n));
+  std::vector<index_t> iid_pool(order.begin(), order.begin() + iid_count);
+  std::vector<index_t> sorted_pool(order.begin() + iid_count, order.end());
+  std::sort(sorted_pool.begin(), sorted_pool.end(),
+            [&](index_t a, index_t b) {
+              return data.train.y[static_cast<std::size_t>(a)] <
+                     data.train.y[static_cast<std::size_t>(b)];
+            });
+
+  // Each edge gets a contiguous slice of the sorted pool (label-skewed)
+  // plus an equal share of the i.i.d. pool.
+  FederatedDataset fed;
+  fed.clients_per_edge = clients_per_edge;
+  for (index_t e = 0; e < num_edges; ++e) {
+    std::vector<index_t> edge_idx;
+    const index_t iid_lo = e * iid_count / num_edges;
+    const index_t iid_hi = (e + 1) * iid_count / num_edges;
+    edge_idx.insert(edge_idx.end(), iid_pool.begin() + iid_lo,
+                    iid_pool.begin() + iid_hi);
+    const index_t sorted_n = static_cast<index_t>(sorted_pool.size());
+    const index_t sorted_lo = e * sorted_n / num_edges;
+    const index_t sorted_hi = (e + 1) * sorted_n / num_edges;
+    edge_idx.insert(edge_idx.end(), sorted_pool.begin() + sorted_lo,
+                    sorted_pool.begin() + sorted_hi);
+    rng::shuffle(edge_idx, gen);
+
+    // Edge train label histogram drives the matched test set.
+    std::vector<index_t> hist(
+        static_cast<std::size_t>(data.train.num_classes), 0);
+    for (const index_t i : edge_idx) {
+      ++hist[static_cast<std::size_t>(
+          data.train.y[static_cast<std::size_t>(i)])];
+    }
+    const index_t test_size =
+        std::max<index_t>(64, data.test.size() / num_edges);
+    fed.edge_test.push_back(
+        matched_test_set(data.test, hist, test_size, gen));
+
+    auto shards =
+        deal_into_shards(data.train, std::move(edge_idx), clients_per_edge);
+    for (auto& s : shards) fed.client_train.push_back(std::move(s));
+  }
+  fed.validate();
+  return fed;
+}
+
+FederatedDataset partition_iid(const TrainTest& data, index_t num_edges,
+                               index_t clients_per_edge,
+                               rng::Xoshiro256& gen) {
+  return partition_similarity(data, num_edges, clients_per_edge,
+                              /*similarity=*/1.0, gen);
+}
+
+FederatedDataset partition_dirichlet(const TrainTest& data,
+                                     index_t num_edges,
+                                     index_t clients_per_edge,
+                                     scalar_t alpha, rng::Xoshiro256& gen) {
+  HM_CHECK(num_edges > 0 && clients_per_edge > 0);
+  HM_CHECK_MSG(alpha > 0, "Dirichlet alpha must be positive");
+  const index_t num_classes = data.train.num_classes;
+
+  // Per-edge class proportions ~ Dir(alpha): draw Gamma(alpha, 1) via
+  // the Marsaglia-Tsang method (with the alpha < 1 boost) and normalize.
+  auto gamma_draw = [&gen](scalar_t shape) {
+    scalar_t boost = 1;
+    if (shape < 1) {
+      boost = std::pow(static_cast<scalar_t>(gen.uniform()),
+                       scalar_t{1} / shape);
+      shape += 1;
+    }
+    const scalar_t d = shape - scalar_t{1} / 3;
+    const scalar_t c = 1 / std::sqrt(9 * d);
+    for (;;) {
+      scalar_t x = gen.normal();
+      scalar_t v = 1 + c * x;
+      if (v <= 0) continue;
+      v = v * v * v;
+      const scalar_t u = static_cast<scalar_t>(gen.uniform());
+      if (u < 1 - scalar_t{0.0331} * x * x * x * x) return boost * d * v;
+      if (std::log(u) < scalar_t{0.5} * x * x + d * (1 - v + std::log(v))) {
+        return boost * d * v;
+      }
+    }
+  };
+
+  // Deal samples class by class: each class's samples are split across
+  // edges proportionally to the edges' Dirichlet weights for that class.
+  std::vector<std::vector<scalar_t>> proportions(
+      static_cast<std::size_t>(num_edges));
+  for (auto& row : proportions) {
+    row.resize(static_cast<std::size_t>(num_classes));
+    for (auto& v : row) v = std::max<scalar_t>(gamma_draw(alpha), 1e-12);
+    scalar_t total = 0;
+    for (const scalar_t v : row) total += v;
+    for (auto& v : row) v /= total;
+  }
+
+  std::vector<std::vector<index_t>> edge_idx(
+      static_cast<std::size_t>(num_edges));
+  for (index_t c = 0; c < num_classes; ++c) {
+    auto members = indices_of_class(data.train, c);
+    rng::shuffle(members, gen);
+    // Weight of edge e for class c, normalized over edges.
+    std::vector<scalar_t> w(static_cast<std::size_t>(num_edges));
+    scalar_t total = 0;
+    for (index_t e = 0; e < num_edges; ++e) {
+      w[static_cast<std::size_t>(e)] =
+          proportions[static_cast<std::size_t>(e)][static_cast<std::size_t>(c)];
+      total += w[static_cast<std::size_t>(e)];
+    }
+    index_t start = 0;
+    scalar_t cum = 0;
+    for (index_t e = 0; e < num_edges; ++e) {
+      cum += w[static_cast<std::size_t>(e)] / total;
+      const auto stop = static_cast<index_t>(std::llround(
+          cum * static_cast<scalar_t>(members.size())));
+      for (index_t i = start; i < stop; ++i) {
+        edge_idx[static_cast<std::size_t>(e)].push_back(
+            members[static_cast<std::size_t>(i)]);
+      }
+      start = stop;
+    }
+  }
+
+  FederatedDataset fed;
+  fed.clients_per_edge = clients_per_edge;
+  for (index_t e = 0; e < num_edges; ++e) {
+    auto& idx = edge_idx[static_cast<std::size_t>(e)];
+    HM_CHECK_MSG(static_cast<index_t>(idx.size()) >= clients_per_edge,
+                 "edge " << e << " drew only " << idx.size()
+                         << " samples; raise alpha or sample count");
+    rng::shuffle(idx, gen);
+
+    std::vector<index_t> hist(static_cast<std::size_t>(num_classes), 0);
+    for (const index_t i : idx) {
+      ++hist[static_cast<std::size_t>(
+          data.train.y[static_cast<std::size_t>(i)])];
+    }
+    const index_t test_size =
+        std::max<index_t>(64, data.test.size() / num_edges);
+    fed.edge_test.push_back(
+        matched_test_set(data.test, hist, test_size, gen));
+
+    auto shards =
+        deal_into_shards(data.train, std::move(idx), clients_per_edge);
+    for (auto& s : shards) fed.client_train.push_back(std::move(s));
+  }
+  fed.validate();
+  return fed;
+}
+
+FederatedDataset partition_by_group(const std::vector<Dataset>& groups,
+                                    index_t clients_per_edge,
+                                    scalar_t test_fraction,
+                                    rng::Xoshiro256& gen) {
+  HM_CHECK(!groups.empty() && clients_per_edge > 0);
+  FederatedDataset fed;
+  fed.clients_per_edge = clients_per_edge;
+  for (index_t e = 0; e < static_cast<index_t>(groups.size()); ++e) {
+    rng::Xoshiro256 edge_gen = gen.split(static_cast<std::uint64_t>(e));
+    const TrainTest tt = split_train_test(
+        groups[static_cast<std::size_t>(e)], test_fraction, edge_gen);
+    std::vector<index_t> idx(static_cast<std::size_t>(tt.train.size()));
+    std::iota(idx.begin(), idx.end(), index_t{0});
+    rng::shuffle(idx, edge_gen);
+    auto shards =
+        deal_into_shards(tt.train, std::move(idx), clients_per_edge);
+    for (auto& s : shards) fed.client_train.push_back(std::move(s));
+    fed.edge_test.push_back(tt.test);
+  }
+  fed.validate();
+  return fed;
+}
+
+}  // namespace hm::data

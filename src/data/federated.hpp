@@ -1,0 +1,75 @@
+// Federated views of a dataset: per-client training shards plus a held-out
+// test set per edge area whose label mix matches that edge's training
+// distribution (the paper evaluates "test accuracy of each edge area").
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace hm::data {
+
+struct FederatedDataset {
+  /// One training shard per client, indexed client-major: client
+  /// n = e * clients_per_edge + i belongs to edge e.
+  std::vector<Dataset> client_train;
+  /// One test set per edge area, drawn from that edge's distribution.
+  std::vector<Dataset> edge_test;
+  index_t clients_per_edge = 0;
+
+  index_t num_clients() const {
+    return static_cast<index_t>(client_train.size());
+  }
+  index_t num_edges() const { return static_cast<index_t>(edge_test.size()); }
+  index_t dim() const;
+  index_t num_classes() const;
+  index_t edge_of_client(index_t client) const {
+    return client / clients_per_edge;
+  }
+  const Dataset& shard(index_t edge, index_t client_in_edge) const {
+    return client_train[static_cast<std::size_t>(
+        edge * clients_per_edge + client_in_edge)];
+  }
+  void validate() const;
+};
+
+/// Paper §6.1 protocol: edge area e holds data of class e mod num_classes
+/// only (train and test). Requires num_edges <= num_classes or wraps.
+FederatedDataset partition_one_class_per_edge(const TrainTest& data,
+                                              index_t num_edges,
+                                              index_t clients_per_edge,
+                                              rng::Xoshiro256& gen);
+
+/// Paper §6.2 protocol (following SCAFFOLD [15]): each edge receives
+/// s-fraction i.i.d. data and (1-s)-fraction sorted-by-label shards.
+/// similarity s in [0, 1]. The per-edge test set is sampled from the global
+/// test pool to match the edge's resulting train label distribution.
+FederatedDataset partition_similarity(const TrainTest& data,
+                                      index_t num_edges,
+                                      index_t clients_per_edge,
+                                      scalar_t similarity,
+                                      rng::Xoshiro256& gen);
+
+/// I.i.d. partition (control / sanity baseline).
+FederatedDataset partition_iid(const TrainTest& data, index_t num_edges,
+                               index_t clients_per_edge,
+                               rng::Xoshiro256& gen);
+
+/// Dirichlet label-skew partition (Hsu et al. protocol, the de-facto FL
+/// heterogeneity benchmark): each edge draws class proportions
+/// ~ Dir(alpha * 1) and fills its shard accordingly. alpha -> infinity
+/// approaches i.i.d.; small alpha concentrates each edge on few classes.
+FederatedDataset partition_dirichlet(const TrainTest& data,
+                                     index_t num_edges,
+                                     index_t clients_per_edge,
+                                     scalar_t alpha, rng::Xoshiro256& gen);
+
+/// One edge area per pre-made group dataset (Adult: Doctorate vs not;
+/// Li-Synthetic: one device per edge). Each group is split into
+/// clients_per_edge client shards and a test fraction.
+FederatedDataset partition_by_group(const std::vector<Dataset>& groups,
+                                    index_t clients_per_edge,
+                                    scalar_t test_fraction,
+                                    rng::Xoshiro256& gen);
+
+}  // namespace hm::data

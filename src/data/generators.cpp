@@ -1,0 +1,231 @@
+#include "data/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+#include "rng/sampling.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::data {
+
+Dataset make_gaussian_classes(const GaussianSpec& spec) {
+  HM_CHECK(spec.dim > 0 && spec.num_classes >= 2 && spec.num_samples > 0);
+  HM_CHECK(0.0 <= spec.label_noise && spec.label_noise < 1.0);
+  HM_CHECK(0.0 <= spec.difficulty_spread && spec.difficulty_spread < 1.0);
+  HM_CHECK(spec.imbalance > 0.0);
+  rng::Xoshiro256 gen(spec.seed);
+  rng::Xoshiro256 mean_gen = gen.split(0x6d65616e);   // "mean"
+  rng::Xoshiro256 sample_gen = gen.split(0x73616d70); // "samp"
+
+  // Class means: random Gaussian directions normalized to `separation`,
+  // then shrunk toward the origin for high-index (hard) classes so the
+  // hard classes crowd together and become mutually confusable.
+  const auto denom =
+      static_cast<scalar_t>(std::max<index_t>(1, spec.num_classes - 1));
+  tensor::Matrix means(spec.num_classes, spec.dim);
+  for (index_t c = 0; c < spec.num_classes; ++c) {
+    auto row = means.row(c);
+    for (auto& v : row) v = mean_gen.normal();
+    const scalar_t frac = static_cast<scalar_t>(c) / denom;
+    const scalar_t shrink = 1 - spec.difficulty_spread * frac;
+    const scalar_t norm = tensor::nrm2(row);
+    tensor::scale(spec.separation * shrink / norm, row);
+  }
+
+  // Sampling weights (imbalance): high-index classes are rarer.
+  std::vector<scalar_t> class_weight(
+      static_cast<std::size_t>(spec.num_classes));
+  for (index_t c = 0; c < spec.num_classes; ++c) {
+    const scalar_t frac = static_cast<scalar_t>(c) / denom;
+    class_weight[static_cast<std::size_t>(c)] =
+        std::pow(spec.imbalance, -frac);
+  }
+  const rng::AliasTable label_table(class_weight);
+
+  Dataset out;
+  out.num_classes = spec.num_classes;
+  out.x.resize(spec.num_samples, spec.dim);
+  out.y.resize(static_cast<std::size_t>(spec.num_samples));
+  for (index_t i = 0; i < spec.num_samples; ++i) {
+    const index_t label = label_table.sample(sample_gen);
+    auto row = out.x.row(i);
+    tensor::copy(means.row(label), row);
+    for (auto& v : row) v += sample_gen.normal(0.0, spec.within_std);
+    index_t observed = label;
+    if (spec.label_noise > 0 && sample_gen.uniform() < spec.label_noise) {
+      observed = static_cast<index_t>(sample_gen.uniform_index(
+          static_cast<std::uint64_t>(spec.num_classes)));
+    }
+    out.y[static_cast<std::size_t>(i)] = observed;
+  }
+  return out;
+}
+
+GaussianSpec mnist_like_spec(index_t num_samples, seed_t seed) {
+  GaussianSpec spec;
+  spec.num_samples = num_samples;
+  spec.seed = seed;
+  spec.separation = 3.6;
+  spec.within_std = 1.0;
+  spec.label_noise = 0.01;
+  spec.difficulty_spread = 0.35;  // digits differ in hardness (1 vs 8)
+  spec.imbalance = 1.5;
+  return spec;
+}
+
+GaussianSpec emnist_digits_like_spec(index_t num_samples, seed_t seed) {
+  GaussianSpec spec;
+  spec.num_samples = num_samples;
+  spec.seed = seed;
+  spec.separation = 3.2;
+  spec.within_std = 1.0;
+  spec.label_noise = 0.02;
+  spec.difficulty_spread = 0.40;
+  spec.imbalance = 2.0;
+  return spec;
+}
+
+GaussianSpec fashion_like_spec(index_t num_samples, seed_t seed) {
+  GaussianSpec spec;
+  spec.num_samples = num_samples;
+  spec.seed = seed;
+  spec.separation = 3.0;
+  spec.within_std = 1.0;
+  spec.label_noise = 0.03;
+  spec.difficulty_spread = 0.55;  // shirts/pullovers/coats crowd together
+  spec.imbalance = 3.0;           // and are under-represented in training
+  return spec;
+}
+
+std::vector<Dataset> make_li_synthetic(const LiSyntheticSpec& spec) {
+  HM_CHECK(spec.num_devices > 0 && spec.dim > 0 && spec.num_classes >= 2);
+  rng::Xoshiro256 root(spec.seed);
+
+  // Diagonal covariance Sigma_jj = (j+1)^{-1.2} (as in the original code).
+  std::vector<scalar_t> sigma(static_cast<std::size_t>(spec.dim));
+  for (index_t j = 0; j < spec.dim; ++j) {
+    sigma[static_cast<std::size_t>(j)] =
+        std::pow(static_cast<scalar_t>(j + 1), scalar_t(-1.2));
+  }
+
+  std::vector<Dataset> devices;
+  devices.reserve(static_cast<std::size_t>(spec.num_devices));
+  for (index_t k = 0; k < spec.num_devices; ++k) {
+    rng::Xoshiro256 gen = root.split(static_cast<std::uint64_t>(k));
+    const scalar_t u_k = gen.normal(0.0, std::sqrt(spec.alpha));
+    const scalar_t b_mean = gen.normal(0.0, std::sqrt(spec.beta));
+
+    // Ground-truth model for this device.
+    tensor::Matrix w_k(spec.num_classes, spec.dim);
+    std::vector<scalar_t> b_k(static_cast<std::size_t>(spec.num_classes));
+    for (auto& v : w_k.flat()) v = gen.normal(u_k, 1.0);
+    for (auto& v : b_k) v = gen.normal(u_k, 1.0);
+
+    // Feature center v_k.
+    std::vector<scalar_t> center(static_cast<std::size_t>(spec.dim));
+    for (auto& v : center) v = gen.normal(b_mean, 1.0);
+
+    // Sample count ~ lognormal, floored at min_samples (Li et al. use
+    // lognormal(4, 2) + 50; we parameterize the location by mean_samples).
+    const double log_mean = std::log(static_cast<double>(
+        std::max<index_t>(1, spec.mean_samples - spec.min_samples)));
+    const auto extra = static_cast<index_t>(
+        std::llround(std::exp(gen.normal(log_mean, 0.75))));
+    const index_t n_k = spec.min_samples + std::max<index_t>(0, extra);
+
+    Dataset d;
+    d.num_classes = spec.num_classes;
+    d.x.resize(n_k, spec.dim);
+    d.y.resize(static_cast<std::size_t>(n_k));
+    std::vector<scalar_t> logits(static_cast<std::size_t>(spec.num_classes));
+    for (index_t i = 0; i < n_k; ++i) {
+      auto row = d.x.row(i);
+      for (index_t j = 0; j < spec.dim; ++j) {
+        row[static_cast<std::size_t>(j)] = gen.normal(
+            center[static_cast<std::size_t>(j)],
+            std::sqrt(sigma[static_cast<std::size_t>(j)]));
+      }
+      for (index_t c = 0; c < spec.num_classes; ++c) {
+        logits[static_cast<std::size_t>(c)] =
+            tensor::dot(w_k.row(c), row) + b_k[static_cast<std::size_t>(c)];
+      }
+      d.y[static_cast<std::size_t>(i)] =
+          tensor::argmax(tensor::ConstVecView(logits));
+    }
+    devices.push_back(std::move(d));
+  }
+  return devices;
+}
+
+namespace {
+
+Dataset make_adult_group(const AdultLikeSpec& spec, index_t group,
+                         index_t num_samples, rng::Xoshiro256& gen,
+                         const std::vector<scalar_t>& base_coef) {
+  const index_t dim = spec.categorical_features * spec.levels_per_feature + 2;
+  Dataset d;
+  d.num_classes = 2;
+  d.x.resize(num_samples, dim);
+  d.y.resize(static_cast<std::size_t>(num_samples));
+
+  // Group-specific coefficient perturbation: the Doctorate group's
+  // income depends differently on the same features.
+  std::vector<scalar_t> coef = base_coef;
+  if (group == 1) {
+    rng::Xoshiro256 shift_gen = gen.split(0x73686966);
+    for (auto& c : coef) c += shift_gen.normal(0.0, spec.group_shift * 0.5);
+  }
+  const scalar_t intercept = group == 1 ? scalar_t(0.8) : scalar_t(-1.0);
+
+  for (index_t i = 0; i < num_samples; ++i) {
+    auto row = d.x.row(i);
+    tensor::set_zero(row);
+    // One-hot categorical features; level distribution depends on group
+    // (minority group skews toward higher levels — e.g. education).
+    for (index_t f = 0; f < spec.categorical_features; ++f) {
+      double u = gen.uniform();
+      if (group == 1) u = std::sqrt(u);  // skew toward high levels
+      const auto level = static_cast<index_t>(
+          u * static_cast<double>(spec.levels_per_feature));
+      const index_t col = f * spec.levels_per_feature +
+                          std::min(level, spec.levels_per_feature - 1);
+      row[static_cast<std::size_t>(col)] = 1.0;
+    }
+    // Two numeric features (age-like, hours-like), standardized.
+    row[static_cast<std::size_t>(dim - 2)] = gen.normal();
+    row[static_cast<std::size_t>(dim - 1)] =
+        gen.normal(group == 1 ? 0.5 : 0.0, 1.0);
+
+    scalar_t logit = intercept;
+    for (index_t j = 0; j < dim; ++j) {
+      logit += coef[static_cast<std::size_t>(j)] *
+               row[static_cast<std::size_t>(j)];
+    }
+    const double prob = 1.0 / (1.0 + std::exp(-logit));
+    d.y[static_cast<std::size_t>(i)] = gen.uniform() < prob ? 1 : 0;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::vector<Dataset> make_adult_like(const AdultLikeSpec& spec) {
+  HM_CHECK(spec.num_samples_group0 > 0 && spec.num_samples_group1 > 0);
+  rng::Xoshiro256 root(spec.seed);
+  const index_t dim = spec.categorical_features * spec.levels_per_feature + 2;
+  std::vector<scalar_t> base_coef(static_cast<std::size_t>(dim));
+  rng::Xoshiro256 coef_gen = root.split(0x636f6566);
+  for (auto& c : base_coef) c = coef_gen.normal(0.0, 1.0);
+
+  rng::Xoshiro256 g0 = root.split(0);
+  rng::Xoshiro256 g1 = root.split(1);
+  std::vector<Dataset> groups;
+  groups.push_back(
+      make_adult_group(spec, 0, spec.num_samples_group0, g0, base_coef));
+  groups.push_back(
+      make_adult_group(spec, 1, spec.num_samples_group1, g1, base_coef));
+  return groups;
+}
+
+}  // namespace hm::data

@@ -1,0 +1,84 @@
+// Synthetic dataset generators standing in for the paper's real datasets
+// (see DESIGN.md §1 for the substitution rationale). Each generator is
+// fully deterministic given its seed.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.hpp"
+
+namespace hm::data {
+
+/// Gaussian class-cluster classification task. Class means are random
+/// directions scaled by `separation`; samples add isotropic noise of
+/// std `within_std`; a `label_noise` fraction of labels is resampled
+/// uniformly. Lowering separation / raising noise makes the task harder,
+/// which is how we emulate MNIST vs Fashion-MNIST difficulty.
+struct GaussianSpec {
+  index_t dim = 64;
+  index_t num_classes = 10;
+  index_t num_samples = 6000;
+  scalar_t separation = 3.0;
+  scalar_t within_std = 1.0;
+  scalar_t label_noise = 0.0;
+  /// Per-class difficulty gradient: class c's mean is shrunk toward the
+  /// origin by factor (1 - spread * c / (C-1)), so high-index classes sit
+  /// close to *each other* — confusable, but still separable by a model
+  /// that allocates attention to them (like shirt/pullover/coat in
+  /// Fashion-MNIST). This "fixable" hardness is what makes minimax
+  /// weighting matter; pure extra noise would only raise the loss floor.
+  scalar_t difficulty_spread = 0.0;
+  /// Class imbalance: class c's sampling weight is
+  /// imbalance^(c / (C-1)); 1.0 = balanced. Values > 1 make high-index
+  /// classes (which are also the hard ones) rarer.
+  scalar_t imbalance = 1.0;
+  seed_t seed = 7;
+};
+
+Dataset make_gaussian_classes(const GaussianSpec& spec);
+
+/// Difficulty presets calibrated so multinomial logistic regression lands
+/// near the paper's accuracy regimes (~92% MNIST-like, ~90% EMNIST-Digits-
+/// like, ~80% Fashion-MNIST-like).
+GaussianSpec mnist_like_spec(index_t num_samples = 6000, seed_t seed = 7);
+GaussianSpec emnist_digits_like_spec(index_t num_samples = 6000,
+                                     seed_t seed = 11);
+GaussianSpec fashion_like_spec(index_t num_samples = 6000, seed_t seed = 13);
+
+/// The Synthetic(alpha, beta) generator of Li et al., "Fair Resource
+/// Allocation in Federated Learning" (ICLR'20), reimplemented faithfully:
+/// device k draws u_k ~ N(0, alpha), B_k ~ N(0, beta); its ground-truth
+/// model W_k, b_k has N(u_k, 1) entries; features x ~ N(v_k, Sigma) with
+/// v_k[j] ~ N(B_k, 1) and Sigma = diag(j^{-1.2}); labels are
+/// argmax softmax(W_k x + b_k). alpha controls model heterogeneity, beta
+/// controls feature heterogeneity.
+struct LiSyntheticSpec {
+  scalar_t alpha = 1.0;
+  scalar_t beta = 1.0;
+  index_t num_devices = 100;
+  index_t dim = 60;
+  index_t num_classes = 10;
+  index_t min_samples = 50;     // per-device sample counts ~ lognormal,
+  index_t mean_samples = 100;   // clipped below at min_samples
+  seed_t seed = 17;
+};
+
+/// One dataset per device (device == edge area in the paper's Table 2 row).
+std::vector<Dataset> make_li_synthetic(const LiSyntheticSpec& spec);
+
+/// Adult-like two-group tabular binary task (salary prediction). Group 1
+/// emulates the small "Doctorate" population: different logistic
+/// coefficients and base rate than group 0, one-hot categorical features.
+struct AdultLikeSpec {
+  index_t num_samples_group0 = 8000;  // non-Doctorate (majority)
+  index_t num_samples_group1 = 500;   // Doctorate (minority)
+  index_t categorical_features = 6;
+  index_t levels_per_feature = 5;
+  scalar_t group_shift = 4.0;         // coefficient shift between groups
+  seed_t seed = 23;
+};
+
+/// Returns {group0, group1}; each group becomes one edge area.
+std::vector<Dataset> make_adult_like(const AdultLikeSpec& spec);
+
+}  // namespace hm::data

@@ -1,0 +1,73 @@
+#include "io/checkpoint.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "core/check.hpp"
+
+namespace hm::io {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'M', 'C', 'K'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_vector(const std::string& path, const std::vector<scalar_t>& v) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  HM_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  const std::uint64_t length = v.size();
+  out.write(reinterpret_cast<const char*>(&length), sizeof(length));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(scalar_t)));
+  HM_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+std::vector<scalar_t> load_vector(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  HM_CHECK_MSG(in.good(), "cannot open '" << path << "' for reading");
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  HM_CHECK_MSG(in.good() && std::memcmp(magic, kMagic, 4) == 0,
+               "'" << path << "' is not an HM checkpoint");
+  std::uint32_t version = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  HM_CHECK_MSG(in.good() && version == kVersion,
+               "unsupported checkpoint version " << version);
+  std::uint64_t length = 0;
+  in.read(reinterpret_cast<char*>(&length), sizeof(length));
+  HM_CHECK(in.good());
+  std::vector<scalar_t> v(length);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(length * sizeof(scalar_t)));
+  HM_CHECK_MSG(in.good(), "'" << path << "' is truncated");
+  // Must be exactly at EOF.
+  in.peek();
+  HM_CHECK_MSG(in.eof(), "'" << path << "' has trailing bytes");
+  return v;
+}
+
+void save_history_csv(const std::string& path,
+                      const metrics::TrainingHistory& history) {
+  std::ofstream out(path, std::ios::trunc);
+  HM_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << "round,total_rounds,client_edge_rounds,edge_cloud_rounds,"
+         "edge_cloud_models,client_edge_bytes,edge_cloud_bytes,"
+         "avg_acc,worst_acc,variance_pct2,loss\n";
+  for (const auto& r : history.records()) {
+    out << r.round << ',' << r.comm.total_rounds() << ','
+        << r.comm.client_edge_rounds << ',' << r.comm.edge_cloud_rounds
+        << ',' << r.comm.edge_cloud_models() << ','
+        << r.comm.client_edge_bytes << ',' << r.comm.edge_cloud_bytes << ','
+        << r.summary.average << ',' << r.summary.worst << ','
+        << r.summary.variance_pct2 << ',' << r.global_loss << '\n';
+  }
+  HM_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace hm::io

@@ -1,0 +1,32 @@
+// Binary model-checkpoint persistence and CSV export of training
+// histories — the artifacts a downstream user keeps from a run.
+//
+// Checkpoint format (little-endian): magic "HMCK", u32 version,
+// u64 length, f64 payload[length]. Load validates magic/version and the
+// exact byte length.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "metrics/history.hpp"
+
+namespace hm::io {
+
+/// Write a flat parameter (or weight) vector; throws CheckError on I/O
+/// failure.
+void save_vector(const std::string& path, const std::vector<scalar_t>& v);
+
+/// Read back a vector written by save_vector; throws CheckError on
+/// malformed files.
+std::vector<scalar_t> load_vector(const std::string& path);
+
+/// Write a TrainingHistory as a CSV with a header row. Columns: round,
+/// total_rounds, client_edge_rounds, edge_cloud_rounds, edge_cloud_models,
+/// client_edge_bytes, edge_cloud_bytes, avg_acc, worst_acc, variance_pct2,
+/// loss.
+void save_history_csv(const std::string& path,
+                      const metrics::TrainingHistory& history);
+
+}  // namespace hm::io

@@ -1,0 +1,86 @@
+#include "metrics/history.hpp"
+
+#include <ostream>
+
+namespace hm::metrics {
+
+std::optional<std::uint64_t> TrainingHistory::rounds_to_worst_accuracy(
+    scalar_t target) const {
+  for (const auto& r : records_) {
+    if (r.summary.worst >= target) return r.comm.total_rounds();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> TrainingHistory::rounds_to_average_accuracy(
+    scalar_t target) const {
+  for (const auto& r : records_) {
+    if (r.summary.average >= target) return r.comm.total_rounds();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+TrainingHistory::edge_cloud_rounds_to_worst_accuracy(scalar_t target) const {
+  for (const auto& r : records_) {
+    if (r.summary.worst >= target) return r.comm.edge_cloud_rounds;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> TrainingHistory::wan_payloads_to_worst_accuracy(
+    scalar_t target) const {
+  for (const auto& r : records_) {
+    if (r.summary.worst >= target) return r.comm.edge_cloud_models();
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> TrainingHistory::wan_payloads_to_sustained_worst(
+    scalar_t target, index_t window) const {
+  if (window <= 0) window = 1;
+  const auto n = static_cast<index_t>(records_.size());
+  for (index_t i = window - 1; i < n; ++i) {
+    scalar_t mean = 0;
+    for (index_t j = i - window + 1; j <= i; ++j) {
+      mean += records_[static_cast<std::size_t>(j)].summary.worst;
+    }
+    mean /= static_cast<scalar_t>(window);
+    if (mean >= target) {
+      return records_[static_cast<std::size_t>(i)].comm.edge_cloud_models();
+    }
+  }
+  return std::nullopt;
+}
+
+AccuracySummary TrainingHistory::tail_summary(index_t window) const {
+  const auto n = static_cast<index_t>(records_.size());
+  if (window <= 0 || window > n) window = n;
+  AccuracySummary out;
+  for (index_t i = n - window; i < n; ++i) {
+    const auto& s = records_[static_cast<std::size_t>(i)].summary;
+    out.average += s.average;
+    out.worst += s.worst;
+    out.best += s.best;
+    out.variance_pct2 += s.variance_pct2;
+  }
+  const auto inv = scalar_t{1} / static_cast<scalar_t>(window);
+  out.average *= inv;
+  out.worst *= inv;
+  out.best *= inv;
+  out.variance_pct2 *= inv;
+  return out;
+}
+
+void TrainingHistory::write_tsv(std::ostream& os,
+                                const std::string& label) const {
+  for (const auto& r : records_) {
+    os << label << '\t' << r.round << '\t' << r.comm.total_rounds() << '\t'
+       << r.comm.client_edge_rounds << '\t' << r.comm.edge_cloud_rounds
+       << '\t' << r.comm.edge_cloud_models() << '\t' << r.summary.average
+       << '\t' << r.summary.worst << '\t' << r.summary.variance_pct2 << '\t'
+       << r.global_loss << '\n';
+  }
+}
+
+}  // namespace hm::metrics

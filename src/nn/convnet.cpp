@@ -1,0 +1,191 @@
+#include "nn/convnet.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::nn {
+
+namespace {
+
+struct ConvWorkspace final : Workspace {
+  std::vector<scalar_t> features;  // post-ReLU feature map, one sample
+  std::vector<scalar_t> logits;
+  std::vector<scalar_t> dlogits;
+  std::vector<scalar_t> dfeatures;
+};
+
+}  // namespace
+
+ConvNet::ConvNet(index_t image_side, index_t filters, index_t kernel,
+                 index_t num_classes)
+    : side_(image_side),
+      filters_(filters),
+      kernel_(kernel),
+      classes_(num_classes) {
+  HM_CHECK(image_side > 0 && filters > 0 && num_classes >= 2);
+  HM_CHECK_MSG(0 < kernel && kernel <= image_side,
+               "kernel " << kernel << " exceeds image side " << image_side);
+  total_params_ = dense_b_offset() + classes_;
+}
+
+std::unique_ptr<Workspace> ConvNet::make_workspace() const {
+  return std::make_unique<ConvWorkspace>();
+}
+
+void ConvNet::init_params(VecView w, rng::Xoshiro256& gen) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  tensor::set_zero(w);
+  // He init over the conv receptive field and the dense fan-in.
+  const scalar_t conv_std =
+      std::sqrt(scalar_t{2} / static_cast<scalar_t>(kernel_ * kernel_));
+  for (index_t i = 0; i < conv_b_offset(); ++i) {
+    w[static_cast<std::size_t>(i)] = gen.normal(0.0, conv_std);
+  }
+  const scalar_t dense_std =
+      std::sqrt(scalar_t{2} / static_cast<scalar_t>(feature_dim()));
+  for (index_t i = dense_w_offset(); i < dense_b_offset(); ++i) {
+    w[static_cast<std::size_t>(i)] = gen.normal(0.0, dense_std);
+  }
+}
+
+void ConvNet::forward_sample(ConstVecView w, ConstVecView x,
+                             std::vector<scalar_t>& features,
+                             std::vector<scalar_t>& logits) const {
+  const index_t fs = feature_side();
+  features.assign(static_cast<std::size_t>(feature_dim()), 0);
+  // Convolution (valid, stride 1) + bias + ReLU.
+  for (index_t c = 0; c < filters_; ++c) {
+    const scalar_t* filter =
+        w.data() + conv_w_offset() + c * kernel_ * kernel_;
+    const scalar_t bias = w[static_cast<std::size_t>(conv_b_offset() + c)];
+    for (index_t r = 0; r < fs; ++r) {
+      for (index_t col = 0; col < fs; ++col) {
+        scalar_t acc = bias;
+        for (index_t kr = 0; kr < kernel_; ++kr) {
+          for (index_t kc = 0; kc < kernel_; ++kc) {
+            acc += filter[kr * kernel_ + kc] *
+                   x[static_cast<std::size_t>((r + kr) * side_ + col + kc)];
+          }
+        }
+        features[static_cast<std::size_t>((c * fs + r) * fs + col)] =
+            acc > 0 ? acc : 0;
+      }
+    }
+  }
+  // Dense head.
+  logits.assign(static_cast<std::size_t>(classes_), 0);
+  for (index_t cls = 0; cls < classes_; ++cls) {
+    const scalar_t* row = w.data() + dense_w_offset() + cls * feature_dim();
+    scalar_t acc = w[static_cast<std::size_t>(dense_b_offset() + cls)];
+    for (index_t j = 0; j < feature_dim(); ++j) {
+      acc += row[j] * features[static_cast<std::size_t>(j)];
+    }
+    logits[static_cast<std::size_t>(cls)] = acc;
+  }
+}
+
+scalar_t ConvNet::loss_and_grad(ConstVecView w, const data::Dataset& d,
+                                std::span<const index_t> batch, VecView grad,
+                                Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(static_cast<index_t>(grad.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  HM_CHECK(d.dim() == input_dim() && d.num_classes == classes_);
+  auto& scratch = static_cast<ConvWorkspace&>(ws);
+  tensor::set_zero(grad);
+  const scalar_t inv_m = scalar_t{1} / static_cast<scalar_t>(batch.size());
+  const index_t fs = feature_side();
+
+  scalar_t total_loss = 0;
+  for (const index_t i : batch) {
+    ConstVecView x = d.x.row(i);
+    const index_t label = d.y[static_cast<std::size_t>(i)];
+    forward_sample(w, x, scratch.features, scratch.logits);
+    const scalar_t lse =
+        tensor::log_sum_exp(tensor::ConstVecView(scratch.logits));
+    total_loss += lse - scratch.logits[static_cast<std::size_t>(label)];
+
+    // dL/dlogits.
+    scratch.dlogits.resize(static_cast<std::size_t>(classes_));
+    for (index_t cls = 0; cls < classes_; ++cls) {
+      const scalar_t p =
+          std::exp(scratch.logits[static_cast<std::size_t>(cls)] - lse);
+      scratch.dlogits[static_cast<std::size_t>(cls)] =
+          (p - (cls == label ? 1 : 0)) * inv_m;
+    }
+    // Dense grads + back to features.
+    scratch.dfeatures.assign(static_cast<std::size_t>(feature_dim()), 0);
+    for (index_t cls = 0; cls < classes_; ++cls) {
+      const scalar_t dl = scratch.dlogits[static_cast<std::size_t>(cls)];
+      grad[static_cast<std::size_t>(dense_b_offset() + cls)] += dl;
+      if (dl == 0) continue;
+      scalar_t* grow =
+          grad.data() + dense_w_offset() + cls * feature_dim();
+      const scalar_t* wrow =
+          w.data() + dense_w_offset() + cls * feature_dim();
+      for (index_t j = 0; j < feature_dim(); ++j) {
+        grow[j] += dl * scratch.features[static_cast<std::size_t>(j)];
+        scratch.dfeatures[static_cast<std::size_t>(j)] += dl * wrow[j];
+      }
+    }
+    // ReLU mask, then conv grads.
+    for (index_t j = 0; j < feature_dim(); ++j) {
+      if (scratch.features[static_cast<std::size_t>(j)] <= 0) {
+        scratch.dfeatures[static_cast<std::size_t>(j)] = 0;
+      }
+    }
+    for (index_t c = 0; c < filters_; ++c) {
+      scalar_t* gfilter =
+          grad.data() + conv_w_offset() + c * kernel_ * kernel_;
+      scalar_t& gbias = grad[static_cast<std::size_t>(conv_b_offset() + c)];
+      for (index_t r = 0; r < fs; ++r) {
+        for (index_t col = 0; col < fs; ++col) {
+          const scalar_t df = scratch.dfeatures[static_cast<std::size_t>(
+              (c * fs + r) * fs + col)];
+          if (df == 0) continue;
+          gbias += df;
+          for (index_t kr = 0; kr < kernel_; ++kr) {
+            for (index_t kc = 0; kc < kernel_; ++kc) {
+              gfilter[kr * kernel_ + kc] +=
+                  df *
+                  x[static_cast<std::size_t>((r + kr) * side_ + col + kc)];
+            }
+          }
+        }
+      }
+    }
+  }
+  return total_loss * inv_m;
+}
+
+scalar_t ConvNet::loss(ConstVecView w, const data::Dataset& d,
+                       std::span<const index_t> batch, Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  auto& scratch = static_cast<ConvWorkspace&>(ws);
+  scalar_t total_loss = 0;
+  for (const index_t i : batch) {
+    forward_sample(w, d.x.row(i), scratch.features, scratch.logits);
+    const scalar_t lse =
+        tensor::log_sum_exp(tensor::ConstVecView(scratch.logits));
+    total_loss += lse - scratch.logits[static_cast<std::size_t>(
+                            d.y[static_cast<std::size_t>(i)])];
+  }
+  return total_loss / static_cast<scalar_t>(batch.size());
+}
+
+void ConvNet::predict(ConstVecView w, const data::Dataset& d,
+                      std::span<const index_t> batch, std::span<index_t> out,
+                      Workspace& ws) const {
+  HM_CHECK(batch.size() == out.size());
+  auto& scratch = static_cast<ConvWorkspace&>(ws);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    forward_sample(w, d.x.row(batch[r]), scratch.features, scratch.logits);
+    out[r] = tensor::argmax(tensor::ConstVecView(scratch.logits));
+  }
+}
+
+}  // namespace hm::nn

@@ -1,0 +1,66 @@
+// Small convolutional network for image-shaped inputs: one valid-mode
+// convolution layer (C filters, k x k, stride 1) with ReLU, followed by
+// a dense softmax head. Inputs are single-channel S x S images stored
+// row-major in the dataset's feature vector (dim == S * S).
+//
+// Parameter layout (flat): conv filters (C x k x k), conv biases (C),
+// dense W (classes x C*(S-k+1)^2), dense b (classes).
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace hm::nn {
+
+class ConvNet final : public Model {
+ public:
+  /// `image_side` = S (input dim must be S*S), `filters` = C,
+  /// `kernel` = k (k <= S).
+  ConvNet(index_t image_side, index_t filters, index_t kernel,
+          index_t num_classes);
+
+  index_t num_params() const override { return total_params_; }
+  index_t num_classes() const override { return classes_; }
+  index_t input_dim() const override { return side_ * side_; }
+  bool is_convex() const override { return false; }
+
+  index_t filters() const { return filters_; }
+  index_t kernel() const { return kernel_; }
+  index_t feature_side() const { return side_ - kernel_ + 1; }
+
+  std::unique_ptr<Workspace> make_workspace() const override;
+  void init_params(VecView w, rng::Xoshiro256& gen) const override;
+  scalar_t loss_and_grad(ConstVecView w, const data::Dataset& d,
+                         std::span<const index_t> batch, VecView grad,
+                         Workspace& ws) const override;
+  scalar_t loss(ConstVecView w, const data::Dataset& d,
+                std::span<const index_t> batch, Workspace& ws) const override;
+  void predict(ConstVecView w, const data::Dataset& d,
+               std::span<const index_t> batch, std::span<index_t> out,
+               Workspace& ws) const override;
+
+ private:
+  // Offsets into the flat parameter vector.
+  index_t conv_w_offset() const { return 0; }
+  index_t conv_b_offset() const { return filters_ * kernel_ * kernel_; }
+  index_t dense_w_offset() const { return conv_b_offset() + filters_; }
+  index_t dense_b_offset() const {
+    return dense_w_offset() + classes_ * feature_dim();
+  }
+  index_t feature_dim() const {
+    return filters_ * feature_side() * feature_side();
+  }
+
+  /// Forward for one sample: fills the workspace feature map (post-ReLU)
+  /// and logits.
+  void forward_sample(ConstVecView w, ConstVecView x,
+                      std::vector<scalar_t>& features,
+                      std::vector<scalar_t>& logits) const;
+
+  index_t side_;
+  index_t filters_;
+  index_t kernel_;
+  index_t classes_;
+  index_t total_params_;
+};
+
+}  // namespace hm::nn

@@ -1,0 +1,49 @@
+#include "nn/grad_check.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace hm::nn {
+
+GradCheckResult check_gradients(const Model& model, ConstVecView w,
+                                const data::Dataset& d,
+                                std::span<const index_t> batch,
+                                scalar_t epsilon, index_t max_coords) {
+  HM_CHECK(epsilon > 0);
+  const index_t n = model.num_params();
+  HM_CHECK(static_cast<index_t>(w.size()) == n);
+  auto ws = model.make_workspace();
+
+  std::vector<scalar_t> analytic(static_cast<std::size_t>(n));
+  model.loss_and_grad(w, d, batch, analytic, *ws);
+
+  std::vector<scalar_t> probe(w.begin(), w.end());
+  const index_t stride =
+      max_coords <= 0 ? 1 : std::max<index_t>(1, n / max_coords);
+
+  GradCheckResult result;
+  for (index_t j = 0; j < n; j += stride) {
+    const scalar_t saved = probe[static_cast<std::size_t>(j)];
+    probe[static_cast<std::size_t>(j)] = saved + epsilon;
+    const scalar_t loss_hi = model.loss(probe, d, batch, *ws);
+    probe[static_cast<std::size_t>(j)] = saved - epsilon;
+    const scalar_t loss_lo = model.loss(probe, d, batch, *ws);
+    probe[static_cast<std::size_t>(j)] = saved;
+
+    const scalar_t numeric = (loss_hi - loss_lo) / (2 * epsilon);
+    const scalar_t abs_err =
+        std::abs(numeric - analytic[static_cast<std::size_t>(j)]);
+    const scalar_t denom = std::max<scalar_t>(
+        {std::abs(numeric), std::abs(analytic[static_cast<std::size_t>(j)]),
+         scalar_t{1e-8}});
+    result.max_abs_error = std::max(result.max_abs_error, abs_err);
+    result.max_rel_error = std::max(result.max_rel_error, abs_err / denom);
+    ++result.coords_checked;
+  }
+  return result;
+}
+
+}  // namespace hm::nn

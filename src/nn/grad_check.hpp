@@ -1,0 +1,23 @@
+// Finite-difference gradient verification, used by the test suite to
+// certify every Model's analytic gradients.
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace hm::nn {
+
+struct GradCheckResult {
+  scalar_t max_abs_error = 0;   // max |analytic - numeric|
+  scalar_t max_rel_error = 0;   // max relative error over checked coords
+  index_t coords_checked = 0;
+};
+
+/// Central-difference check of loss_and_grad at `w` on `batch`.
+/// Checks up to `max_coords` coordinates (all if <= 0), chosen evenly.
+GradCheckResult check_gradients(const Model& model, ConstVecView w,
+                                const data::Dataset& d,
+                                std::span<const index_t> batch,
+                                scalar_t epsilon = 1e-5,
+                                index_t max_coords = 0);
+
+}  // namespace hm::nn

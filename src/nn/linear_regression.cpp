@@ -1,0 +1,110 @@
+#include "nn/linear_regression.hpp"
+
+#include "core/check.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::nn {
+
+namespace {
+
+struct LrWorkspace final : Workspace {
+  std::vector<scalar_t> scores;
+};
+
+inline ConstVecView weight_row(ConstVecView w, index_t dim, index_t c) {
+  return w.subspan(static_cast<std::size_t>(c * dim),
+                   static_cast<std::size_t>(dim));
+}
+
+void compute_scores(ConstVecView w, index_t dim, index_t classes,
+                    ConstVecView x, std::vector<scalar_t>& scores) {
+  scores.resize(static_cast<std::size_t>(classes));
+  for (index_t c = 0; c < classes; ++c) {
+    scores[static_cast<std::size_t>(c)] =
+        tensor::dot(weight_row(w, dim, c), x) +
+        w[static_cast<std::size_t>(classes * dim + c)];
+  }
+}
+
+}  // namespace
+
+LinearRegression::LinearRegression(index_t input_dim, index_t num_classes)
+    : dim_(input_dim), classes_(num_classes) {
+  HM_CHECK(input_dim > 0 && num_classes >= 2);
+}
+
+std::unique_ptr<Workspace> LinearRegression::make_workspace() const {
+  return std::make_unique<LrWorkspace>();
+}
+
+void LinearRegression::init_params(VecView w, rng::Xoshiro256&) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  tensor::set_zero(w);
+}
+
+scalar_t LinearRegression::loss_and_grad(ConstVecView w,
+                                         const data::Dataset& d,
+                                         std::span<const index_t> batch,
+                                         VecView grad, Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(static_cast<index_t>(grad.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  HM_CHECK(d.dim() == dim_ && d.num_classes == classes_);
+  auto& scratch = static_cast<LrWorkspace&>(ws);
+  tensor::set_zero(grad);
+  const scalar_t inv_m = scalar_t{1} / static_cast<scalar_t>(batch.size());
+
+  // Loss per sample: (1/2) sum_c (score_c - onehot_c)^2.
+  scalar_t total = 0;
+  for (const index_t i : batch) {
+    ConstVecView x = d.x.row(i);
+    const index_t label = d.y[static_cast<std::size_t>(i)];
+    compute_scores(w, dim_, classes_, x, scratch.scores);
+    for (index_t c = 0; c < classes_; ++c) {
+      const scalar_t residual =
+          scratch.scores[static_cast<std::size_t>(c)] -
+          (c == label ? 1 : 0);
+      total += scalar_t{0.5} * residual * residual;
+      const scalar_t coeff = residual * inv_m;
+      if (coeff == 0) continue;
+      tensor::axpy(coeff, x,
+                   grad.subspan(static_cast<std::size_t>(c * dim_),
+                                static_cast<std::size_t>(dim_)));
+      grad[static_cast<std::size_t>(classes_ * dim_ + c)] += coeff;
+    }
+  }
+  return total * inv_m;
+}
+
+scalar_t LinearRegression::loss(ConstVecView w, const data::Dataset& d,
+                                std::span<const index_t> batch,
+                                Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  auto& scratch = static_cast<LrWorkspace&>(ws);
+  scalar_t total = 0;
+  for (const index_t i : batch) {
+    compute_scores(w, dim_, classes_, d.x.row(i), scratch.scores);
+    const index_t label = d.y[static_cast<std::size_t>(i)];
+    for (index_t c = 0; c < classes_; ++c) {
+      const scalar_t residual =
+          scratch.scores[static_cast<std::size_t>(c)] -
+          (c == label ? 1 : 0);
+      total += scalar_t{0.5} * residual * residual;
+    }
+  }
+  return total / static_cast<scalar_t>(batch.size());
+}
+
+void LinearRegression::predict(ConstVecView w, const data::Dataset& d,
+                               std::span<const index_t> batch,
+                               std::span<index_t> out, Workspace& ws) const {
+  HM_CHECK(batch.size() == out.size());
+  auto& scratch = static_cast<LrWorkspace&>(ws);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    compute_scores(w, dim_, classes_, d.x.row(batch[r]), scratch.scores);
+    out[r] = tensor::argmax(tensor::ConstVecView(scratch.scores));
+  }
+}
+
+}  // namespace hm::nn

@@ -1,0 +1,39 @@
+// Linear least-squares "classification" head: fits one linear score per
+// class under mean-squared error against one-hot targets. Convex, like
+// softmax regression, but with a different loss geometry — useful for
+// checking that the minimax machinery is loss-agnostic (F(w, p) only
+// requires per-edge losses and gradients).
+//
+// Parameter layout matches SoftmaxRegression: W (classes x dim) then b.
+#pragma once
+
+#include "nn/model.hpp"
+
+namespace hm::nn {
+
+class LinearRegression final : public Model {
+ public:
+  LinearRegression(index_t input_dim, index_t num_classes);
+
+  index_t num_params() const override { return (dim_ + 1) * classes_; }
+  index_t num_classes() const override { return classes_; }
+  index_t input_dim() const override { return dim_; }
+  bool is_convex() const override { return true; }
+
+  std::unique_ptr<Workspace> make_workspace() const override;
+  void init_params(VecView w, rng::Xoshiro256& gen) const override;
+  scalar_t loss_and_grad(ConstVecView w, const data::Dataset& d,
+                         std::span<const index_t> batch, VecView grad,
+                         Workspace& ws) const override;
+  scalar_t loss(ConstVecView w, const data::Dataset& d,
+                std::span<const index_t> batch, Workspace& ws) const override;
+  void predict(ConstVecView w, const data::Dataset& d,
+               std::span<const index_t> batch, std::span<index_t> out,
+               Workspace& ws) const override;
+
+ private:
+  index_t dim_;
+  index_t classes_;
+};
+
+}  // namespace hm::nn

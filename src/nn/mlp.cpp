@@ -1,0 +1,214 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::nn {
+
+namespace {
+
+struct MlpWorkspace final : Workspace {
+  std::vector<tensor::Matrix> activations;  // a_0 .. a_L (a_0 = inputs)
+  std::vector<tensor::Matrix> deltas;       // d_1 .. d_L (indexed l-1)
+};
+
+/// Gather batch rows into a contiguous activation matrix.
+void gather_batch(const data::Dataset& d, std::span<const index_t> batch,
+                  tensor::Matrix& out) {
+  out.resize(static_cast<index_t>(batch.size()), d.dim());
+  for (index_t r = 0; r < static_cast<index_t>(batch.size()); ++r) {
+    tensor::copy(d.x.row(batch[static_cast<std::size_t>(r)]), out.row(r));
+  }
+}
+
+void add_bias_rows(tensor::MatView m, tensor::ConstVecView bias) {
+  for (index_t r = 0; r < m.rows(); ++r) tensor::axpy(1.0, bias, m.row(r));
+}
+
+}  // namespace
+
+Mlp::Mlp(std::vector<index_t> layer_dims) : dims_(std::move(layer_dims)) {
+  HM_CHECK_MSG(dims_.size() >= 2, "need at least {input, output} dims");
+  for (const index_t d : dims_) HM_CHECK(d > 0);
+  HM_CHECK(dims_.back() >= 2);
+  index_t offset = 0;
+  for (index_t l = 0; l < num_layers(); ++l) {
+    const index_t in = dims_[static_cast<std::size_t>(l)];
+    const index_t out = dims_[static_cast<std::size_t>(l) + 1];
+    w_offsets_.push_back(offset);
+    offset += in * out;
+    b_offsets_.push_back(offset);
+    offset += out;
+  }
+  total_params_ = offset;
+}
+
+tensor::ConstMatView Mlp::weights(ConstVecView w, index_t layer) const {
+  const index_t in = dims_[static_cast<std::size_t>(layer)];
+  const index_t out = dims_[static_cast<std::size_t>(layer) + 1];
+  return tensor::ConstMatView(
+      w.data() + w_offsets_[static_cast<std::size_t>(layer)], out, in);
+}
+
+tensor::MatView Mlp::weights(VecView w, index_t layer) const {
+  const index_t in = dims_[static_cast<std::size_t>(layer)];
+  const index_t out = dims_[static_cast<std::size_t>(layer) + 1];
+  return tensor::MatView(
+      w.data() + w_offsets_[static_cast<std::size_t>(layer)], out, in);
+}
+
+ConstVecView Mlp::biases(ConstVecView w, index_t layer) const {
+  const index_t out = dims_[static_cast<std::size_t>(layer) + 1];
+  return w.subspan(
+      static_cast<std::size_t>(b_offsets_[static_cast<std::size_t>(layer)]),
+      static_cast<std::size_t>(out));
+}
+
+VecView Mlp::biases(VecView w, index_t layer) const {
+  const index_t out = dims_[static_cast<std::size_t>(layer) + 1];
+  return w.subspan(
+      static_cast<std::size_t>(b_offsets_[static_cast<std::size_t>(layer)]),
+      static_cast<std::size_t>(out));
+}
+
+std::unique_ptr<Workspace> Mlp::make_workspace() const {
+  auto ws = std::make_unique<MlpWorkspace>();
+  ws->activations.resize(static_cast<std::size_t>(num_layers()) + 1);
+  ws->deltas.resize(static_cast<std::size_t>(num_layers()));
+  return ws;
+}
+
+void Mlp::init_params(VecView w, rng::Xoshiro256& gen) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  // He initialization for ReLU hidden layers; biases start at zero.
+  for (index_t l = 0; l < num_layers(); ++l) {
+    const index_t in = dims_[static_cast<std::size_t>(l)];
+    const scalar_t std_dev =
+        std::sqrt(scalar_t{2} / static_cast<scalar_t>(in));
+    auto wm = weights(w, l);
+    for (auto& v : wm.flat()) v = gen.normal(0.0, std_dev);
+    tensor::set_zero(biases(w, l));
+  }
+}
+
+scalar_t Mlp::loss_and_grad(ConstVecView w, const data::Dataset& d,
+                            std::span<const index_t> batch, VecView grad,
+                            Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(static_cast<index_t>(grad.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  HM_CHECK(d.dim() == input_dim() && d.num_classes == num_classes());
+  auto& scratch = static_cast<MlpWorkspace&>(ws);
+  const auto m = static_cast<index_t>(batch.size());
+  const index_t layers = num_layers();
+
+  // Forward: a_0 = X; z_l = a_{l-1} W_l^T + b_l; a_l = relu(z_l) except
+  // the output layer, which stays as logits.
+  gather_batch(d, batch, scratch.activations[0]);
+  for (index_t l = 0; l < layers; ++l) {
+    auto& out = scratch.activations[static_cast<std::size_t>(l) + 1];
+    out.resize(m, dims_[static_cast<std::size_t>(l) + 1]);
+    tensor::gemm_nt(scratch.activations[static_cast<std::size_t>(l)],
+                    weights(w, l), out);
+    add_bias_rows(out, biases(w, l));
+    if (l + 1 < layers) tensor::relu(out.flat());
+  }
+
+  // Loss + output delta: d_L = (softmax - onehot) / m.
+  auto& logits = scratch.activations[static_cast<std::size_t>(layers)];
+  scalar_t total_loss = 0;
+  auto& delta_out = scratch.deltas[static_cast<std::size_t>(layers) - 1];
+  delta_out.resize(m, num_classes());
+  const scalar_t inv_m = scalar_t{1} / static_cast<scalar_t>(m);
+  for (index_t r = 0; r < m; ++r) {
+    const index_t label =
+        d.y[static_cast<std::size_t>(batch[static_cast<std::size_t>(r)])];
+    ConstVecView row = logits.row(r);
+    const scalar_t lse = tensor::log_sum_exp(row);
+    total_loss += lse - row[static_cast<std::size_t>(label)];
+    VecView drow = delta_out.row(r);
+    for (index_t c = 0; c < num_classes(); ++c) {
+      const scalar_t p = std::exp(row[static_cast<std::size_t>(c)] - lse);
+      drow[static_cast<std::size_t>(c)] =
+          (p - (c == label ? 1 : 0)) * inv_m;
+    }
+  }
+
+  // Backward: gradW_l = d_l^T a_{l-1}; gradb_l = colsum d_l;
+  // d_{l-1} = (d_l W_l) ⊙ relu'(a_{l-1}).
+  for (index_t l = layers - 1; l >= 0; --l) {
+    const auto& delta = scratch.deltas[static_cast<std::size_t>(l)];
+    const auto& a_prev = scratch.activations[static_cast<std::size_t>(l)];
+    tensor::gemm_tn(delta, a_prev, weights(grad, l));
+    VecView gb = biases(grad, l);
+    tensor::set_zero(gb);
+    for (index_t r = 0; r < m; ++r) tensor::axpy(1.0, delta.row(r), gb);
+    if (l > 0) {
+      auto& delta_prev = scratch.deltas[static_cast<std::size_t>(l) - 1];
+      delta_prev.resize(m, dims_[static_cast<std::size_t>(l)]);
+      tensor::gemm(delta, weights(w, l), delta_prev);
+      tensor::relu_backward(a_prev.flat(), delta_prev.flat());
+    }
+  }
+  return total_loss * inv_m;
+}
+
+scalar_t Mlp::loss(ConstVecView w, const data::Dataset& d,
+                   std::span<const index_t> batch, Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  auto& scratch = static_cast<MlpWorkspace&>(ws);
+  const auto m = static_cast<index_t>(batch.size());
+  const index_t layers = num_layers();
+  gather_batch(d, batch, scratch.activations[0]);
+  for (index_t l = 0; l < layers; ++l) {
+    auto& out = scratch.activations[static_cast<std::size_t>(l) + 1];
+    out.resize(m, dims_[static_cast<std::size_t>(l) + 1]);
+    tensor::gemm_nt(scratch.activations[static_cast<std::size_t>(l)],
+                    weights(w, l), out);
+    add_bias_rows(out, biases(w, l));
+    if (l + 1 < layers) tensor::relu(out.flat());
+  }
+  const auto& logits = scratch.activations[static_cast<std::size_t>(layers)];
+  scalar_t total_loss = 0;
+  for (index_t r = 0; r < m; ++r) {
+    ConstVecView row = logits.row(r);
+    const index_t label =
+        d.y[static_cast<std::size_t>(batch[static_cast<std::size_t>(r)])];
+    total_loss +=
+        tensor::log_sum_exp(row) - row[static_cast<std::size_t>(label)];
+  }
+  return total_loss / static_cast<scalar_t>(m);
+}
+
+void Mlp::predict(ConstVecView w, const data::Dataset& d,
+                  std::span<const index_t> batch, std::span<index_t> out,
+                  Workspace& ws) const {
+  HM_CHECK(batch.size() == out.size());
+  auto& scratch = static_cast<MlpWorkspace&>(ws);
+  const auto m = static_cast<index_t>(batch.size());
+  const index_t layers = num_layers();
+  gather_batch(d, batch, scratch.activations[0]);
+  for (index_t l = 0; l < layers; ++l) {
+    auto& act = scratch.activations[static_cast<std::size_t>(l) + 1];
+    act.resize(m, dims_[static_cast<std::size_t>(l) + 1]);
+    tensor::gemm_nt(scratch.activations[static_cast<std::size_t>(l)],
+                    weights(w, l), act);
+    add_bias_rows(act, biases(w, l));
+    if (l + 1 < layers) tensor::relu(act.flat());
+  }
+  const auto& logits = scratch.activations[static_cast<std::size_t>(layers)];
+  for (index_t r = 0; r < m; ++r) {
+    out[static_cast<std::size_t>(r)] = tensor::argmax(logits.row(r));
+  }
+}
+
+Mlp make_paper_mlp(index_t input_dim, index_t num_classes) {
+  return Mlp({input_dim, 300, 100, num_classes});
+}
+
+}  // namespace hm::nn

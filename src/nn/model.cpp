@@ -1,0 +1,29 @@
+#include "nn/model.hpp"
+
+#include <numeric>
+
+#include "core/check.hpp"
+
+namespace hm::nn {
+
+std::vector<index_t> all_indices(index_t n) {
+  std::vector<index_t> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), index_t{0});
+  return idx;
+}
+
+scalar_t accuracy(const Model& model, ConstVecView w, const data::Dataset& d,
+                  Workspace& ws) {
+  HM_CHECK(d.size() > 0);
+  const auto batch = all_indices(d.size());
+  std::vector<index_t> pred(static_cast<std::size_t>(d.size()));
+  model.predict(w, d, batch, pred, ws);
+  index_t correct = 0;
+  for (index_t i = 0; i < d.size(); ++i) {
+    if (pred[static_cast<std::size_t>(i)] == d.y[static_cast<std::size_t>(i)])
+      ++correct;
+  }
+  return static_cast<scalar_t>(correct) / static_cast<scalar_t>(d.size());
+}
+
+}  // namespace hm::nn

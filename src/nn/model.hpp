@@ -1,0 +1,76 @@
+// Model abstraction used by every federated algorithm.
+//
+// Models are *stateless* with respect to parameters: the architecture
+// object holds shapes only, and parameters live in a caller-owned flat
+// vector. This is the natural shape for federated optimization, where one
+// architecture is shared by many parameter copies (per client, per edge,
+// global, checkpoint) and aggregation is a BLAS-1 average of flat vectors.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "rng/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hm::nn {
+
+using tensor::ConstVecView;
+using tensor::VecView;
+
+/// Opaque per-caller scratch space. One Workspace per thread; reused
+/// across calls so hot loops do not allocate.
+class Workspace {
+ public:
+  virtual ~Workspace() = default;
+};
+
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Length of the flat parameter vector.
+  virtual index_t num_params() const = 0;
+
+  /// Number of output classes.
+  virtual index_t num_classes() const = 0;
+
+  /// Input feature dimension.
+  virtual index_t input_dim() const = 0;
+
+  /// Whether the per-sample loss is convex in the parameters.
+  virtual bool is_convex() const = 0;
+
+  virtual std::unique_ptr<Workspace> make_workspace() const = 0;
+
+  /// Initialize `w` (Xavier/He as appropriate for the architecture).
+  virtual void init_params(VecView w, rng::Xoshiro256& gen) const = 0;
+
+  /// Mean cross-entropy loss over the batch; writes the gradient of that
+  /// mean into `grad` (overwriting it). Returns the loss.
+  virtual scalar_t loss_and_grad(ConstVecView w, const data::Dataset& d,
+                                 std::span<const index_t> batch, VecView grad,
+                                 Workspace& ws) const = 0;
+
+  /// Mean cross-entropy loss over the batch (no gradient).
+  virtual scalar_t loss(ConstVecView w, const data::Dataset& d,
+                        std::span<const index_t> batch,
+                        Workspace& ws) const = 0;
+
+  /// Predicted class per batch row, written into `out` (same length).
+  virtual void predict(ConstVecView w, const data::Dataset& d,
+                       std::span<const index_t> batch,
+                       std::span<index_t> out, Workspace& ws) const = 0;
+};
+
+/// 0..n-1, the full-batch index list.
+std::vector<index_t> all_indices(index_t n);
+
+/// Fraction of correct predictions over the whole dataset (single thread;
+/// see hm::metrics for the parallel per-edge evaluator).
+scalar_t accuracy(const Model& model, ConstVecView w, const data::Dataset& d,
+                  Workspace& ws);
+
+}  // namespace hm::nn

@@ -1,0 +1,118 @@
+#include "nn/softmax_regression.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::nn {
+
+namespace {
+
+struct SoftmaxWorkspace final : Workspace {
+  std::vector<scalar_t> logits;
+};
+
+/// View of row c of the weight matrix inside the flat parameter vector.
+inline ConstVecView weight_row(ConstVecView w, index_t dim, index_t c) {
+  return w.subspan(static_cast<std::size_t>(c * dim),
+                   static_cast<std::size_t>(dim));
+}
+
+inline scalar_t bias(ConstVecView w, index_t dim, index_t classes,
+                     index_t c) {
+  return w[static_cast<std::size_t>(classes * dim + c)];
+}
+
+/// logits_c = <W_c, x> + b_c for all classes.
+void compute_logits(ConstVecView w, index_t dim, index_t classes,
+                    ConstVecView x, std::vector<scalar_t>& logits) {
+  logits.resize(static_cast<std::size_t>(classes));
+  for (index_t c = 0; c < classes; ++c) {
+    logits[static_cast<std::size_t>(c)] =
+        tensor::dot(weight_row(w, dim, c), x) + bias(w, dim, classes, c);
+  }
+}
+
+}  // namespace
+
+SoftmaxRegression::SoftmaxRegression(index_t input_dim, index_t num_classes)
+    : dim_(input_dim), classes_(num_classes) {
+  HM_CHECK(input_dim > 0 && num_classes >= 2);
+}
+
+std::unique_ptr<Workspace> SoftmaxRegression::make_workspace() const {
+  return std::make_unique<SoftmaxWorkspace>();
+}
+
+void SoftmaxRegression::init_params(VecView w, rng::Xoshiro256&) const {
+  // Zero init: standard (and optimal-start) for convex logistic regression.
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  tensor::set_zero(w);
+}
+
+scalar_t SoftmaxRegression::loss_and_grad(ConstVecView w,
+                                          const data::Dataset& d,
+                                          std::span<const index_t> batch,
+                                          VecView grad, Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(static_cast<index_t>(grad.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  HM_CHECK(d.dim() == dim_ && d.num_classes == classes_);
+  auto& scratch = static_cast<SoftmaxWorkspace&>(ws);
+  tensor::set_zero(grad);
+  const scalar_t inv_m = scalar_t{1} / static_cast<scalar_t>(batch.size());
+
+  scalar_t total_loss = 0;
+  for (const index_t i : batch) {
+    ConstVecView x = d.x.row(i);
+    const index_t label = d.y[static_cast<std::size_t>(i)];
+    compute_logits(w, dim_, classes_, x, scratch.logits);
+    const scalar_t lse = tensor::log_sum_exp(
+        tensor::ConstVecView(scratch.logits));
+    total_loss += lse - scratch.logits[static_cast<std::size_t>(label)];
+    // dL/dlogit_c = softmax_c - 1[c == label]; accumulate outer product.
+    for (index_t c = 0; c < classes_; ++c) {
+      const scalar_t p =
+          std::exp(scratch.logits[static_cast<std::size_t>(c)] - lse);
+      const scalar_t coeff = (p - (c == label ? 1 : 0)) * inv_m;
+      if (coeff == 0) continue;
+      tensor::axpy(coeff, x,
+                   grad.subspan(static_cast<std::size_t>(c * dim_),
+                                static_cast<std::size_t>(dim_)));
+      grad[static_cast<std::size_t>(classes_ * dim_ + c)] += coeff;
+    }
+  }
+  return total_loss * inv_m;
+}
+
+scalar_t SoftmaxRegression::loss(ConstVecView w, const data::Dataset& d,
+                                 std::span<const index_t> batch,
+                                 Workspace& ws) const {
+  HM_CHECK(static_cast<index_t>(w.size()) == num_params());
+  HM_CHECK(!batch.empty());
+  auto& scratch = static_cast<SoftmaxWorkspace&>(ws);
+  scalar_t total_loss = 0;
+  for (const index_t i : batch) {
+    compute_logits(w, dim_, classes_, d.x.row(i), scratch.logits);
+    const scalar_t lse = tensor::log_sum_exp(
+        tensor::ConstVecView(scratch.logits));
+    total_loss += lse - scratch.logits[static_cast<std::size_t>(
+                            d.y[static_cast<std::size_t>(i)])];
+  }
+  return total_loss / static_cast<scalar_t>(batch.size());
+}
+
+void SoftmaxRegression::predict(ConstVecView w, const data::Dataset& d,
+                                std::span<const index_t> batch,
+                                std::span<index_t> out, Workspace& ws) const {
+  HM_CHECK(batch.size() == out.size());
+  auto& scratch = static_cast<SoftmaxWorkspace&>(ws);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    compute_logits(w, dim_, classes_, d.x.row(batch[r]), scratch.logits);
+    out[r] = tensor::argmax(tensor::ConstVecView(scratch.logits));
+  }
+}
+
+}  // namespace hm::nn

@@ -1,0 +1,95 @@
+// Blocked parallel-for and deterministic parallel reduction on top of
+// ThreadPool. The iteration space [begin, end) is split into contiguous
+// chunks; `body(i)` runs exactly once per index. Reductions combine
+// per-chunk partials in chunk order, so the result is independent of
+// thread scheduling (bit-reproducible for a fixed chunk count).
+#pragma once
+
+#include <algorithm>
+#include <future>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hm::parallel {
+
+/// Minimum indices per chunk before the work is split across threads.
+inline constexpr index_t kDefaultGrain = 64;
+
+/// Run body(i) for every i in [begin, end), splitting across `pool`.
+/// Falls back to a serial loop when the range is below `grain` or the
+/// pool has a single thread.
+template <typename Body>
+void parallel_for(ThreadPool& pool, index_t begin, index_t end, Body&& body,
+                  index_t grain = kDefaultGrain) {
+  HM_CHECK(begin <= end);
+  const index_t n = end - begin;
+  if (n == 0) return;
+  const index_t max_chunks = static_cast<index_t>(pool.num_threads()) * 4;
+  const index_t num_chunks =
+      std::max<index_t>(1, std::min(max_chunks, n / std::max<index_t>(1, grain)));
+  if (num_chunks <= 1) {
+    for (index_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  const index_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>(num_chunks));
+  for (index_t c = 0; c < num_chunks; ++c) {
+    const index_t lo = begin + c * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (index_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows the first task exception
+}
+
+/// Convenience overload on the global pool.
+template <typename Body>
+void parallel_for(index_t begin, index_t end, Body&& body,
+                  index_t grain = kDefaultGrain) {
+  parallel_for(ThreadPool::global(), begin, end, std::forward<Body>(body),
+               grain);
+}
+
+/// Deterministic parallel reduction: result equals
+/// combine(...combine(init, partial_0)..., partial_{k-1}) where partial_c
+/// folds body(i) over chunk c in index order.
+template <typename T, typename Body, typename Combine>
+T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
+                  Body&& body, Combine&& combine,
+                  index_t grain = kDefaultGrain) {
+  HM_CHECK(begin <= end);
+  const index_t n = end - begin;
+  if (n == 0) return init;
+  const index_t max_chunks = static_cast<index_t>(pool.num_threads()) * 4;
+  const index_t num_chunks =
+      std::max<index_t>(1, std::min(max_chunks, n / std::max<index_t>(1, grain)));
+  if (num_chunks <= 1) {
+    T acc = init;
+    for (index_t i = begin; i < end; ++i) acc = combine(acc, body(i));
+    return acc;
+  }
+  const index_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::future<T>> futures;
+  futures.reserve(static_cast<std::size_t>(num_chunks));
+  for (index_t c = 0; c < num_chunks; ++c) {
+    const index_t lo = begin + c * chunk;
+    const index_t hi = std::min(end, lo + chunk);
+    if (lo >= hi) break;
+    futures.push_back(pool.submit([lo, hi, &body, &combine]() -> T {
+      T acc = body(lo);
+      for (index_t i = lo + 1; i < hi; ++i) acc = combine(acc, body(i));
+      return acc;
+    }));
+  }
+  T acc = init;
+  for (auto& f : futures) acc = combine(acc, f.get());
+  return acc;
+}
+
+}  // namespace hm::parallel

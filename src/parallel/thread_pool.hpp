@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a single shared task queue.
+//
+// Design notes (following the shared-memory HPC idiom of explicit
+// parallelism): tasks are arbitrary void() callables; submit() returns a
+// future so callers can join and so exceptions thrown inside a task
+// propagate to the waiting thread instead of being swallowed. The pool is
+// intended for coarse-grained tasks (one client's local-SGD run, one tile
+// of a GEMM); it makes no fairness or priority guarantees.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hm::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>=1). Defaults to hardware concurrency.
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Joins all workers; pending tasks are completed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueue a task; the returned future carries its result or exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Process-wide shared pool, created on first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace hm::parallel

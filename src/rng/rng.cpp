@@ -1,0 +1,105 @@
+#include "rng/rng.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace hm::rng {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(seed_t seed) {
+  // Expand the seed into 256 bits of state; splitmix64 guarantees the
+  // all-zero state (invalid for xoshiro) cannot occur.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Xoshiro256 Xoshiro256::split(std::uint64_t tag) const {
+  // Hash the full state with the tag so different tags give independent
+  // children and children differ from the parent stream.
+  std::uint64_t h = 0x8f21c2e1f259bca1ULL ^ tag;
+  for (const std::uint64_t word : s_) {
+    std::uint64_t mix = h ^ word;
+    h = splitmix64(mix);
+  }
+  Xoshiro256 child;
+  std::uint64_t sm = h;
+  for (auto& word : child.s_) word = splitmix64(sm);
+  child.has_cached_normal_ = false;
+  return child;
+}
+
+double Xoshiro256::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256::uniform(double lo, double hi) {
+  HM_CHECK(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+double Xoshiro256::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box–Muller; u1 is kept away from zero to avoid log(0).
+  double u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Xoshiro256::normal(double mean, double stddev) {
+  HM_CHECK(stddev >= 0.0);
+  return mean + stddev * normal();
+}
+
+std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) {
+  HM_CHECK(n > 0);
+  // Lemire's multiply-shift with rejection for unbiased range reduction.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < n) {
+    const std::uint64_t threshold = (0 - n) % n;
+    while (lo < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * n;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace hm::rng

@@ -1,0 +1,63 @@
+// Deterministic, splittable random number generation.
+//
+// All stochastic choices in this repo derive from one master seed through
+// named stream splits (e.g. seed -> round k -> phase -> client n). A split
+// hashes (state, tag) with splitmix64, so streams are independent of each
+// other and of execution order — the property that makes parallel client
+// simulation bit-identical to the serial schedule.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+#include "core/types.hpp"
+
+namespace hm::rng {
+
+/// splitmix64 step: mixes a 64-bit state into a well-distributed output.
+/// Public because seeding and stream splitting reuse it.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, 256-bit state, passes BigCrush.
+/// Satisfies std::uniform_random_bit_generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(seed_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  /// Derive an independent child generator from this generator's current
+  /// state and a caller-chosen tag. Does not advance this generator, so
+  /// split order across different tags is irrelevant.
+  Xoshiro256 split(std::uint64_t tag) const;
+
+  /// Uniform double in [0, 1) with 53 random bits.
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (uses the cached second variate).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire rejection).
+  std::uint64_t uniform_index(std::uint64_t n);
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace hm::rng

@@ -1,0 +1,101 @@
+#include "rng/sampling.hpp"
+
+#include <numeric>
+
+#include "core/check.hpp"
+
+namespace hm::rng {
+
+std::vector<index_t> sample_without_replacement(index_t n, index_t k,
+                                                Xoshiro256& gen) {
+  HM_CHECK_MSG(0 <= k && k <= n, "k=" << k << " n=" << n);
+  // Partial Fisher–Yates: O(n) setup, O(k) swaps.
+  std::vector<index_t> pool(static_cast<std::size_t>(n));
+  std::iota(pool.begin(), pool.end(), index_t{0});
+  for (index_t i = 0; i < k; ++i) {
+    const auto j = i + static_cast<index_t>(gen.uniform_index(
+                           static_cast<std::uint64_t>(n - i)));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(static_cast<std::size_t>(k));
+  return pool;
+}
+
+index_t sample_weighted(const std::vector<scalar_t>& weights,
+                        Xoshiro256& gen) {
+  HM_CHECK(!weights.empty());
+  scalar_t total = 0;
+  for (const scalar_t w : weights) {
+    HM_CHECK_MSG(w >= 0, "negative weight " << w);
+    total += w;
+  }
+  HM_CHECK_MSG(total > 0, "all weights are zero");
+  const scalar_t u = static_cast<scalar_t>(gen.uniform()) * total;
+  scalar_t acc = 0;
+  for (index_t i = 0; i < static_cast<index_t>(weights.size()); ++i) {
+    acc += weights[static_cast<std::size_t>(i)];
+    if (u < acc) return i;
+  }
+  return static_cast<index_t>(weights.size()) - 1;  // numerical edge
+}
+
+std::vector<index_t> sample_weighted_with_replacement(
+    const std::vector<scalar_t>& weights, index_t k, Xoshiro256& gen) {
+  HM_CHECK(k >= 0);
+  std::vector<index_t> out;
+  out.reserve(static_cast<std::size_t>(k));
+  if (k >= 8) {
+    const AliasTable table(weights);
+    for (index_t i = 0; i < k; ++i) out.push_back(table.sample(gen));
+  } else {
+    for (index_t i = 0; i < k; ++i) out.push_back(sample_weighted(weights, gen));
+  }
+  return out;
+}
+
+AliasTable::AliasTable(const std::vector<scalar_t>& weights) {
+  const index_t n = static_cast<index_t>(weights.size());
+  HM_CHECK(n > 0);
+  double total = 0;
+  for (const scalar_t w : weights) {
+    HM_CHECK_MSG(w >= 0, "negative weight " << w);
+    total += static_cast<double>(w);
+  }
+  HM_CHECK_MSG(total > 0, "all weights are zero");
+
+  prob_.assign(static_cast<std::size_t>(n), 0.0);
+  alias_.assign(static_cast<std::size_t>(n), 0);
+  std::vector<double> scaled(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) {
+    scaled[static_cast<std::size_t>(i)] =
+        static_cast<double>(weights[static_cast<std::size_t>(i)]) *
+        static_cast<double>(n) / total;
+  }
+  std::vector<index_t> small, large;
+  for (index_t i = 0; i < n; ++i) {
+    (scaled[static_cast<std::size_t>(i)] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const index_t s = small.back();
+    small.pop_back();
+    const index_t l = large.back();
+    large.pop_back();
+    prob_[static_cast<std::size_t>(s)] = scaled[static_cast<std::size_t>(s)];
+    alias_[static_cast<std::size_t>(s)] = l;
+    scaled[static_cast<std::size_t>(l)] -=
+        1.0 - scaled[static_cast<std::size_t>(s)];
+    (scaled[static_cast<std::size_t>(l)] < 1.0 ? small : large).push_back(l);
+  }
+  for (const index_t i : large) prob_[static_cast<std::size_t>(i)] = 1.0;
+  for (const index_t i : small) prob_[static_cast<std::size_t>(i)] = 1.0;
+}
+
+index_t AliasTable::sample(Xoshiro256& gen) const {
+  const auto column = static_cast<index_t>(
+      gen.uniform_index(static_cast<std::uint64_t>(prob_.size())));
+  return gen.uniform() < prob_[static_cast<std::size_t>(column)]
+             ? column
+             : alias_[static_cast<std::size_t>(column)];
+}
+
+}  // namespace hm::rng

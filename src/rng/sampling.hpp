@@ -1,0 +1,53 @@
+// Sampling primitives used by the federated algorithms: shuffles,
+// uniform subsets (participation), weighted draws (edge sampling by p),
+// and an alias table for repeated categorical sampling.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "rng/rng.hpp"
+
+namespace hm::rng {
+
+/// In-place Fisher–Yates shuffle.
+template <typename T>
+void shuffle(std::vector<T>& items, Xoshiro256& gen) {
+  for (index_t i = static_cast<index_t>(items.size()) - 1; i > 0; --i) {
+    const auto j = static_cast<index_t>(
+        gen.uniform_index(static_cast<std::uint64_t>(i) + 1));
+    std::swap(items[i], items[j]);
+  }
+}
+
+/// k distinct indices drawn uniformly from [0, n), in random order.
+std::vector<index_t> sample_without_replacement(index_t n, index_t k,
+                                                Xoshiro256& gen);
+
+/// One index drawn from the (unnormalized, nonnegative) weights.
+index_t sample_weighted(const std::vector<scalar_t>& weights, Xoshiro256& gen);
+
+/// k indices drawn i.i.d. from the weights (with replacement). This is the
+/// Phase-1 edge sampling of HierMinimax: averaging models of edges drawn
+/// i.i.d. ~ p keeps the aggregate (Eq. 5) an unbiased estimate of
+/// sum_e p_e w_e.
+std::vector<index_t> sample_weighted_with_replacement(
+    const std::vector<scalar_t>& weights, index_t k, Xoshiro256& gen);
+
+/// Walker alias table: O(n) build, O(1) per draw. Used where the same
+/// categorical distribution is sampled many times (e.g. label-noise
+/// injection in dataset generation).
+class AliasTable {
+ public:
+  explicit AliasTable(const std::vector<scalar_t>& weights);
+
+  index_t sample(Xoshiro256& gen) const;
+
+  index_t size() const { return static_cast<index_t>(prob_.size()); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<index_t> alias_;
+};
+
+}  // namespace hm::rng

@@ -1,0 +1,32 @@
+// Parallel execution harness for the simulated cluster: runs one job per
+// (selected) client on the shared thread pool. Jobs receive the client id
+// and must be mutually independent; determinism comes from per-client RNG
+// streams, not from scheduling order.
+#pragma once
+
+#include <functional>
+
+#include "parallel/parallel_for.hpp"
+#include "sim/topology.hpp"
+
+namespace hm::sim {
+
+class ClusterSim {
+ public:
+  explicit ClusterSim(parallel::ThreadPool& pool) : pool_(&pool) {}
+  ClusterSim() : pool_(&parallel::ThreadPool::global()) {}
+
+  parallel::ThreadPool& pool() const { return *pool_; }
+
+  /// Run `job(i)` for i in [0, count) across the pool; each i is one
+  /// simulated device doing local work. Blocks until all jobs finish and
+  /// rethrows the first job exception.
+  void run_devices(index_t count, const std::function<void(index_t)>& job) const {
+    parallel::parallel_for(*pool_, 0, count, job, /*grain=*/1);
+  }
+
+ private:
+  parallel::ThreadPool* pool_;
+};
+
+}  // namespace hm::sim

@@ -1,0 +1,74 @@
+// Communication metering for the hierarchical network. Every algorithm
+// charges its traffic here, so "communication rounds/overhead" comparisons
+// across two-layer and three-layer methods use one consistent meter.
+//
+// Conventions:
+//  * A *model payload* is one full parameter vector (d scalars).
+//  * A *scalar payload* is one loss value or one small control message.
+//  * A *round* on a link is one synchronized aggregation event on that
+//    link (e.g. one client-edge aggregation = 1 client_edge round,
+//    regardless of how many clients participate). For two-layer methods
+//    the client-server link is charged as edge_cloud, since the server
+//    plays the cloud role and the clients connect to it over the
+//    wide-area (expensive) segment.
+#pragma once
+
+#include <cstdint>
+
+#include "core/types.hpp"
+
+namespace hm::sim {
+
+struct CommStats {
+  // Aggregation/synchronization events per link.
+  std::uint64_t client_edge_rounds = 0;
+  std::uint64_t edge_cloud_rounds = 0;
+
+  // Model-sized payload counts (uplink = toward the server/cloud).
+  std::uint64_t client_edge_models_up = 0;
+  std::uint64_t client_edge_models_down = 0;
+  std::uint64_t edge_cloud_models_up = 0;
+  std::uint64_t edge_cloud_models_down = 0;
+
+  // Scalar payloads (loss estimates, checkpoint indices).
+  std::uint64_t client_edge_scalars = 0;
+  std::uint64_t edge_cloud_scalars = 0;
+
+  // Wire bytes per link (model payloads at their transmitted precision —
+  // see sim::payload_bytes — plus 8 bytes per scalar payload).
+  std::uint64_t client_edge_bytes = 0;
+  std::uint64_t edge_cloud_bytes = 0;
+
+  /// Total synchronization rounds across both link levels — the x-axis
+  /// used for the Fig. 3 / Fig. 4 communication comparisons.
+  std::uint64_t total_rounds() const {
+    return client_edge_rounds + edge_cloud_rounds;
+  }
+
+  /// Total model payloads crossing the expensive edge-cloud segment.
+  std::uint64_t edge_cloud_models() const {
+    return edge_cloud_models_up + edge_cloud_models_down;
+  }
+
+  /// Total model payloads anywhere in the network.
+  std::uint64_t total_models() const {
+    return client_edge_models_up + client_edge_models_down +
+           edge_cloud_models();
+  }
+
+  CommStats& operator+=(const CommStats& o) {
+    client_edge_rounds += o.client_edge_rounds;
+    edge_cloud_rounds += o.edge_cloud_rounds;
+    client_edge_models_up += o.client_edge_models_up;
+    client_edge_models_down += o.client_edge_models_down;
+    edge_cloud_models_up += o.edge_cloud_models_up;
+    edge_cloud_models_down += o.edge_cloud_models_down;
+    client_edge_scalars += o.client_edge_scalars;
+    edge_cloud_scalars += o.edge_cloud_scalars;
+    client_edge_bytes += o.client_edge_bytes;
+    edge_cloud_bytes += o.edge_cloud_bytes;
+    return *this;
+  }
+};
+
+}  // namespace hm::sim

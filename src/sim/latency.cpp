@@ -1,0 +1,31 @@
+#include "sim/latency.hpp"
+
+#include "core/check.hpp"
+
+namespace hm::sim {
+
+TimeBreakdown time_breakdown(const CommStats& comm,
+                             const NetworkProfile& net, double concurrency) {
+  if (concurrency <= 0) concurrency = 1;
+  TimeBreakdown t;
+  HM_CHECK(net.client_edge.bandwidth_bps > 0 &&
+           net.edge_cloud.bandwidth_bps > 0);
+  t.client_edge_s =
+      static_cast<double>(comm.client_edge_rounds) *
+          net.client_edge.latency_s +
+      static_cast<double>(comm.client_edge_bytes) * 8 /
+          (net.client_edge.bandwidth_bps * concurrency);
+  t.edge_cloud_s =
+      static_cast<double>(comm.edge_cloud_rounds) *
+          net.edge_cloud.latency_s +
+      static_cast<double>(comm.edge_cloud_bytes) * 8 /
+          (net.edge_cloud.bandwidth_bps * concurrency);
+  return t;
+}
+
+double NetworkProfile::seconds(const CommStats& comm,
+                               double concurrency) const {
+  return time_breakdown(comm, *this, concurrency).total();
+}
+
+}  // namespace hm::sim

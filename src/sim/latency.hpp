@@ -1,0 +1,49 @@
+// Wall-clock cost model for the simulated network: translates the
+// communication meters (CommStats) into an estimated training time under
+// a configurable link profile. This quantifies the hierarchy's point —
+// client-edge sync is cheap LAN traffic, edge-cloud sync is expensive
+// WAN traffic — in seconds rather than abstract round counts.
+//
+// Model: each synchronization round on a link costs one round-trip
+// latency; payload bytes stream at the link bandwidth. Transfers within
+// one round are concurrent across devices, so bytes are divided by the
+// number of parallel transfers (we approximate with the per-round mean).
+#pragma once
+
+#include "core/types.hpp"
+#include "sim/comm.hpp"
+
+namespace hm::sim {
+
+struct LinkProfile {
+  double latency_s = 0;         // round-trip setup cost per sync round
+  double bandwidth_bps = 1e9;   // bits per second, per transfer
+};
+
+/// A two-segment network: LAN-ish client-edge links and WAN-ish
+/// edge-cloud links. Defaults follow common mobile-edge-computing
+/// assumptions (5 ms / 1 Gbps at the edge, 50 ms / 100 Mbps to the
+/// cloud).
+struct NetworkProfile {
+  LinkProfile client_edge{0.005, 1e9};
+  LinkProfile edge_cloud{0.050, 100e6};
+
+  /// Estimated wall-clock seconds to carry the metered traffic.
+  /// `concurrency` is the typical number of simultaneous transfers per
+  /// round on each segment (e.g. m_E * N_0 clients upload in parallel);
+  /// <= 0 defaults to fully-serial accounting.
+  double seconds(const CommStats& comm, double concurrency = 1) const;
+};
+
+/// Per-segment breakdown of the same estimate.
+struct TimeBreakdown {
+  double client_edge_s = 0;
+  double edge_cloud_s = 0;
+  double total() const { return client_edge_s + edge_cloud_s; }
+};
+
+TimeBreakdown time_breakdown(const CommStats& comm,
+                             const NetworkProfile& net,
+                             double concurrency = 1);
+
+}  // namespace hm::sim

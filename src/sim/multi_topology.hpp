@@ -1,0 +1,71 @@
+// L-level hub-and-spoke topology — the paper's "multi-layer hierarchical
+// network" in full generality (§3 uses the three-layer client-edge-cloud
+// instance as the representative example).
+//
+// Depth 0 is the cloud; a node at depth l has branching[l] children; the
+// leaves (clients) sit at depth branching.size(). "Areas" are the depth-1
+// subtrees — the units the minimax weight vector p ranges over, exactly
+// as edge areas in the three-layer case.
+#pragma once
+
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+
+namespace hm::sim {
+
+class MultiTopology {
+ public:
+  explicit MultiTopology(std::vector<index_t> branching)
+      : branching_(std::move(branching)) {
+    HM_CHECK_MSG(!branching_.empty(), "need at least one level");
+    for (const index_t b : branching_) HM_CHECK(b > 0);
+  }
+
+  /// Number of link levels (= tree depth). The classic client-edge-cloud
+  /// system has depth 2: branching = {N_E, N_0}.
+  index_t depth() const { return static_cast<index_t>(branching_.size()); }
+
+  const std::vector<index_t>& branching() const { return branching_; }
+
+  /// Nodes at a given depth (depth 0 = 1 cloud node).
+  index_t nodes_at(index_t d) const {
+    HM_CHECK(0 <= d && d <= depth());
+    index_t n = 1;
+    for (index_t l = 0; l < d; ++l) {
+      n *= branching_[static_cast<std::size_t>(l)];
+    }
+    return n;
+  }
+
+  index_t num_leaves() const { return nodes_at(depth()); }
+
+  /// Minimax areas = depth-1 subtrees.
+  index_t num_areas() const { return branching_.front(); }
+
+  index_t leaves_per_area() const { return num_leaves() / num_areas(); }
+
+  /// Area that leaf `leaf` belongs to (leaves are numbered depth-first,
+  /// so areas own contiguous leaf ranges).
+  index_t area_of_leaf(index_t leaf) const {
+    HM_CHECK(0 <= leaf && leaf < num_leaves());
+    return leaf / leaves_per_area();
+  }
+
+  /// Leaves under the subtree rooted at depth `d`, subtree index `node`
+  /// (nodes at each depth are numbered depth-first, 0-based).
+  index_t leaves_per_node(index_t d) const {
+    return num_leaves() / nodes_at(d);
+  }
+
+  index_t first_leaf_of(index_t d, index_t node) const {
+    HM_CHECK(0 <= node && node < nodes_at(d));
+    return node * leaves_per_node(d);
+  }
+
+ private:
+  std::vector<index_t> branching_;
+};
+
+}  // namespace hm::sim

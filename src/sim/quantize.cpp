@@ -1,0 +1,37 @@
+#include "sim/quantize.hpp"
+
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace hm::sim {
+
+void quantize_payload(tensor::VecView v, int bits, rng::Xoshiro256& gen) {
+  HM_CHECK_MSG(1 <= bits && bits <= 16, "bits=" << bits);
+  if (v.empty()) return;
+  scalar_t scale = 0;
+  for (const scalar_t x : v) scale = std::max(scale, std::abs(x));
+  if (scale == 0) return;
+  const auto levels = static_cast<scalar_t>((1 << bits) - 1);
+  // Map [-scale, scale] onto [0, levels], stochastically round, map back.
+  const scalar_t step = 2 * scale / levels;
+  for (auto& x : v) {
+    const scalar_t t = (x + scale) / step;        // in [0, levels]
+    const scalar_t floor_t = std::floor(t);
+    const scalar_t frac = t - floor_t;
+    const scalar_t rounded =
+        floor_t + (static_cast<scalar_t>(gen.uniform()) < frac ? 1 : 0);
+    x = rounded * step - scale;
+  }
+}
+
+std::uint64_t payload_bytes(index_t dim, int bits) {
+  HM_CHECK(dim >= 0);
+  if (bits <= 0) return static_cast<std::uint64_t>(dim) * 8;  // float64
+  // Packed coordinates + one 8-byte scale.
+  const std::uint64_t coord_bits =
+      static_cast<std::uint64_t>(dim) * static_cast<std::uint64_t>(bits);
+  return (coord_bits + 7) / 8 + 8;
+}
+
+}  // namespace hm::sim

@@ -1,0 +1,26 @@
+// Stochastic uniform quantization of model payloads — the compression
+// scheme of Hier-Local-QSGD (Liu et al., TWC'23 [22]), the paper's cited
+// extension of hierarchical FL. Quantizing uplink models trades accuracy
+// for bytes on both network segments.
+//
+// Scheme: per payload, scale = max|v_i|; each coordinate is mapped to one
+// of 2^bits - 1 levels in [-scale, scale] by *stochastic* rounding, which
+// keeps the quantizer unbiased: E[Q(v)] = v.
+#pragma once
+
+#include "rng/rng.hpp"
+#include "tensor/matrix.hpp"
+
+namespace hm::sim {
+
+/// In-place simulate transmit+receive of `v` at `bits` bits per
+/// coordinate (bits in [1, 16]; callers treat 0 as "no quantization").
+/// Stochastic rounding driven by `gen`.
+void quantize_payload(tensor::VecView v, int bits, rng::Xoshiro256& gen);
+
+/// Wire size of one model payload of dimension `dim` at `bits` bits per
+/// coordinate (plus one float64 scale). bits == 0 means uncompressed
+/// float64 coordinates.
+std::uint64_t payload_bytes(index_t dim, int bits);
+
+}  // namespace hm::sim

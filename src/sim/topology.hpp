@@ -1,0 +1,53 @@
+// Client–edge–cloud topology description (Fig. 1 of the paper): a
+// hub-and-spoke tree where every edge server talks to the cloud and each
+// client is attached to exactly one edge server.
+#pragma once
+
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+
+namespace hm::sim {
+
+class HierTopology {
+ public:
+  /// Uniform topology: `num_edges` edge areas with `clients_per_edge`
+  /// clients each (N = N_E * N_0, the paper's setting).
+  HierTopology(index_t num_edges, index_t clients_per_edge)
+      : num_edges_(num_edges), clients_per_edge_(clients_per_edge) {
+    HM_CHECK(num_edges > 0 && clients_per_edge > 0);
+  }
+
+  index_t num_edges() const { return num_edges_; }           // N_E
+  index_t clients_per_edge() const { return clients_per_edge_; }  // N_0
+  index_t num_clients() const { return num_edges_ * clients_per_edge_; }
+
+  /// Global client id of the i-th client in edge area e.
+  index_t client_id(index_t edge, index_t i) const {
+    HM_CHECK(0 <= edge && edge < num_edges_);
+    HM_CHECK(0 <= i && i < clients_per_edge_);
+    return edge * clients_per_edge_ + i;
+  }
+
+  index_t edge_of_client(index_t client) const {
+    HM_CHECK(0 <= client && client < num_clients());
+    return client / clients_per_edge_;
+  }
+
+  /// All client ids in edge area e.
+  std::vector<index_t> clients_of_edge(index_t edge) const {
+    std::vector<index_t> out;
+    out.reserve(static_cast<std::size_t>(clients_per_edge_));
+    for (index_t i = 0; i < clients_per_edge_; ++i) {
+      out.push_back(client_id(edge, i));
+    }
+    return out;
+  }
+
+ private:
+  index_t num_edges_;
+  index_t clients_per_edge_;
+};
+
+}  // namespace hm::sim

@@ -1,0 +1,41 @@
+#include "tensor/activations.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/vecops.hpp"
+
+namespace hm::tensor {
+
+void relu(VecView x) {
+  for (auto& v : x) v = std::max(v, scalar_t{0});
+}
+
+void relu_backward(ConstVecView activation, VecView grad_out) {
+  HM_CHECK(activation.size() == grad_out.size());
+  for (std::size_t i = 0; i < activation.size(); ++i) {
+    if (activation[i] <= 0) grad_out[i] = 0;
+  }
+}
+
+void softmax_rows(Matrix& logits) {
+  for (index_t r = 0; r < logits.rows(); ++r) {
+    VecView row = logits.row(r);
+    const scalar_t shift = max(row);
+    scalar_t total = 0;
+    for (auto& v : row) {
+      v = std::exp(v - shift);
+      total += v;
+    }
+    scale(scalar_t{1} / total, row);
+  }
+}
+
+scalar_t log_sum_exp(ConstVecView x) {
+  const scalar_t shift = max(x);
+  scalar_t total = 0;
+  for (const scalar_t v : x) total += std::exp(v - shift);
+  return shift + std::log(total);
+}
+
+}  // namespace hm::tensor

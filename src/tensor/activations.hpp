@@ -1,0 +1,21 @@
+// Elementwise / rowwise nonlinearities shared by the NN layers.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace hm::tensor {
+
+/// In-place ReLU.
+void relu(VecView x);
+
+/// grad_in = grad_out ⊙ 1[activation > 0], written into grad_out in place.
+/// `activation` holds the post-ReLU values of the forward pass.
+void relu_backward(ConstVecView activation, VecView grad_out);
+
+/// Numerically stable in-place softmax over each row of `logits`.
+void softmax_rows(Matrix& logits);
+
+/// log(sum_j exp(x_j)) with the max-shift trick.
+scalar_t log_sum_exp(ConstVecView x);
+
+}  // namespace hm::tensor

@@ -1,0 +1,96 @@
+#include "tensor/gemm.hpp"
+
+#include "parallel/parallel_for.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::tensor {
+
+namespace {
+
+/// Flop threshold below which the serial kernel is used; spawning tasks
+/// for tiny batches (the common case: batch size 1–8) costs more than the
+/// multiply itself.
+constexpr index_t kParallelFlops = 1 << 18;
+
+void prepare_output(MatView c, index_t rows, index_t cols, scalar_t beta) {
+  HM_CHECK_MSG(c.rows() == rows && c.cols() == cols,
+               "gemm output shape (" << c.rows() << "x" << c.cols()
+                                     << ") != (" << rows << "x" << cols << ")");
+  if (beta == 0) {
+    set_zero(c.flat());
+  } else if (beta != 1) {
+    scale(beta, c.flat());
+  }
+}
+
+}  // namespace
+
+void gemm(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  HM_CHECK_MSG(b.rows() == k, "gemm inner dims " << k << " vs " << b.rows());
+  prepare_output(c, m, n, beta);
+  auto row_block = [&](index_t i) {
+    VecView crow = c.row(i);
+    ConstVecView arow = a.row(i);
+    for (index_t l = 0; l < k; ++l) {
+      const scalar_t alv = arow[static_cast<std::size_t>(l)];
+      if (alv == 0) continue;
+      axpy(alv, b.row(l), crow);
+    }
+  };
+  if (m * n * k >= kParallelFlops) {
+    parallel::parallel_for(0, m, row_block, /*grain=*/1);
+  } else {
+    for (index_t i = 0; i < m; ++i) row_block(i);
+  }
+}
+
+void gemm_nt(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
+  const index_t m = a.rows(), k = a.cols(), n = b.rows();
+  HM_CHECK_MSG(b.cols() == k, "gemm_nt inner dims " << k << " vs " << b.cols());
+  prepare_output(c, m, n, beta);
+  auto row_block = [&](index_t i) {
+    ConstVecView arow = a.row(i);
+    VecView crow = c.row(i);
+    for (index_t j = 0; j < n; ++j) {
+      crow[static_cast<std::size_t>(j)] += dot(arow, b.row(j));
+    }
+  };
+  if (m * n * k >= kParallelFlops) {
+    parallel::parallel_for(0, m, row_block, /*grain=*/1);
+  } else {
+    for (index_t i = 0; i < m; ++i) row_block(i);
+  }
+}
+
+void gemm_tn(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
+  const index_t m = a.rows(), k = a.cols(), n = b.cols();
+  HM_CHECK_MSG(b.rows() == m, "gemm_tn inner dims " << m << " vs " << b.rows());
+  prepare_output(c, k, n, beta);
+  // Each task owns one output row l, so writes are disjoint.
+  auto col_block = [&](index_t l) {
+    VecView crow = c.row(l);
+    for (index_t i = 0; i < m; ++i) {
+      const scalar_t ail = a(i, l);
+      if (ail == 0) continue;
+      axpy(ail, b.row(i), crow);
+    }
+  };
+  if (m * n * k >= kParallelFlops) {
+    parallel::parallel_for(0, k, col_block, /*grain=*/1);
+  } else {
+    for (index_t l = 0; l < k; ++l) col_block(l);
+  }
+}
+
+void gemv(ConstMatView a, ConstVecView x, VecView y, scalar_t beta) {
+  HM_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  HM_CHECK(static_cast<index_t>(y.size()) == a.rows());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const scalar_t acc = dot(a.row(i), x);
+    y[static_cast<std::size_t>(i)] =
+        beta * y[static_cast<std::size_t>(i)] + acc;
+  }
+}
+
+}  // namespace hm::tensor

@@ -1,0 +1,29 @@
+// Matrix multiply kernels for the NN forward/backward passes.
+//
+// Shapes follow the row-major convention used across hm::nn:
+//   C(m x n) (+)= A(m x k) * B(k x n)            — gemm
+//   C(m x n) (+)= A(m x k) * B(n x k)^T          — gemm_nt
+//   C(k x n) (+)= A(m x k)^T * B(m x n)          — gemm_tn
+//
+// The kernels are cache-blocked and, above a size threshold, split over
+// rows of C on the global thread pool. Row-splitting keeps writes disjoint
+// so no synchronization is needed and results are deterministic.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace hm::tensor {
+
+/// If beta == 0 the output is overwritten, else C = beta*C + A*B.
+void gemm(ConstMatView a, ConstMatView b, MatView c, scalar_t beta = 0);
+
+/// C = beta*C + A * B^T.
+void gemm_nt(ConstMatView a, ConstMatView b, MatView c, scalar_t beta = 0);
+
+/// C = beta*C + A^T * B.
+void gemm_tn(ConstMatView a, ConstMatView b, MatView c, scalar_t beta = 0);
+
+/// y = beta*y + A * x (dense matrix-vector).
+void gemv(ConstMatView a, ConstVecView x, VecView y, scalar_t beta = 0);
+
+}  // namespace hm::tensor

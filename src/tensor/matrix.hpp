@@ -1,0 +1,133 @@
+// Dense row-major matrix over scalar_t, plus lightweight vector views.
+// This is the numerical substrate for the NN stack: models store their
+// parameters in one flat std::vector<scalar_t> (so federated averaging is
+// a BLAS-1 axpy), and layers view slices of it as matrices.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+
+namespace hm::tensor {
+
+using VecView = std::span<scalar_t>;
+using ConstVecView = std::span<const scalar_t>;
+
+/// Non-owning read-only view of a row-major matrix. Lets layers interpret
+/// slices of a flat parameter vector as weight matrices without copying.
+class ConstMatView {
+ public:
+  ConstMatView() = default;
+  ConstMatView(const scalar_t* p, index_t r, index_t c)
+      : ptr_(p), rows_(r), cols_(c) {}
+  ConstMatView(ConstVecView v, index_t r, index_t c)
+      : ptr_(v.data()), rows_(r), cols_(c) {
+    HM_CHECK(static_cast<index_t>(v.size()) >= r * c);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  scalar_t operator()(index_t r, index_t c) const {
+    return ptr_[r * cols_ + c];
+  }
+  ConstVecView row(index_t r) const {
+    HM_CHECK(0 <= r && r < rows_);
+    return ConstVecView(ptr_ + r * cols_, static_cast<std::size_t>(cols_));
+  }
+  ConstVecView flat() const {
+    return ConstVecView(ptr_, static_cast<std::size_t>(rows_ * cols_));
+  }
+
+ private:
+  const scalar_t* ptr_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+/// Non-owning mutable view of a row-major matrix.
+class MatView {
+ public:
+  MatView() = default;
+  MatView(scalar_t* p, index_t r, index_t c) : ptr_(p), rows_(r), cols_(c) {}
+  MatView(VecView v, index_t r, index_t c)
+      : ptr_(v.data()), rows_(r), cols_(c) {
+    HM_CHECK(static_cast<index_t>(v.size()) >= r * c);
+  }
+
+  operator ConstMatView() const { return ConstMatView(ptr_, rows_, cols_); }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  scalar_t& operator()(index_t r, index_t c) const {
+    return ptr_[r * cols_ + c];
+  }
+  VecView row(index_t r) const {
+    HM_CHECK(0 <= r && r < rows_);
+    return VecView(ptr_ + r * cols_, static_cast<std::size_t>(cols_));
+  }
+  VecView flat() const {
+    return VecView(ptr_, static_cast<std::size_t>(rows_ * cols_));
+  }
+
+ private:
+  scalar_t* ptr_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(index_t rows, index_t cols, scalar_t fill = 0) { resize(rows, cols, fill); }
+
+  void resize(index_t rows, index_t cols, scalar_t fill = 0) {
+    HM_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(static_cast<std::size_t>(rows * cols), fill);
+  }
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  index_t size() const { return rows_ * cols_; }
+
+  scalar_t& operator()(index_t r, index_t c) {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  scalar_t operator()(index_t r, index_t c) const {
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  scalar_t* data() { return data_.data(); }
+  const scalar_t* data() const { return data_.data(); }
+
+  VecView row(index_t r) {
+    HM_CHECK(0 <= r && r < rows_);
+    return VecView(data_.data() + r * cols_, static_cast<std::size_t>(cols_));
+  }
+  ConstVecView row(index_t r) const {
+    HM_CHECK(0 <= r && r < rows_);
+    return ConstVecView(data_.data() + r * cols_,
+                        static_cast<std::size_t>(cols_));
+  }
+
+  VecView flat() { return VecView(data_); }
+  ConstVecView flat() const { return ConstVecView(data_); }
+
+  void fill(scalar_t value) { data_.assign(data_.size(), value); }
+
+  operator ConstMatView() const { return ConstMatView(data(), rows_, cols_); }
+  operator MatView() { return MatView(data(), rows_, cols_); }
+  MatView view() { return MatView(data(), rows_, cols_); }
+  ConstMatView view() const { return ConstMatView(data(), rows_, cols_); }
+
+ private:
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  std::vector<scalar_t> data_;
+};
+
+}  // namespace hm::tensor

@@ -1,0 +1,69 @@
+#include "tensor/vecops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hm::tensor {
+
+void axpy(scalar_t alpha, ConstVecView x, VecView y) {
+  HM_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(scalar_t alpha, VecView x) {
+  for (auto& v : x) v *= alpha;
+}
+
+scalar_t dot(ConstVecView x, ConstVecView y) {
+  HM_CHECK(x.size() == y.size());
+  scalar_t acc = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+scalar_t nrm2(ConstVecView x) { return std::sqrt(dot(x, x)); }
+
+scalar_t dist2(ConstVecView x, ConstVecView y) {
+  HM_CHECK(x.size() == y.size());
+  scalar_t acc = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const scalar_t d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+void copy(ConstVecView x, VecView y) {
+  HM_CHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void set_zero(VecView x) { std::fill(x.begin(), x.end(), scalar_t{0}); }
+
+scalar_t sum(ConstVecView x) {
+  scalar_t acc = 0;
+  for (const scalar_t v : x) acc += v;
+  return acc;
+}
+
+scalar_t max(ConstVecView x) {
+  HM_CHECK(!x.empty());
+  return *std::max_element(x.begin(), x.end());
+}
+
+index_t argmax(ConstVecView x) {
+  HM_CHECK(!x.empty());
+  return static_cast<index_t>(
+      std::distance(x.begin(), std::max_element(x.begin(), x.end())));
+}
+
+void project_l2_ball(VecView x, scalar_t radius) {
+  if (radius <= 0) return;  // W = R^d
+  const scalar_t norm = nrm2(x);
+  if (norm > radius) scale(radius / norm, x);
+}
+
+}  // namespace hm::tensor

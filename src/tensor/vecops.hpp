@@ -1,0 +1,44 @@
+// BLAS-1 style kernels on contiguous spans. These are the hot loops of
+// federated aggregation (axpy/scale over flat parameter vectors); they are
+// written as simple countable loops so the compiler auto-vectorizes them.
+#pragma once
+
+#include "tensor/matrix.hpp"
+
+namespace hm::tensor {
+
+/// y += alpha * x
+void axpy(scalar_t alpha, ConstVecView x, VecView y);
+
+/// x *= alpha
+void scale(scalar_t alpha, VecView x);
+
+/// <x, y>
+scalar_t dot(ConstVecView x, ConstVecView y);
+
+/// ||x||_2
+scalar_t nrm2(ConstVecView x);
+
+/// ||x - y||_2
+scalar_t dist2(ConstVecView x, ConstVecView y);
+
+/// y = x (sizes must match)
+void copy(ConstVecView x, VecView y);
+
+/// x = 0
+void set_zero(VecView x);
+
+/// sum of entries
+scalar_t sum(ConstVecView x);
+
+/// max entry (requires non-empty)
+scalar_t max(ConstVecView x);
+
+/// index of the max entry (first on ties; requires non-empty)
+index_t argmax(ConstVecView x);
+
+/// Project x onto the L2 ball of the given radius centered at the origin.
+/// radius <= 0 means "unconstrained" (identity), matching W = R^d.
+void project_l2_ball(VecView x, scalar_t radius);
+
+}  // namespace hm::tensor

@@ -1,0 +1,364 @@
+// Tests for the shared algorithm machinery (local SGD, participant
+// bookkeeping) and the baseline trainers (FedAvg, HierFAVG, DRFA/AFL):
+// convergence on easy tasks, communication accounting, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algo/drfa.hpp"
+#include "algo/fedavg.hpp"
+#include "algo/hierfavg.hpp"
+#include "algo/local_sgd.hpp"
+#include "algo/trainer_common.hpp"
+#include "nn/softmax_regression.hpp"
+#include "tensor/vecops.hpp"
+#include "test_util.hpp"
+
+namespace hm::algo {
+namespace {
+
+using testing_util::heterogeneous_task;
+using testing_util::iid_task;
+
+TEST(LocalSgd, ReducesLossOnShard) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto& shard = fed.client_train[0];
+  std::vector<scalar_t> w(static_cast<std::size_t>(model.num_params()), 0);
+  ClientScratch scratch;
+  scratch.ensure(model);
+  auto ws = model.make_workspace();
+  const auto batch = nn::all_indices(shard.size());
+  const scalar_t before = model.loss(w, shard, batch, *ws);
+  LocalSgdConfig cfg;
+  cfg.steps = 200;
+  cfg.batch_size = 8;
+  cfg.eta = 0.1;
+  rng::Xoshiro256 gen(1);
+  run_local_sgd(model, shard, cfg, w, {}, gen, scratch);
+  EXPECT_LT(model.loss(w, shard, batch, *ws), 0.7 * before);
+}
+
+TEST(LocalSgd, CheckpointCapturesIntermediateIterate) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto& shard = fed.client_train[0];
+  const auto d = static_cast<std::size_t>(model.num_params());
+
+  // Run 5 steps with checkpoint at step 3.
+  std::vector<scalar_t> w5(d, 0), ckpt(d, 0);
+  LocalSgdConfig cfg;
+  cfg.steps = 5;
+  cfg.batch_size = 4;
+  cfg.eta = 0.05;
+  cfg.checkpoint_step = 3;
+  ClientScratch scratch;
+  rng::Xoshiro256 gen_a(9);
+  run_local_sgd(model, shard, cfg, w5, ckpt, gen_a, scratch);
+
+  // Reference: 3 steps with the same stream must equal the checkpoint.
+  std::vector<scalar_t> w3(d, 0);
+  LocalSgdConfig cfg3;
+  cfg3.steps = 3;
+  cfg3.batch_size = 4;
+  cfg3.eta = 0.05;
+  rng::Xoshiro256 gen_b(9);
+  run_local_sgd(model, shard, cfg3, w3, {}, gen_b, scratch);
+  for (std::size_t i = 0; i < d; ++i) EXPECT_DOUBLE_EQ(ckpt[i], w3[i]);
+  // And the final iterate moved past the checkpoint.
+  EXPECT_GT(tensor::dist2(w5, ckpt), 0);
+}
+
+TEST(LocalSgd, CheckpointAtFinalStepEqualsResult) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto& shard = fed.client_train[0];
+  const auto d = static_cast<std::size_t>(model.num_params());
+  std::vector<scalar_t> w(d, 0), ckpt(d, 0);
+  LocalSgdConfig cfg;
+  cfg.steps = 4;
+  cfg.batch_size = 2;
+  cfg.eta = 0.05;
+  cfg.checkpoint_step = 4;
+  ClientScratch scratch;
+  rng::Xoshiro256 gen(10);
+  run_local_sgd(model, shard, cfg, w, ckpt, gen, scratch);
+  for (std::size_t i = 0; i < d; ++i) EXPECT_DOUBLE_EQ(ckpt[i], w[i]);
+}
+
+TEST(LocalSgd, ProjectionKeepsIterateInBall) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  std::vector<scalar_t> w(static_cast<std::size_t>(model.num_params()), 0);
+  LocalSgdConfig cfg;
+  cfg.steps = 100;
+  cfg.batch_size = 4;
+  cfg.eta = 0.5;  // aggressive, would escape a small ball
+  cfg.w_radius = 0.2;
+  ClientScratch scratch;
+  rng::Xoshiro256 gen(11);
+  run_local_sgd(model, fed.client_train[0], cfg, w, {}, gen, scratch);
+  EXPECT_LE(tensor::nrm2(w), 0.2 + 1e-9);
+}
+
+TEST(LocalSgd, WeightDecayShrinksParameterNorm) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto& shard = fed.client_train[0];
+  auto run_with_decay = [&](scalar_t decay) {
+    std::vector<scalar_t> w(static_cast<std::size_t>(model.num_params()), 0);
+    LocalSgdConfig cfg;
+    cfg.steps = 300;
+    cfg.batch_size = 8;
+    cfg.eta = 0.1;
+    cfg.weight_decay = decay;
+    ClientScratch scratch;
+    rng::Xoshiro256 gen(21);
+    run_local_sgd(model, shard, cfg, w, {}, gen, scratch);
+    return tensor::nrm2(w);
+  };
+  const scalar_t plain = run_with_decay(0.0);
+  const scalar_t decayed = run_with_decay(0.5);
+  EXPECT_LT(decayed, plain);
+  EXPECT_GT(decayed, 0);
+}
+
+TEST(LocalSgd, ProximalTermLimitsDrift) {
+  // With a strong proximal anchor the iterate stays near its start even
+  // after many steps on skewed data.
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto& shard = fed.client_train[0];  // single-class shard -> drift
+  auto drift_with_mu = [&](scalar_t mu) {
+    std::vector<scalar_t> w(static_cast<std::size_t>(model.num_params()), 0);
+    LocalSgdConfig cfg;
+    cfg.steps = 200;
+    cfg.batch_size = 8;
+    cfg.eta = 0.1;
+    cfg.prox_mu = mu;
+    ClientScratch scratch;
+    rng::Xoshiro256 gen(31);
+    run_local_sgd(model, shard, cfg, w, {}, gen, scratch);
+    return tensor::nrm2(w);  // start was 0, so norm == drift
+  };
+  const scalar_t free_drift = drift_with_mu(0.0);
+  const scalar_t anchored = drift_with_mu(5.0);
+  EXPECT_LT(anchored, 0.5 * free_drift);
+  EXPECT_GT(anchored, 0);
+}
+
+TEST(Participants, DedupAndMultiplicity) {
+  const auto p = detail::Participants::from_draws({3, 1, 3, 3, 2});
+  EXPECT_EQ(p.total, 5);
+  EXPECT_EQ(p.ids, (std::vector<index_t>{3, 1, 2}));
+  EXPECT_EQ(p.multiplicity, (std::vector<index_t>{3, 1, 1}));
+}
+
+TEST(Participants, WeightedAverageUsesMultiplicity) {
+  std::vector<std::vector<scalar_t>> vecs = {
+      {1.0}, {2.0}, {3.0}};
+  const auto p = detail::Participants::from_draws({0, 2, 2, 2});
+  std::vector<scalar_t> out(1);
+  detail::weighted_average(vecs, p, out);
+  EXPECT_DOUBLE_EQ(out[0], (1.0 + 3 * 3.0) / 4);
+}
+
+TEST(RunningAverage, MatchesArithmeticMean) {
+  std::vector<scalar_t> avg = {0.0};
+  const std::vector<std::vector<scalar_t>> values = {{2}, {4}, {9}};
+  // First fold replaces (k = 0 prior points).
+  detail::update_running_average(avg, values[0], 0);
+  detail::update_running_average(avg, values[1], 1);
+  detail::update_running_average(avg, values[2], 2);
+  EXPECT_NEAR(avg[0], 5.0, 1e-12);
+}
+
+TrainOptions quick_opts(index_t rounds = 40) {
+  TrainOptions o;
+  o.rounds = rounds;
+  o.tau1 = 2;
+  o.tau2 = 2;
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eta_p = 0.01;
+  o.eval_every = 0;  // final only — tests that need curves override
+  o.seed = 5;
+  return o;
+}
+
+TEST(Trainers, FedProxOptionChangesTrajectory) {
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(10);
+  const auto plain = train_fedavg(model, fed, opts);
+  opts.prox_mu = 1.0;
+  const auto prox = train_fedavg(model, fed, opts);
+  EXPECT_GT(tensor::dist2(plain.w, prox.w), 0);
+  // Proximal runs still learn.
+  EXPECT_GT(prox.history.back().summary.average, 0.5);
+}
+
+TEST(FedAvg, LearnsIidTask) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(60);
+  const auto result = train_fedavg(model, fed, opts);
+  ASSERT_FALSE(result.history.empty());
+  EXPECT_GT(result.history.back().summary.average, 0.85);
+  EXPECT_GT(result.history.back().summary.worst, 0.8);
+}
+
+TEST(FedAvg, CommAccountingMatchesFormula) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(10);
+  opts.sampled_clients = 4;
+  const auto result = train_fedavg(model, fed, opts);
+  // Per round: 1 server round, m models down, m models up.
+  EXPECT_EQ(result.comm.edge_cloud_rounds, 10u);
+  EXPECT_EQ(result.comm.edge_cloud_models_down, 40u);
+  EXPECT_EQ(result.comm.edge_cloud_models_up, 40u);
+  EXPECT_EQ(result.comm.client_edge_rounds, 0u);
+}
+
+TEST(FedAvg, DeterministicAcrossThreadCounts) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto opts = quick_opts(8);
+  parallel::ThreadPool pool1(1), pool8(8);
+  const auto r1 = train_fedavg(model, fed, opts, pool1);
+  const auto r8 = train_fedavg(model, fed, opts, pool8);
+  ASSERT_EQ(r1.w.size(), r8.w.size());
+  for (std::size_t i = 0; i < r1.w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.w[i], r8.w[i]);
+  }
+}
+
+TEST(FedAvg, SeedChangesTrajectory) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(8);
+  const auto a = train_fedavg(model, fed, opts);
+  opts.seed += 1;
+  const auto b = train_fedavg(model, fed, opts);
+  EXPECT_GT(tensor::dist2(a.w, b.w), 0);
+}
+
+TEST(HierFavg, LearnsIidTask) {
+  const auto fed = iid_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto result = train_hierfavg(model, fed, topo, quick_opts(40));
+  EXPECT_GT(result.history.back().summary.average, 0.85);
+}
+
+TEST(HierFavg, CommAccountingMatchesFormula) {
+  const auto fed = iid_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(10);
+  opts.sampled_edges = 2;
+  const auto result = train_hierfavg(model, fed, topo, opts);
+  // Per round: tau2 client-edge rounds, 1 edge-cloud round.
+  EXPECT_EQ(result.comm.client_edge_rounds,
+            static_cast<std::uint64_t>(10 * opts.tau2));
+  EXPECT_EQ(result.comm.edge_cloud_rounds, 10u);
+  EXPECT_EQ(result.comm.edge_cloud_models_up, 20u);    // m_E per round
+  EXPECT_EQ(result.comm.edge_cloud_models_down, 20u);
+  EXPECT_EQ(result.comm.client_edge_models_down,
+            static_cast<std::uint64_t>(10 * opts.tau2 * 2 * 2));
+}
+
+TEST(HierFavg, TopologyMismatchThrows) {
+  const auto fed = iid_task(4, 2);
+  const sim::HierTopology wrong(5, 2);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  EXPECT_THROW(train_hierfavg(model, fed, wrong, quick_opts(2)), CheckError);
+}
+
+TEST(Drfa, LearnsIidTaskAndKeepsWeightsOnSimplex) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto result = train_drfa(model, fed, quick_opts(60));
+  EXPECT_GT(result.history.back().summary.average, 0.8);
+  // Reported per-edge weights sum to 1.
+  scalar_t total = 0;
+  for (const scalar_t p : result.p) {
+    EXPECT_GE(p, -1e-9);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(Drfa, CommAccountingMatchesFormula) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(5);
+  opts.sampled_clients = 8;  // no duplicate-edge dedup effects to predict:
+                             // uniform start means duplicates possible, so
+                             // only round counters are exact.
+  const auto result = train_drfa(model, fed, opts);
+  EXPECT_EQ(result.comm.edge_cloud_rounds, 10u);  // 2 per round
+  EXPECT_EQ(result.comm.edge_cloud_scalars, 40u); // m per round
+  EXPECT_EQ(result.comm.client_edge_rounds, 0u);
+}
+
+TEST(Afl, IsSingleStepDrfa) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(10);
+  opts.tau1 = 7;  // must be ignored by AFL
+  const auto afl = train_stochastic_afl(model, fed, opts);
+  opts.tau1 = 1;
+  opts.tau2 = 1;
+  const auto drfa1 = train_drfa(model, fed, opts);
+  ASSERT_EQ(afl.w.size(), drfa1.w.size());
+  for (std::size_t i = 0; i < afl.w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(afl.w[i], drfa1.w[i]);
+  }
+}
+
+TEST(Drfa, WeightsShiftTowardHardClients) {
+  // Heterogeneous task: DRFA should end with non-uniform edge weights.
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(60);
+  opts.eta_p = 0.05;
+  const auto result = train_drfa(model, fed, opts);
+  scalar_t spread = 0;
+  const scalar_t uniform = 1.0 / static_cast<scalar_t>(result.p.size());
+  for (const scalar_t p : result.p) spread += std::abs(p - uniform);
+  EXPECT_GT(spread, 0.05);
+}
+
+TEST(Trainers, HistoryCadenceRespected) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts(20);
+  opts.eval_every = 5;
+  const auto result = train_fedavg(model, fed, opts);
+  // Records at rounds 0, 5, 10, 15, 20.
+  ASSERT_EQ(result.history.size(), 5u);
+  EXPECT_EQ(result.history.records()[0].round, 0);
+  EXPECT_EQ(result.history.back().round, 20);
+  // Comm counters monotone non-decreasing along the history.
+  std::uint64_t prev = 0;
+  for (const auto& r : result.history.records()) {
+    EXPECT_GE(r.comm.total_rounds(), prev);
+    prev = r.comm.total_rounds();
+  }
+}
+
+TEST(Trainers, InvalidOptionsThrow) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = quick_opts();
+  opts.rounds = 0;
+  EXPECT_THROW(train_fedavg(model, fed, opts), CheckError);
+  opts = quick_opts();
+  opts.sampled_clients = fed.num_clients() + 1;
+  EXPECT_THROW(train_fedavg(model, fed, opts), CheckError);
+}
+
+}  // namespace
+}  // namespace hm::algo

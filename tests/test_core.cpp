@@ -1,0 +1,110 @@
+// Unit tests for hm::core: check macros, flag parsing, logging.
+#include <gtest/gtest.h>
+
+#include "core/check.hpp"
+#include "core/flags.hpp"
+#include "core/log.hpp"
+#include "core/stopwatch.hpp"
+
+namespace hm {
+namespace {
+
+TEST(Check, PassingConditionDoesNotThrow) {
+  EXPECT_NO_THROW(HM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(HM_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+  EXPECT_THROW(HM_CHECK(false), CheckError);
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    HM_CHECK_MSG(false, "value=" << 42);
+    FAIL() << "expected throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value=42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = parse({"--rounds=100", "--eta=0.5", "--name=abc"});
+  EXPECT_EQ(f.get_int("rounds", 0), 100);
+  EXPECT_DOUBLE_EQ(f.get_double("eta", 0), 0.5);
+  EXPECT_EQ(f.get_string("name", ""), "abc");
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = parse({"--rounds", "7", "--label", "x"});
+  EXPECT_EQ(f.get_int("rounds", 0), 7);
+  EXPECT_EQ(f.get_string("label", ""), "x");
+}
+
+TEST(Flags, BooleanForms) {
+  const Flags f = parse({"--verbose", "--no-color", "--flag=false"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+  EXPECT_FALSE(f.get_bool("color", true));
+  EXPECT_FALSE(f.get_bool("flag", true));
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const Flags f = parse({});
+  EXPECT_EQ(f.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("missing", "d"), "d");
+  EXPECT_TRUE(f.get_bool("missing", true));
+  EXPECT_FALSE(f.has("missing"));
+}
+
+TEST(Flags, PositionalArguments) {
+  const Flags f = parse({"one", "--x=1", "two"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "one");
+  EXPECT_EQ(f.positional()[1], "two");
+}
+
+TEST(Flags, MalformedIntegerThrows) {
+  const Flags f = parse({"--n=12abc"});
+  EXPECT_THROW(f.get_int("n", 0), CheckError);
+}
+
+TEST(Flags, MalformedDoubleThrows) {
+  const Flags f = parse({"--x=1.2.3"});
+  EXPECT_THROW(f.get_double("x", 0), CheckError);
+}
+
+TEST(Flags, MalformedBoolThrows) {
+  const Flags f = parse({"--b=maybe"});
+  EXPECT_THROW(f.get_bool("b", false), CheckError);
+}
+
+TEST(Flags, NegativeNumberAsValue) {
+  const Flags f = parse({"--offset", "-5"});
+  // "-5" is not a --flag, so it binds as the value.
+  EXPECT_EQ(f.get_int("offset", 0), -5);
+}
+
+TEST(Log, ThresholdFiltering) {
+  const auto saved = log::threshold();
+  log::set_threshold(log::Level::kError);
+  EXPECT_EQ(log::threshold(), log::Level::kError);
+  log::info() << "suppressed";  // must not crash
+  log::set_threshold(saved);
+}
+
+TEST(Stopwatch, MeasuresNonNegativeTime) {
+  Stopwatch sw;
+  EXPECT_GE(sw.seconds(), 0.0);
+  sw.reset();
+  EXPECT_GE(sw.millis(), 0.0);
+}
+
+}  // namespace
+}  // namespace hm

@@ -1,0 +1,426 @@
+// Tests for the extension features: Dirichlet partitioning, q-FFL,
+// quantized training, checkpoint/CSV persistence, and the L-level
+// multi-hierarchy generalization of HierMinimax.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "algo/fedavg.hpp"
+#include "algo/hierminimax.hpp"
+#include "algo/hierminimax_multi.hpp"
+#include "algo/qffl.hpp"
+#include "data/generators.hpp"
+#include "io/checkpoint.hpp"
+#include "nn/softmax_regression.hpp"
+#include "tensor/vecops.hpp"
+#include "test_util.hpp"
+
+namespace hm {
+namespace {
+
+using algo::TrainOptions;
+using testing_util::heterogeneous_task;
+using testing_util::iid_task;
+
+// ---------------------------------------------------------------- Dirichlet
+
+data::TrainTest dirichlet_source(seed_t seed = 41) {
+  data::GaussianSpec spec;
+  spec.dim = 12;
+  spec.num_classes = 6;
+  spec.num_samples = 4000;
+  spec.seed = seed;
+  const auto all = data::make_gaussian_classes(spec);
+  rng::Xoshiro256 gen(seed + 1);
+  return data::split_train_test(all, 0.25, gen);
+}
+
+TEST(Dirichlet, PartitionCoversAllTrainingData) {
+  const auto tt = dirichlet_source();
+  rng::Xoshiro256 gen(1);
+  const auto fed = data::partition_dirichlet(tt, 5, 2, 0.5, gen);
+  fed.validate();
+  index_t total = 0;
+  for (const auto& shard : fed.client_train) total += shard.size();
+  EXPECT_EQ(total, tt.train.size());
+}
+
+TEST(Dirichlet, SmallAlphaConcentratesLabels) {
+  const auto tt = dirichlet_source();
+  auto mean_distinct_labels = [&](scalar_t alpha, seed_t seed) {
+    rng::Xoshiro256 gen(seed);
+    const auto fed = data::partition_dirichlet(tt, 5, 2, alpha, gen);
+    double total = 0;
+    for (index_t e = 0; e < fed.num_edges(); ++e) {
+      std::set<index_t> labels;
+      for (index_t i = 0; i < fed.clients_per_edge; ++i) {
+        for (const index_t y : fed.shard(e, i).y) labels.insert(y);
+      }
+      total += static_cast<double>(labels.size());
+    }
+    return total / static_cast<double>(fed.num_edges());
+  };
+  // Labels with >= a handful of samples at tiny alpha vs near-complete
+  // coverage at huge alpha.
+  EXPECT_LT(mean_distinct_labels(0.1, 2), mean_distinct_labels(100.0, 3));
+  EXPECT_GT(mean_distinct_labels(100.0, 3), 5.5);
+}
+
+TEST(Dirichlet, InvalidAlphaThrows) {
+  const auto tt = dirichlet_source();
+  rng::Xoshiro256 gen(4);
+  EXPECT_THROW(data::partition_dirichlet(tt, 4, 2, 0.0, gen), CheckError);
+  EXPECT_THROW(data::partition_dirichlet(tt, 4, 2, -1.0, gen), CheckError);
+}
+
+TEST(Dirichlet, DeterministicGivenGenerator) {
+  const auto tt = dirichlet_source();
+  rng::Xoshiro256 gen_a(7), gen_b(7);
+  const auto fed_a = data::partition_dirichlet(tt, 4, 2, 1.0, gen_a);
+  const auto fed_b = data::partition_dirichlet(tt, 4, 2, 1.0, gen_b);
+  for (index_t n = 0; n < fed_a.num_clients(); ++n) {
+    EXPECT_EQ(fed_a.client_train[static_cast<std::size_t>(n)].y,
+              fed_b.client_train[static_cast<std::size_t>(n)].y);
+  }
+}
+
+// ------------------------------------------------------------------- q-FFL
+
+TrainOptions qffl_opts(index_t rounds = 60) {
+  TrainOptions o;
+  o.rounds = rounds;
+  o.tau1 = 2;
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eval_every = 0;
+  o.seed = 5;
+  return o;
+}
+
+TEST(Qffl, LearnsIidTask) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto result = algo::train_qffl(model, fed, qffl_opts(80), 1.0);
+  EXPECT_GT(result.history.back().summary.average, 0.8);
+}
+
+TEST(Qffl, PositiveQImprovesWorstOverQZero) {
+  const auto fed = heterogeneous_task(5, 2, 99, 3000, 2.8);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = qffl_opts(250);
+  opts.eta_w = 0.05;
+  opts.sampled_clients = 6;
+  opts.eval_every = 10;
+  const auto q0 = algo::train_qffl(model, fed, opts, 0.0);
+  const auto q5 = algo::train_qffl(model, fed, opts, 5.0);
+  const auto s0 = q0.history.tail_summary(8);
+  const auto s5 = q5.history.tail_summary(8);
+  EXPECT_GE(s5.worst + 0.02, s0.worst);
+  EXPECT_LE(s5.variance_pct2, s0.variance_pct2 * 1.2 + 3.0);
+}
+
+TEST(Qffl, NegativeQThrows) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  EXPECT_THROW(algo::train_qffl(model, fed, qffl_opts(2), -1.0), CheckError);
+}
+
+TEST(Qffl, CommAccounting) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = qffl_opts(5);
+  opts.sampled_clients = 4;
+  const auto result = algo::train_qffl(model, fed, opts, 1.0);
+  EXPECT_EQ(result.comm.edge_cloud_rounds, 5u);
+  EXPECT_EQ(result.comm.edge_cloud_models_up, 20u);
+  EXPECT_EQ(result.comm.edge_cloud_scalars, 40u);
+}
+
+// ----------------------------------------------------------- quantization
+
+TEST(QuantizedTraining, EightBitsStillLearns) {
+  const auto fed = iid_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  TrainOptions opts;
+  opts.rounds = 60;
+  opts.tau1 = 2;
+  opts.tau2 = 2;
+  opts.batch_size = 4;
+  opts.eta_w = 0.1;
+  opts.eta_p = 0.005;
+  opts.eval_every = 0;
+  opts.seed = 9;
+  opts.quantize_bits = 8;
+  const auto result = algo::train_hierminimax(model, fed, topo, opts);
+  EXPECT_GT(result.history.back().summary.average, 0.8);
+}
+
+TEST(QuantizedTraining, BytesShrinkWithBits) {
+  const auto fed = iid_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  TrainOptions opts;
+  opts.rounds = 4;
+  opts.tau1 = 2;
+  opts.tau2 = 2;
+  opts.eta_w = 0.05;
+  opts.eta_p = 0.005;
+  opts.eval_every = 0;
+  opts.seed = 9;
+  const auto full = algo::train_hierminimax(model, fed, topo, opts);
+  opts.quantize_bits = 4;
+  const auto q4 = algo::train_hierminimax(model, fed, topo, opts);
+  EXPECT_LT(q4.comm.edge_cloud_bytes, full.comm.edge_cloud_bytes);
+  EXPECT_LT(q4.comm.client_edge_bytes, full.comm.client_edge_bytes);
+  // Round/model *counts* are unchanged by compression.
+  EXPECT_EQ(q4.comm.edge_cloud_models(), full.comm.edge_cloud_models());
+}
+
+TEST(QuantizedTraining, ZeroBitsIsExactlyBaseline) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  TrainOptions opts;
+  opts.rounds = 5;
+  opts.tau1 = 2;
+  opts.eta_w = 0.05;
+  opts.eval_every = 0;
+  opts.seed = 10;
+  const auto a = algo::train_fedavg(model, fed, opts);
+  opts.quantize_bits = 0;
+  const auto b = algo::train_fedavg(model, fed, opts);
+  EXPECT_EQ(a.w, b.w);
+}
+
+// -------------------------------------------------------------------- io
+
+TEST(Io, VectorRoundTrip) {
+  const std::string path = "/tmp/hm_test_ckpt.bin";
+  std::vector<scalar_t> v = {1.5, -2.25, 0.0, 1e-17, 3e200};
+  io::save_vector(path, v);
+  const auto loaded = io::load_vector(path);
+  EXPECT_EQ(loaded, v);
+  std::remove(path.c_str());
+}
+
+TEST(Io, EmptyVectorRoundTrip) {
+  const std::string path = "/tmp/hm_test_ckpt_empty.bin";
+  io::save_vector(path, {});
+  EXPECT_TRUE(io::load_vector(path).empty());
+  std::remove(path.c_str());
+}
+
+TEST(Io, RejectsCorruptFiles) {
+  const std::string path = "/tmp/hm_test_ckpt_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "not a checkpoint at all";
+  }
+  EXPECT_THROW(io::load_vector(path), CheckError);
+  EXPECT_THROW(io::load_vector("/tmp/hm_does_not_exist.bin"), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, RejectsTruncatedFiles) {
+  const std::string path = "/tmp/hm_test_ckpt_trunc.bin";
+  io::save_vector(path, {1.0, 2.0, 3.0});
+  // Chop the last 8 bytes.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 8);
+  EXPECT_THROW(io::load_vector(path), CheckError);
+  std::remove(path.c_str());
+}
+
+TEST(Io, HistoryCsvHasHeaderAndRows) {
+  metrics::TrainingHistory h;
+  metrics::RoundRecord r;
+  r.round = 3;
+  r.edge_acc = {0.5, 0.7};
+  r.summary = metrics::summarize(r.edge_acc);
+  h.add(r);
+  const std::string path = "/tmp/hm_test_history.csv";
+  io::save_history_csv(path, h);
+  std::ifstream in(path);
+  std::string header, row, extra;
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, header)));
+  EXPECT_EQ(header.rfind("round,", 0), 0u);
+  ASSERT_TRUE(static_cast<bool>(std::getline(in, row)));
+  EXPECT_EQ(row.rfind("3,", 0), 0u);
+  EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+  std::remove(path.c_str());
+}
+
+// ------------------------------------------------- multi-level hierarchy
+
+TEST(MultiTopology, Cardinalities) {
+  const sim::MultiTopology topo({4, 3, 2});  // 4 areas, 3 mid, 2 leaves
+  EXPECT_EQ(topo.depth(), 3);
+  EXPECT_EQ(topo.num_areas(), 4);
+  EXPECT_EQ(topo.num_leaves(), 24);
+  EXPECT_EQ(topo.leaves_per_area(), 6);
+  EXPECT_EQ(topo.nodes_at(2), 12);
+  EXPECT_EQ(topo.area_of_leaf(0), 0);
+  EXPECT_EQ(topo.area_of_leaf(23), 3);
+  EXPECT_EQ(topo.first_leaf_of(2, 5), 10);
+}
+
+TEST(MultiTopology, InvalidConstructionThrows) {
+  EXPECT_THROW(sim::MultiTopology({}), CheckError);
+  EXPECT_THROW(sim::MultiTopology({3, 0}), CheckError);
+}
+
+algo::MultiTrainOptions multi_opts(std::vector<index_t> taus,
+                                   index_t rounds = 60) {
+  algo::MultiTrainOptions o;
+  o.rounds = rounds;
+  o.taus = std::move(taus);
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eta_p = 0.005;
+  o.eval_every = 0;
+  o.seed = 5;
+  return o;
+}
+
+TEST(MultiHierMinimax, DepthTwoLearnsIidTask) {
+  const auto fed = iid_task();  // 4 edges x 2 clients
+  const sim::MultiTopology topo({fed.num_edges(), fed.clients_per_edge});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto result =
+      algo::train_hierminimax_multi(model, fed, topo, multi_opts({2, 2}));
+  EXPECT_GT(result.history.back().summary.average, 0.85);
+  scalar_t total = 0;
+  for (const scalar_t p : result.p) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-6);
+}
+
+TEST(MultiHierMinimax, DepthThreeLearns) {
+  // 4 areas x (2 mid-nodes x 2 clients) = 16 leaves.
+  const auto fed = testing_util::heterogeneous_task(4, 4, 77, 3200);
+  const sim::MultiTopology topo({4, 2, 2});
+  ASSERT_EQ(topo.leaves_per_area(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = multi_opts({2, 2, 2}, 80);
+  opts.eta_w = 0.05;
+  const auto result = algo::train_hierminimax_multi(model, fed, topo, opts);
+  EXPECT_GT(result.history.back().summary.average, 0.6);
+  // Per-level meters: level 0 = 2 rounds per training round (both
+  // phases); level 1 = taus[0] blocks per *unique* sampled area (with-
+  // replacement sampling dedups, so only divisibility is fixed); level 2
+  // = branching[1] * taus[1] child rounds per level-1 block.
+  EXPECT_EQ(result.comm.levels.size(), 3u);
+  EXPECT_EQ(result.comm.levels[0].rounds, 2u * 80u);
+  EXPECT_EQ(result.comm.levels[1].rounds % 2, 0u);       // taus[0] = 2
+  EXPECT_GE(result.comm.levels[1].rounds, 2u * 80u);     // >= 1 area/round
+  EXPECT_LE(result.comm.levels[1].rounds, 2u * 4u * 80u);
+  EXPECT_EQ(result.comm.levels[2].rounds,
+            result.comm.levels[1].rounds * 2u * 2u);
+}
+
+TEST(MultiHierMinimax, PartialParticipationAndCappedSet) {
+  const auto fed = heterogeneous_task(4, 2);
+  const sim::MultiTopology topo({4, 2});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = multi_opts({2, 2}, 30);
+  opts.sampled_areas = 2;
+  opts.p_set = algo::SimplexSet{0.1, 0.5};
+  opts.eta_p = 0.1;
+  const auto result = algo::train_hierminimax_multi(model, fed, topo, opts);
+  for (const scalar_t p : result.p) {
+    EXPECT_GE(p, 0.1 - 1e-7);
+    EXPECT_LE(p, 0.5 + 1e-7);
+  }
+}
+
+TEST(MultiHierMinimax, DeterministicAcrossThreadCounts) {
+  const auto fed = heterogeneous_task(4, 2);
+  const sim::MultiTopology topo({4, 2});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto opts = multi_opts({2, 3}, 6);
+  parallel::ThreadPool pool1(1), pool8(8);
+  const auto a = algo::train_hierminimax_multi(model, fed, topo, opts, pool1);
+  const auto b = algo::train_hierminimax_multi(model, fed, topo, opts, pool8);
+  EXPECT_EQ(a.w, b.w);
+  EXPECT_EQ(a.p, b.p);
+}
+
+TEST(MultiHierMinimax, MismatchedTausThrow) {
+  const auto fed = heterogeneous_task(4, 2);
+  const sim::MultiTopology topo({4, 2});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  EXPECT_THROW(
+      algo::train_hierminimax_multi(model, fed, topo, multi_opts({2})),
+      CheckError);
+  EXPECT_THROW(
+      algo::train_hierminimax_multi(model, fed, topo, multi_opts({2, 0})),
+      CheckError);
+}
+
+TEST(MultiHierFavg, DepthThreeLearnsAndHasNoWeightAdaptation) {
+  const auto fed = testing_util::heterogeneous_task(4, 4, 77, 3200);
+  const sim::MultiTopology topo({4, 2, 2});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = multi_opts({2, 2, 2}, 80);
+  opts.eta_w = 0.05;
+  const auto result = algo::train_hierfavg_multi(model, fed, topo, opts);
+  EXPECT_GT(result.history.back().summary.average, 0.6);
+  for (const scalar_t p : result.p) EXPECT_DOUBLE_EQ(p, 0.25);  // fixed
+  // Top link: 1 round per training round (no phase 2).
+  EXPECT_EQ(result.comm.levels[0].rounds, 80u);
+}
+
+TEST(MultiHierFavg, DeterministicAcrossThreadCounts) {
+  const auto fed = heterogeneous_task(4, 2);
+  const sim::MultiTopology topo({4, 2});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto opts = multi_opts({3, 2}, 5);
+  parallel::ThreadPool pool1(1), pool8(8);
+  const auto a = algo::train_hierfavg_multi(model, fed, topo, opts, pool1);
+  const auto b = algo::train_hierfavg_multi(model, fed, topo, opts, pool8);
+  EXPECT_EQ(a.w, b.w);
+}
+
+TEST(MultiHierMinimax, TrivialMiddleLevelCollapsesToDepthTwo) {
+  // A middle level with tau = 1 and matching fan-out is pure relabeling:
+  // branching {A, 2, 2} with taus {t, 1, s} computes exactly what
+  // branching {A, 4} with taus {t, s} computes (same leaf ids, same
+  // iteration bases, same averaging tree) — so the results agree up to
+  // floating-point averaging associativity ((a+b)/2 + (c+d))/2 vs
+  // (a+b+c+d)/4).
+  const auto fed = testing_util::heterogeneous_task(4, 4, 55, 3200);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts2 = multi_opts({3, 2}, 12);
+  auto opts3 = multi_opts({3, 1, 2}, 12);
+  const sim::MultiTopology topo2({4, 4});
+  const sim::MultiTopology topo3({4, 2, 2});
+  const auto a = algo::train_hierminimax_multi(model, fed, topo2, opts2);
+  const auto b = algo::train_hierminimax_multi(model, fed, topo3, opts3);
+  ASSERT_EQ(a.w.size(), b.w.size());
+  for (std::size_t i = 0; i < a.w.size(); ++i) {
+    EXPECT_NEAR(a.w[i], b.w[i], 1e-10);
+  }
+  for (std::size_t i = 0; i < a.p.size(); ++i) {
+    EXPECT_NEAR(a.p[i], b.p[i], 1e-10);
+  }
+}
+
+TEST(MultiHierMinimax, ImprovesFairnessOnHeterogeneousTask) {
+  // Depth-3 fairness smoke test: weights should deviate from uniform on a
+  // task with unequal class difficulty.
+  const auto fed = testing_util::heterogeneous_task(4, 4, 31, 3200, 2.5);
+  const sim::MultiTopology topo({4, 2, 2});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = multi_opts({2, 1, 2}, 120);
+  opts.eta_w = 0.05;
+  opts.eta_p = 0.01;
+  const auto result = algo::train_hierminimax_multi(model, fed, topo, opts);
+  scalar_t spread = 0;
+  for (const scalar_t p : result.p) spread += std::abs(p - 0.25);
+  EXPECT_GT(spread, 0.02);
+}
+
+}  // namespace
+}  // namespace hm

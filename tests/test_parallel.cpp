@@ -1,0 +1,137 @@
+// Unit tests for hm::parallel: thread pool semantics, parallel_for
+// coverage, exception propagation, deterministic reduction.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace hm::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 500; ++i) {
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(pool, 0, 1000, [&](index_t i) { ++hits[i]; }, /*grain=*/8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&](index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsSerially) {
+  ThreadPool pool(4);
+  std::vector<int> order;
+  parallel_for(pool, 0, 5, [&](index_t i) { order.push_back(static_cast<int>(i)); },
+               /*grain=*/64);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for(
+          pool, 0, 1000,
+          [](index_t i) {
+            if (i == 573) throw std::logic_error("bad index");
+          },
+          /*grain=*/1),
+      std::logic_error);
+}
+
+TEST(ParallelFor, InvalidRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 10, 5, [](index_t) {}), CheckError);
+}
+
+TEST(ParallelReduce, SumMatchesSerial) {
+  ThreadPool pool(4);
+  const index_t n = 100000;
+  const auto result = parallel_reduce(
+      pool, 0, n, 0.0, [](index_t i) { return static_cast<double>(i); },
+      std::plus<double>(), /*grain=*/64);
+  EXPECT_DOUBLE_EQ(result, static_cast<double>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, DeterministicAcrossRuns) {
+  // Floating-point sums depend on combine order; the chunked scheme must
+  // give bit-identical results run-to-run.
+  ThreadPool pool(7);
+  auto run = [&] {
+    return parallel_reduce(
+        pool, 0, 50000, 0.0,
+        [](index_t i) { return 1.0 / static_cast<double>(i + 1); },
+        std::plus<double>(), /*grain=*/16);
+  };
+  const double a = run();
+  const double b = run();
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelReduce, EmptyRangeReturnsInit) {
+  ThreadPool pool(2);
+  const auto result = parallel_reduce(
+      pool, 3, 3, 123.0, [](index_t) { return 1.0; }, std::plus<double>());
+  EXPECT_DOUBLE_EQ(result, 123.0);
+}
+
+class ParallelForThreadCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelForThreadCount, SumIndependentOfThreads) {
+  ThreadPool pool(static_cast<std::size_t>(GetParam()));
+  std::vector<double> out(10000, 0);
+  parallel_for(pool, 0, 10000,
+               [&](index_t i) { out[static_cast<std::size_t>(i)] =
+                                    std::sqrt(static_cast<double>(i)); },
+               /*grain=*/4);
+  const double total = std::accumulate(out.begin(), out.end(), 0.0);
+  // Serial reference.
+  double expected = 0;
+  for (index_t i = 0; i < 10000; ++i) {
+    expected += std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(total, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForThreadCount,
+                         ::testing::Values(1, 2, 3, 8));
+
+}  // namespace
+}  // namespace hm::parallel

@@ -1,0 +1,280 @@
+// Unit + property tests for hm::rng: determinism, stream splitting,
+// distribution sanity, and sampling primitives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "core/check.hpp"
+#include "rng/rng.hpp"
+#include "rng/sampling.hpp"
+
+namespace hm::rng {
+namespace {
+
+TEST(Xoshiro, SameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Xoshiro, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, SplitIsIndependentOfParentAdvancement) {
+  Xoshiro256 parent(99);
+  Xoshiro256 child1 = parent.split(7);
+  // Splitting must not consume parent state.
+  Xoshiro256 parent2(99);
+  Xoshiro256 child2 = parent2.split(7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(child1(), child2());
+}
+
+TEST(Xoshiro, SplitTagsProduceDistinctStreams) {
+  Xoshiro256 parent(99);
+  Xoshiro256 a = parent.split(1);
+  Xoshiro256 b = parent.split(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, SplitDiffersFromParent) {
+  Xoshiro256 parent(42);
+  Xoshiro256 child = parent.split(0);
+  Xoshiro256 parent_copy(42);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child() == parent_copy()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Xoshiro, UniformInUnitInterval) {
+  Xoshiro256 gen(5);
+  double total = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = gen.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    total += u;
+  }
+  EXPECT_NEAR(total / 20000, 0.5, 0.02);
+}
+
+TEST(Xoshiro, UniformRangeRespectsBounds) {
+  Xoshiro256 gen(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = gen.uniform(-3.0, 7.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, 7.0);
+  }
+}
+
+TEST(Xoshiro, NormalMoments) {
+  Xoshiro256 gen(7);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Xoshiro, NormalMeanStd) {
+  Xoshiro256 gen(8);
+  const int n = 50000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = gen.normal(5.0, 2.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Xoshiro, UniformIndexBoundsAndCoverage) {
+  Xoshiro256 gen(9);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = gen.uniform_index(10);
+    ASSERT_LT(v, 10u);
+    ++hits[static_cast<std::size_t>(v)];
+  }
+  for (const int h : hits) EXPECT_NEAR(h, 1000, 150);
+}
+
+TEST(Xoshiro, UniformIndexOneIsAlwaysZero) {
+  Xoshiro256 gen(10);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(gen.uniform_index(1), 0u);
+}
+
+TEST(Xoshiro, UniformIndexZeroThrows) {
+  Xoshiro256 gen(10);
+  EXPECT_THROW(gen.uniform_index(0), CheckError);
+}
+
+TEST(Sampling, WithoutReplacementDistinctAndInRange) {
+  Xoshiro256 gen(11);
+  const auto picks = sample_without_replacement(100, 30, gen);
+  EXPECT_EQ(picks.size(), 30u);
+  std::set<index_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (const index_t p : picks) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 100);
+  }
+}
+
+TEST(Sampling, WithoutReplacementFullSetIsPermutation) {
+  Xoshiro256 gen(12);
+  auto picks = sample_without_replacement(20, 20, gen);
+  std::sort(picks.begin(), picks.end());
+  for (index_t i = 0; i < 20; ++i) EXPECT_EQ(picks[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Sampling, WithoutReplacementInvalidKThrows) {
+  Xoshiro256 gen(13);
+  EXPECT_THROW(sample_without_replacement(5, 6, gen), CheckError);
+  EXPECT_THROW(sample_without_replacement(5, -1, gen), CheckError);
+}
+
+TEST(Sampling, WeightedMatchesWeights) {
+  Xoshiro256 gen(14);
+  const std::vector<scalar_t> w = {0.1, 0.0, 0.6, 0.3};
+  std::vector<int> hits(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++hits[static_cast<std::size_t>(sample_weighted(w, gen))];
+  EXPECT_EQ(hits[1], 0);  // zero weight never drawn
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.6, 0.015);
+  EXPECT_NEAR(hits[3] / static_cast<double>(n), 0.3, 0.015);
+}
+
+TEST(Sampling, WeightedRejectsBadWeights) {
+  Xoshiro256 gen(15);
+  EXPECT_THROW(sample_weighted({0.0, 0.0}, gen), CheckError);
+  EXPECT_THROW(sample_weighted({1.0, -0.5}, gen), CheckError);
+  EXPECT_THROW(sample_weighted({}, gen), CheckError);
+}
+
+TEST(Sampling, WithReplacementMatchesWeights) {
+  Xoshiro256 gen(16);
+  const std::vector<scalar_t> w = {2.0, 1.0, 1.0};  // unnormalized
+  const auto draws = sample_weighted_with_replacement(w, 40000, gen);
+  std::vector<int> hits(3, 0);
+  for (const index_t d : draws) ++hits[static_cast<std::size_t>(d)];
+  EXPECT_NEAR(hits[0] / 40000.0, 0.5, 0.015);
+  EXPECT_NEAR(hits[1] / 40000.0, 0.25, 0.015);
+  EXPECT_NEAR(hits[2] / 40000.0, 0.25, 0.015);
+}
+
+TEST(Sampling, AliasTableMatchesWeights) {
+  Xoshiro256 gen(17);
+  const AliasTable table({1.0, 3.0, 6.0});
+  EXPECT_EQ(table.size(), 3);
+  std::vector<int> hits(3, 0);
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++hits[static_cast<std::size_t>(table.sample(gen))];
+  EXPECT_NEAR(hits[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(hits[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(hits[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(Sampling, AliasTableSingleElement) {
+  Xoshiro256 gen(18);
+  const AliasTable table({5.0});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(table.sample(gen), 0);
+}
+
+TEST(Sampling, ShuffleIsPermutation) {
+  Xoshiro256 gen(19);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  shuffle(shuffled, gen);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Xoshiro, ChiSquareUniformityOfUniformIndex) {
+  // 16-bin chi-square on uniform_index(16): statistic ~ chi2(15);
+  // threshold 37.7 is the 0.1% tail — a deterministic test that only
+  // fails for a genuinely broken generator.
+  Xoshiro256 gen(77);
+  constexpr int kBins = 16;
+  constexpr int kDraws = 64000;
+  std::vector<int> hist(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    ++hist[static_cast<std::size_t>(gen.uniform_index(kBins))];
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0;
+  for (const int h : hist) {
+    const double d = h - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Xoshiro, SplitChildrenAreMutuallyUncorrelated) {
+  // Correlation between sibling streams should be ~ N(0, 1/sqrt(n)).
+  Xoshiro256 parent(123);
+  auto a = parent.split(1);
+  auto b = parent.split(2);
+  const int n = 20000;
+  double sum_ab = 0, sum_a = 0, sum_b = 0, sum_a2 = 0, sum_b2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = a.uniform() - 0.5;
+    const double y = b.uniform() - 0.5;
+    sum_ab += x * y;
+    sum_a += x;
+    sum_b += y;
+    sum_a2 += x * x;
+    sum_b2 += y * y;
+  }
+  const double cov = sum_ab / n - (sum_a / n) * (sum_b / n);
+  const double corr = cov / std::sqrt((sum_a2 / n) * (sum_b2 / n));
+  EXPECT_LT(std::abs(corr), 0.03);
+}
+
+class SplitHierarchyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SplitHierarchyTest, NestedSplitsReproducible) {
+  // The exact stream-split pattern used by the trainers: streams keyed by
+  // (round, client) names must be reproducible and order-independent.
+  const auto [round, client] = GetParam();
+  Xoshiro256 root1(1234);
+  Xoshiro256 root2(1234);
+  auto s1 = root1.split(static_cast<std::uint64_t>(round))
+                .split(static_cast<std::uint64_t>(client));
+  // Derive sibling streams first in the second run — must not matter.
+  (void)root2.split(static_cast<std::uint64_t>(round + 1));
+  auto s2 = root2.split(static_cast<std::uint64_t>(round))
+                .split(static_cast<std::uint64_t>(client));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(s1(), s2());
+}
+
+INSTANTIATE_TEST_SUITE_P(Streams, SplitHierarchyTest,
+                         ::testing::Combine(::testing::Values(0, 1, 17),
+                                            ::testing::Values(0, 2, 29)));
+
+}  // namespace
+}  // namespace hm::rng

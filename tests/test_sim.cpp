@@ -1,0 +1,222 @@
+// Unit tests for hm::sim: topology index mapping, communication meter
+// arithmetic, cluster job execution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "rng/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/latency.hpp"
+#include "sim/quantize.hpp"
+#include "sim/comm.hpp"
+#include "sim/topology.hpp"
+
+namespace hm::sim {
+namespace {
+
+TEST(Topology, Cardinalities) {
+  const HierTopology topo(10, 3);
+  EXPECT_EQ(topo.num_edges(), 10);
+  EXPECT_EQ(topo.clients_per_edge(), 3);
+  EXPECT_EQ(topo.num_clients(), 30);
+}
+
+TEST(Topology, ClientIdRoundTrips) {
+  const HierTopology topo(4, 5);
+  for (index_t e = 0; e < 4; ++e) {
+    for (index_t i = 0; i < 5; ++i) {
+      const index_t id = topo.client_id(e, i);
+      EXPECT_EQ(topo.edge_of_client(id), e);
+    }
+  }
+}
+
+TEST(Topology, ClientIdsAreDenseAndUnique) {
+  const HierTopology topo(3, 4);
+  std::vector<bool> seen(12, false);
+  for (index_t e = 0; e < 3; ++e) {
+    for (index_t i = 0; i < 4; ++i) {
+      const index_t id = topo.client_id(e, i);
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, 12);
+      EXPECT_FALSE(seen[static_cast<std::size_t>(id)]);
+      seen[static_cast<std::size_t>(id)] = true;
+    }
+  }
+}
+
+TEST(Topology, ClientsOfEdge) {
+  const HierTopology topo(2, 3);
+  EXPECT_EQ(topo.clients_of_edge(1), (std::vector<index_t>{3, 4, 5}));
+}
+
+TEST(Topology, InvalidArgumentsThrow) {
+  EXPECT_THROW(HierTopology(0, 3), CheckError);
+  EXPECT_THROW(HierTopology(3, 0), CheckError);
+  const HierTopology topo(2, 2);
+  EXPECT_THROW(topo.client_id(2, 0), CheckError);
+  EXPECT_THROW(topo.client_id(0, 2), CheckError);
+  EXPECT_THROW(topo.edge_of_client(4), CheckError);
+}
+
+TEST(CommStats, TotalsAndAccumulation) {
+  CommStats a;
+  a.client_edge_rounds = 2;
+  a.edge_cloud_rounds = 1;
+  a.client_edge_models_up = 10;
+  a.client_edge_models_down = 12;
+  a.edge_cloud_models_up = 4;
+  a.edge_cloud_models_down = 5;
+  EXPECT_EQ(a.total_rounds(), 3u);
+  EXPECT_EQ(a.edge_cloud_models(), 9u);
+  EXPECT_EQ(a.total_models(), 31u);
+
+  CommStats b = a;
+  b += a;
+  EXPECT_EQ(b.total_rounds(), 6u);
+  EXPECT_EQ(b.edge_cloud_models(), 18u);
+}
+
+TEST(CommStats, DefaultIsZero) {
+  const CommStats s;
+  EXPECT_EQ(s.total_rounds(), 0u);
+  EXPECT_EQ(s.total_models(), 0u);
+}
+
+TEST(ClusterSim, RunsEveryDeviceOnce) {
+  parallel::ThreadPool pool(4);
+  const ClusterSim cluster(pool);
+  std::vector<std::atomic<int>> hits(37);
+  cluster.run_devices(37, [&](index_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ClusterSim, PropagatesJobFailure) {
+  parallel::ThreadPool pool(2);
+  const ClusterSim cluster(pool);
+  EXPECT_THROW(cluster.run_devices(10,
+                                   [](index_t i) {
+                                     if (i == 7) throw std::runtime_error("x");
+                                   }),
+               std::runtime_error);
+}
+
+TEST(Latency, LatencyAndBandwidthTerms) {
+  CommStats comm;
+  comm.client_edge_rounds = 10;
+  comm.edge_cloud_rounds = 4;
+  comm.client_edge_bytes = 1'000'000;   // 8 Mbit
+  comm.edge_cloud_bytes = 500'000;      // 4 Mbit
+  NetworkProfile net;
+  net.client_edge = {0.001, 1e9};   // 1 ms, 1 Gbps
+  net.edge_cloud = {0.1, 1e6};      // 100 ms, 1 Mbps
+  const auto t = time_breakdown(comm, net);
+  EXPECT_NEAR(t.client_edge_s, 10 * 0.001 + 8e6 / 1e9, 1e-9);
+  EXPECT_NEAR(t.edge_cloud_s, 4 * 0.1 + 4e6 / 1e6, 1e-9);
+  EXPECT_NEAR(net.seconds(comm), t.total(), 1e-12);
+}
+
+TEST(Latency, ConcurrencyDividesTransferTimeOnly) {
+  CommStats comm;
+  comm.edge_cloud_rounds = 2;
+  comm.edge_cloud_bytes = 1'000'000;
+  NetworkProfile net;
+  net.edge_cloud = {1.0, 8e6};  // 1 s latency, 8 Mbps -> 1 s transfer
+  EXPECT_NEAR(net.seconds(comm, 1), 2.0 + 1.0, 1e-9);
+  EXPECT_NEAR(net.seconds(comm, 4), 2.0 + 0.25, 1e-9);
+  // Nonpositive concurrency falls back to serial.
+  EXPECT_NEAR(net.seconds(comm, 0), 3.0, 1e-9);
+}
+
+TEST(Latency, HierarchicalTrafficFavoredByWanProfile) {
+  // Same total models: 100 WAN payloads vs 100 LAN + 10 WAN. With a slow
+  // WAN the hierarchical pattern must be faster.
+  const std::uint64_t payload = 100'000;
+  CommStats flat;
+  flat.edge_cloud_rounds = 10;
+  flat.edge_cloud_bytes = 100 * payload;
+  CommStats hier;
+  hier.client_edge_rounds = 10;
+  hier.client_edge_bytes = 100 * payload;
+  hier.edge_cloud_rounds = 10;
+  hier.edge_cloud_bytes = 10 * payload;
+  const NetworkProfile net;  // defaults: fast LAN, slow WAN
+  EXPECT_LT(net.seconds(hier), net.seconds(flat));
+}
+
+TEST(Quantize, PayloadBytes) {
+  EXPECT_EQ(payload_bytes(100, 0), 800u);       // raw float64
+  EXPECT_EQ(payload_bytes(100, 8), 108u);       // 100 bytes + scale
+  EXPECT_EQ(payload_bytes(100, 4), 58u);        // 50 bytes + scale
+  EXPECT_EQ(payload_bytes(3, 1), 9u);           // 1 byte packed + scale
+  EXPECT_EQ(payload_bytes(0, 8), 8u);           // just the scale
+}
+
+TEST(Quantize, ValuesLandOnGrid) {
+  rng::Xoshiro256 gen(1);
+  std::vector<scalar_t> v = {0.31, -0.77, 0.02, 1.0};
+  quantize_payload(v, 4, gen);
+  // Grid: 15 levels spanning [-1, 1] -> step 2/15.
+  const scalar_t step = 2.0 / 15.0;
+  for (const scalar_t x : v) {
+    const scalar_t t = (x + 1.0) / step;
+    EXPECT_NEAR(t, std::round(t), 1e-9);
+    EXPECT_LE(std::abs(x), 1.0 + 1e-12);
+  }
+}
+
+TEST(Quantize, UnbiasedInExpectation) {
+  // Stochastic rounding: the mean of many quantizations approaches the
+  // original value.
+  rng::Xoshiro256 gen(2);
+  const std::vector<scalar_t> original = {0.3, -0.62, 0.111, 0.9};
+  std::vector<scalar_t> acc(original.size(), 0);
+  const int trials = 20000;
+  for (int t = 0; t < trials; ++t) {
+    auto v = original;
+    quantize_payload(v, 3, gen);
+    for (std::size_t i = 0; i < v.size(); ++i) acc[i] += v[i];
+  }
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(acc[i] / trials, original[i], 0.01) << i;
+  }
+}
+
+TEST(Quantize, ErrorBoundedByStep) {
+  rng::Xoshiro256 gen(3);
+  std::vector<scalar_t> v(256);
+  for (auto& x : v) x = gen.normal();
+  scalar_t scale = 0;
+  for (const scalar_t x : v) scale = std::max(scale, std::abs(x));
+  const auto original = v;
+  quantize_payload(v, 6, gen);
+  const scalar_t step = 2 * scale / ((1 << 6) - 1);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_LE(std::abs(v[i] - original[i]), step + 1e-12);
+  }
+}
+
+TEST(Quantize, HighBitsNearlyLossless) {
+  rng::Xoshiro256 gen(4);
+  std::vector<scalar_t> v(64);
+  for (auto& x : v) x = gen.normal();
+  const auto original = v;
+  quantize_payload(v, 16, gen);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(v[i], original[i], 1e-3);
+  }
+}
+
+TEST(Quantize, ZeroVectorUnchangedAndBadBitsThrow) {
+  rng::Xoshiro256 gen(5);
+  std::vector<scalar_t> zeros(8, 0.0);
+  quantize_payload(zeros, 2, gen);
+  for (const scalar_t x : zeros) EXPECT_DOUBLE_EQ(x, 0.0);
+  std::vector<scalar_t> v = {1.0};
+  EXPECT_THROW(quantize_payload(v, 0, gen), CheckError);
+  EXPECT_THROW(quantize_payload(v, 17, gen), CheckError);
+}
+
+}  // namespace
+}  // namespace hm::sim

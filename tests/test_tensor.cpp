@@ -1,0 +1,257 @@
+// Unit + property tests for hm::tensor: BLAS-1 kernels, matrix views,
+// GEMM variants vs a naive reference, activations.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "tensor/activations.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/matrix.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::tensor {
+namespace {
+
+Matrix random_matrix(index_t rows, index_t cols, rng::Xoshiro256& gen) {
+  Matrix m(rows, cols);
+  for (auto& v : m.flat()) v = gen.normal();
+  return m;
+}
+
+TEST(VecOps, Axpy) {
+  std::vector<scalar_t> x = {1, 2, 3};
+  std::vector<scalar_t> y = {10, 20, 30};
+  axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12);
+  EXPECT_DOUBLE_EQ(y[1], 24);
+  EXPECT_DOUBLE_EQ(y[2], 36);
+}
+
+TEST(VecOps, AxpySizeMismatchThrows) {
+  std::vector<scalar_t> x = {1, 2};
+  std::vector<scalar_t> y = {1, 2, 3};
+  EXPECT_THROW(axpy(1.0, x, y), CheckError);
+}
+
+TEST(VecOps, DotAndNorm) {
+  std::vector<scalar_t> x = {3, 4};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25);
+  EXPECT_DOUBLE_EQ(nrm2(x), 5);
+}
+
+TEST(VecOps, Dist2) {
+  std::vector<scalar_t> x = {1, 1};
+  std::vector<scalar_t> y = {4, 5};
+  EXPECT_DOUBLE_EQ(dist2(x, y), 5);
+}
+
+TEST(VecOps, ScaleCopyZeroSumMaxArgmax) {
+  std::vector<scalar_t> x = {1, -2, 5, 3};
+  scale(2.0, x);
+  EXPECT_DOUBLE_EQ(x[2], 10);
+  EXPECT_DOUBLE_EQ(sum(x), 14);
+  EXPECT_DOUBLE_EQ(max(x), 10);
+  EXPECT_EQ(argmax(x), 2);
+  std::vector<scalar_t> y(4);
+  copy(x, y);
+  EXPECT_EQ(x, y);
+  set_zero(y);
+  EXPECT_DOUBLE_EQ(sum(y), 0);
+}
+
+TEST(VecOps, ProjectL2BallShrinksOnlyOutside) {
+  std::vector<scalar_t> inside = {0.3, 0.4};
+  project_l2_ball(inside, 1.0);
+  EXPECT_DOUBLE_EQ(inside[0], 0.3);  // untouched, norm 0.5 < 1
+
+  std::vector<scalar_t> outside = {3, 4};
+  project_l2_ball(outside, 1.0);
+  EXPECT_NEAR(nrm2(outside), 1.0, 1e-12);
+  EXPECT_NEAR(outside[0] / outside[1], 0.75, 1e-12);  // direction kept
+}
+
+TEST(VecOps, ProjectL2BallZeroRadiusIsIdentity) {
+  std::vector<scalar_t> x = {100, 200};
+  project_l2_ball(x, 0);  // radius <= 0 means unconstrained
+  EXPECT_DOUBLE_EQ(x[0], 100);
+}
+
+TEST(MatrixViews, RowAccessAndFlat) {
+  Matrix m(2, 3);
+  m(0, 0) = 1;
+  m(1, 2) = 7;
+  ConstMatView view = m;
+  EXPECT_EQ(view.rows(), 2);
+  EXPECT_EQ(view.cols(), 3);
+  EXPECT_DOUBLE_EQ(view(1, 2), 7);
+  EXPECT_DOUBLE_EQ(view.row(0)[0], 1);
+  EXPECT_EQ(view.flat().size(), 6u);
+}
+
+TEST(MatrixViews, FlatVectorAsMatrix) {
+  std::vector<scalar_t> buf = {1, 2, 3, 4, 5, 6};
+  MatView view(VecView(buf), 2, 3);
+  EXPECT_DOUBLE_EQ(view(0, 2), 3);
+  view(1, 0) = 40;
+  EXPECT_DOUBLE_EQ(buf[3], 40);
+}
+
+TEST(MatrixViews, TooSmallBufferThrows) {
+  std::vector<scalar_t> buf(5);
+  EXPECT_THROW(MatView(VecView(buf), 2, 3), CheckError);
+}
+
+// Naive reference implementations for GEMM property checks.
+Matrix ref_gemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i)
+    for (index_t j = 0; j < b.cols(); ++j)
+      for (index_t l = 0; l < a.cols(); ++l) c(i, j) += a(i, l) * b(l, j);
+  return c;
+}
+
+Matrix transpose(const Matrix& m) {
+  Matrix t(m.cols(), m.rows());
+  for (index_t i = 0; i < m.rows(); ++i)
+    for (index_t j = 0; j < m.cols(); ++j) t(j, i) = m(i, j);
+  return t;
+}
+
+struct GemmShape {
+  index_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmTest, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  rng::Xoshiro256 gen(100 + m + 10 * k + 100 * n);
+  const Matrix a = random_matrix(m, k, gen);
+  const Matrix b = random_matrix(k, n, gen);
+  const Matrix expected = ref_gemm(a, b);
+  Matrix c(m, n);
+  gemm(a, b, c);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_NEAR(c(i, j), expected(i, j), 1e-9) << i << "," << j;
+}
+
+TEST_P(GemmTest, NtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  rng::Xoshiro256 gen(200 + m + 10 * k + 100 * n);
+  const Matrix a = random_matrix(m, k, gen);
+  const Matrix bt = random_matrix(n, k, gen);  // B^T stored
+  const Matrix expected = ref_gemm(a, transpose(bt));
+  Matrix c(m, n);
+  gemm_nt(a, bt, c);
+  for (index_t i = 0; i < m; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_NEAR(c(i, j), expected(i, j), 1e-9);
+}
+
+TEST_P(GemmTest, TnMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  rng::Xoshiro256 gen(300 + m + 10 * k + 100 * n);
+  const Matrix at = random_matrix(m, k, gen);  // A stored; we want A^T B
+  const Matrix b = random_matrix(m, n, gen);
+  const Matrix expected = ref_gemm(transpose(at), b);
+  Matrix c(k, n);
+  gemm_tn(at, b, c);
+  for (index_t i = 0; i < k; ++i)
+    for (index_t j = 0; j < n; ++j)
+      EXPECT_NEAR(c(i, j), expected(i, j), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmShape{1, 1, 1}, GemmShape{2, 3, 4},
+                      GemmShape{8, 5, 8}, GemmShape{17, 9, 3},
+                      GemmShape{64, 64, 64}, GemmShape{100, 33, 57}));
+
+TEST(Gemm, BetaAccumulates) {
+  rng::Xoshiro256 gen(42);
+  const Matrix a = random_matrix(3, 4, gen);
+  const Matrix b = random_matrix(4, 5, gen);
+  Matrix c(3, 5, /*fill=*/1.0);
+  const Matrix ab = ref_gemm(a, b);
+  gemm(a, b, c, /*beta=*/2.0);
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 5; ++j)
+      EXPECT_NEAR(c(i, j), 2.0 + ab(i, j), 1e-9);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 5), c(2, 5);
+  EXPECT_THROW(gemm(a, b, c), CheckError);
+  Matrix b2(3, 5), c2(3, 5);
+  EXPECT_THROW(gemm(a, b2, c2), CheckError);  // wrong output rows
+}
+
+TEST(Gemm, ParallelPathMatchesReference) {
+  // Large enough to cross the kParallelFlops threshold.
+  rng::Xoshiro256 gen(77);
+  const Matrix a = random_matrix(96, 80, gen);
+  const Matrix b = random_matrix(80, 96, gen);
+  const Matrix expected = ref_gemm(a, b);
+  Matrix c(96, 96);
+  gemm(a, b, c);
+  scalar_t max_err = 0;
+  for (index_t i = 0; i < 96; ++i)
+    for (index_t j = 0; j < 96; ++j)
+      max_err = std::max(max_err, std::abs(c(i, j) - expected(i, j)));
+  EXPECT_LT(max_err, 1e-9);
+}
+
+TEST(Gemv, MatchesReference) {
+  rng::Xoshiro256 gen(55);
+  const Matrix a = random_matrix(6, 4, gen);
+  std::vector<scalar_t> x = {1, -1, 2, 0.5};
+  std::vector<scalar_t> y(6, 3.0);
+  gemv(a, x, y, /*beta=*/1.0);
+  for (index_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], 3.0 + dot(a.row(i), x), 1e-12);
+  }
+}
+
+TEST(Activations, ReluClampsNegatives) {
+  std::vector<scalar_t> x = {-1, 0, 2, -0.5};
+  relu(x);
+  EXPECT_EQ(x, (std::vector<scalar_t>{0, 0, 2, 0}));
+}
+
+TEST(Activations, ReluBackwardMasks) {
+  const std::vector<scalar_t> act = {0, 1, 0, 3};  // post-ReLU values
+  std::vector<scalar_t> grad = {5, 5, 5, 5};
+  relu_backward(act, grad);
+  EXPECT_EQ(grad, (std::vector<scalar_t>{0, 5, 0, 5}));
+}
+
+TEST(Activations, SoftmaxRowsSumToOne) {
+  Matrix logits(2, 3);
+  logits(0, 0) = 1;
+  logits(0, 1) = 2;
+  logits(0, 2) = 3;
+  logits(1, 0) = 1000;  // stability check: huge values must not overflow
+  logits(1, 1) = 1000;
+  logits(1, 2) = 999;
+  softmax_rows(logits);
+  for (index_t r = 0; r < 2; ++r) {
+    EXPECT_NEAR(sum(logits.row(r)), 1.0, 1e-12);
+    for (index_t c = 0; c < 3; ++c) EXPECT_GT(logits(r, c), 0.0);
+  }
+  EXPECT_GT(logits(0, 2), logits(0, 0));
+}
+
+TEST(Activations, LogSumExpStableAndCorrect) {
+  const std::vector<scalar_t> x = {1.0, 2.0, 3.0};
+  const scalar_t expected =
+      std::log(std::exp(1.0) + std::exp(2.0) + std::exp(3.0));
+  EXPECT_NEAR(log_sum_exp(x), expected, 1e-12);
+  const std::vector<scalar_t> huge = {1000.0, 1000.0};
+  EXPECT_NEAR(log_sum_exp(huge), 1000.0 + std::log(2.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace hm::tensor
