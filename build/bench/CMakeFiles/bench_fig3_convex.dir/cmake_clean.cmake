@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_convex.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig3_convex.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig3_convex.dir/bench_fig3_convex.cpp.o"
+  "CMakeFiles/bench_fig3_convex.dir/bench_fig3_convex.cpp.o.d"
+  "bench_fig3_convex"
+  "bench_fig3_convex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_convex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_nonconvex.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_fig4_nonconvex.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_fig4_nonconvex.dir/bench_fig4_nonconvex.cpp.o"
+  "CMakeFiles/bench_fig4_nonconvex.dir/bench_fig4_nonconvex.cpp.o.d"
+  "bench_fig4_nonconvex"
+  "bench_fig4_nonconvex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_nonconvex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

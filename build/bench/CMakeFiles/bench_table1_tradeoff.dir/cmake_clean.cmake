@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tradeoff.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table1_tradeoff.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table1_tradeoff.dir/bench_table1_tradeoff.cpp.o"
+  "CMakeFiles/bench_table1_tradeoff.dir/bench_table1_tradeoff.cpp.o.d"
+  "bench_table1_tradeoff"
+  "bench_table1_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

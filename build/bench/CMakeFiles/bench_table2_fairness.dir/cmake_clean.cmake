@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_fairness.dir/bench_common.cpp.o"
+  "CMakeFiles/bench_table2_fairness.dir/bench_common.cpp.o.d"
+  "CMakeFiles/bench_table2_fairness.dir/bench_table2_fairness.cpp.o"
+  "CMakeFiles/bench_table2_fairness.dir/bench_table2_fairness.cpp.o.d"
+  "bench_table2_fairness"
+  "bench_table2_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

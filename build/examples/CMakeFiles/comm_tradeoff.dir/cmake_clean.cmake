@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_tradeoff.dir/comm_tradeoff.cpp.o"
+  "CMakeFiles/comm_tradeoff.dir/comm_tradeoff.cpp.o.d"
+  "comm_tradeoff"
+  "comm_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/centralized.cpp" "src/algo/CMakeFiles/hm_algo.dir/centralized.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/centralized.cpp.o.d"
+  "/root/repo/src/algo/drfa.cpp" "src/algo/CMakeFiles/hm_algo.dir/drfa.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/drfa.cpp.o.d"
+  "/root/repo/src/algo/duality_gap.cpp" "src/algo/CMakeFiles/hm_algo.dir/duality_gap.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/duality_gap.cpp.o.d"
+  "/root/repo/src/algo/fedavg.cpp" "src/algo/CMakeFiles/hm_algo.dir/fedavg.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/fedavg.cpp.o.d"
+  "/root/repo/src/algo/hierfavg.cpp" "src/algo/CMakeFiles/hm_algo.dir/hierfavg.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/hierfavg.cpp.o.d"
+  "/root/repo/src/algo/hierminimax.cpp" "src/algo/CMakeFiles/hm_algo.dir/hierminimax.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/hierminimax.cpp.o.d"
+  "/root/repo/src/algo/hierminimax_multi.cpp" "src/algo/CMakeFiles/hm_algo.dir/hierminimax_multi.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/hierminimax_multi.cpp.o.d"
+  "/root/repo/src/algo/local_sgd.cpp" "src/algo/CMakeFiles/hm_algo.dir/local_sgd.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/local_sgd.cpp.o.d"
+  "/root/repo/src/algo/projection.cpp" "src/algo/CMakeFiles/hm_algo.dir/projection.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/projection.cpp.o.d"
+  "/root/repo/src/algo/qffl.cpp" "src/algo/CMakeFiles/hm_algo.dir/qffl.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/qffl.cpp.o.d"
+  "/root/repo/src/algo/theory.cpp" "src/algo/CMakeFiles/hm_algo.dir/theory.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/theory.cpp.o.d"
+  "/root/repo/src/algo/trainer_common.cpp" "src/algo/CMakeFiles/hm_algo.dir/trainer_common.cpp.o" "gcc" "src/algo/CMakeFiles/hm_algo.dir/trainer_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/hm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hm_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

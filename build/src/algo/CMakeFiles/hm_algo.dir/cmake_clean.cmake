@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_algo.dir/centralized.cpp.o"
+  "CMakeFiles/hm_algo.dir/centralized.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/drfa.cpp.o"
+  "CMakeFiles/hm_algo.dir/drfa.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/duality_gap.cpp.o"
+  "CMakeFiles/hm_algo.dir/duality_gap.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/fedavg.cpp.o"
+  "CMakeFiles/hm_algo.dir/fedavg.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/hierfavg.cpp.o"
+  "CMakeFiles/hm_algo.dir/hierfavg.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/hierminimax.cpp.o"
+  "CMakeFiles/hm_algo.dir/hierminimax.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/hierminimax_multi.cpp.o"
+  "CMakeFiles/hm_algo.dir/hierminimax_multi.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/local_sgd.cpp.o"
+  "CMakeFiles/hm_algo.dir/local_sgd.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/projection.cpp.o"
+  "CMakeFiles/hm_algo.dir/projection.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/qffl.cpp.o"
+  "CMakeFiles/hm_algo.dir/qffl.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/theory.cpp.o"
+  "CMakeFiles/hm_algo.dir/theory.cpp.o.d"
+  "CMakeFiles/hm_algo.dir/trainer_common.cpp.o"
+  "CMakeFiles/hm_algo.dir/trainer_common.cpp.o.d"
+  "libhm_algo.a"
+  "libhm_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_core.dir/flags.cpp.o"
+  "CMakeFiles/hm_core.dir/flags.cpp.o.d"
+  "CMakeFiles/hm_core.dir/log.cpp.o"
+  "CMakeFiles/hm_core.dir/log.cpp.o.d"
+  "libhm_core.a"
+  "libhm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_data.dir/csv.cpp.o"
+  "CMakeFiles/hm_data.dir/csv.cpp.o.d"
+  "CMakeFiles/hm_data.dir/dataset.cpp.o"
+  "CMakeFiles/hm_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hm_data.dir/federated.cpp.o"
+  "CMakeFiles/hm_data.dir/federated.cpp.o.d"
+  "CMakeFiles/hm_data.dir/generators.cpp.o"
+  "CMakeFiles/hm_data.dir/generators.cpp.o.d"
+  "libhm_data.a"
+  "libhm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

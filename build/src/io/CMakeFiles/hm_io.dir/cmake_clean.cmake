@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_io.dir/checkpoint.cpp.o"
+  "CMakeFiles/hm_io.dir/checkpoint.cpp.o.d"
+  "libhm_io.a"
+  "libhm_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

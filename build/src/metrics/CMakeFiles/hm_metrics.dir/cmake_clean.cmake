@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_metrics.dir/evaluation.cpp.o"
+  "CMakeFiles/hm_metrics.dir/evaluation.cpp.o.d"
+  "CMakeFiles/hm_metrics.dir/history.cpp.o"
+  "CMakeFiles/hm_metrics.dir/history.cpp.o.d"
+  "libhm_metrics.a"
+  "libhm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

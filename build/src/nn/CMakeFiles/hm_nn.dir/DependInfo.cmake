@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/convnet.cpp" "src/nn/CMakeFiles/hm_nn.dir/convnet.cpp.o" "gcc" "src/nn/CMakeFiles/hm_nn.dir/convnet.cpp.o.d"
+  "/root/repo/src/nn/grad_check.cpp" "src/nn/CMakeFiles/hm_nn.dir/grad_check.cpp.o" "gcc" "src/nn/CMakeFiles/hm_nn.dir/grad_check.cpp.o.d"
+  "/root/repo/src/nn/linear_regression.cpp" "src/nn/CMakeFiles/hm_nn.dir/linear_regression.cpp.o" "gcc" "src/nn/CMakeFiles/hm_nn.dir/linear_regression.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/hm_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/hm_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/hm_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/hm_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/softmax_regression.cpp" "src/nn/CMakeFiles/hm_nn.dir/softmax_regression.cpp.o" "gcc" "src/nn/CMakeFiles/hm_nn.dir/softmax_regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/hm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

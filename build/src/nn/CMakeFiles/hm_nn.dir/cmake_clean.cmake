@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_nn.dir/convnet.cpp.o"
+  "CMakeFiles/hm_nn.dir/convnet.cpp.o.d"
+  "CMakeFiles/hm_nn.dir/grad_check.cpp.o"
+  "CMakeFiles/hm_nn.dir/grad_check.cpp.o.d"
+  "CMakeFiles/hm_nn.dir/linear_regression.cpp.o"
+  "CMakeFiles/hm_nn.dir/linear_regression.cpp.o.d"
+  "CMakeFiles/hm_nn.dir/mlp.cpp.o"
+  "CMakeFiles/hm_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/hm_nn.dir/model.cpp.o"
+  "CMakeFiles/hm_nn.dir/model.cpp.o.d"
+  "CMakeFiles/hm_nn.dir/softmax_regression.cpp.o"
+  "CMakeFiles/hm_nn.dir/softmax_regression.cpp.o.d"
+  "libhm_nn.a"
+  "libhm_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/hm_parallel.dir/thread_pool.cpp.o.d"
+  "libhm_parallel.a"
+  "libhm_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_rng.dir/rng.cpp.o"
+  "CMakeFiles/hm_rng.dir/rng.cpp.o.d"
+  "CMakeFiles/hm_rng.dir/sampling.cpp.o"
+  "CMakeFiles/hm_rng.dir/sampling.cpp.o.d"
+  "libhm_rng.a"
+  "libhm_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/latency.cpp" "src/sim/CMakeFiles/hm_sim.dir/latency.cpp.o" "gcc" "src/sim/CMakeFiles/hm_sim.dir/latency.cpp.o.d"
+  "/root/repo/src/sim/quantize.cpp" "src/sim/CMakeFiles/hm_sim.dir/quantize.cpp.o" "gcc" "src/sim/CMakeFiles/hm_sim.dir/quantize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/hm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hm_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_sim.dir/latency.cpp.o"
+  "CMakeFiles/hm_sim.dir/latency.cpp.o.d"
+  "CMakeFiles/hm_sim.dir/quantize.cpp.o"
+  "CMakeFiles/hm_sim.dir/quantize.cpp.o.d"
+  "libhm_sim.a"
+  "libhm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/activations.cpp" "src/tensor/CMakeFiles/hm_tensor.dir/activations.cpp.o" "gcc" "src/tensor/CMakeFiles/hm_tensor.dir/activations.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/tensor/CMakeFiles/hm_tensor.dir/gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/hm_tensor.dir/gemm.cpp.o.d"
+  "/root/repo/src/tensor/vecops.cpp" "src/tensor/CMakeFiles/hm_tensor.dir/vecops.cpp.o" "gcc" "src/tensor/CMakeFiles/hm_tensor.dir/vecops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hm_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hm_tensor.dir/activations.cpp.o"
+  "CMakeFiles/hm_tensor.dir/activations.cpp.o.d"
+  "CMakeFiles/hm_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/hm_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/hm_tensor.dir/vecops.cpp.o"
+  "CMakeFiles/hm_tensor.dir/vecops.cpp.o.d"
+  "libhm_tensor.a"
+  "libhm_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hm_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_centralized.cpp" "tests/CMakeFiles/test_centralized.dir/test_centralized.cpp.o" "gcc" "tests/CMakeFiles/test_centralized.dir/test_centralized.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/hm_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/algo/CMakeFiles/hm_algo.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hm_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hm_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/hm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hm_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/hm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hm_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

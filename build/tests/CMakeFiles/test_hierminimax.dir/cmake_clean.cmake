@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hierminimax.dir/test_hierminimax.cpp.o"
+  "CMakeFiles/test_hierminimax.dir/test_hierminimax.cpp.o.d"
+  "test_hierminimax"
+  "test_hierminimax.pdb"
+  "test_hierminimax[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hierminimax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
