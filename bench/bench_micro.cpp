@@ -55,6 +55,43 @@ void BM_GemmNt(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmNt)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+void BM_Gemv(benchmark::State& state) {
+  const index_t n = state.range(0);
+  rng::Xoshiro256 gen(7);
+  tensor::Matrix a(n, n);
+  for (auto& v : a.flat()) v = gen.normal();
+  std::vector<scalar_t> x(static_cast<std::size_t>(n), 1.0);
+  std::vector<scalar_t> y(static_cast<std::size_t>(n), 0.0);
+  for (auto _ : state) {
+    tensor::gemv(a, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 2 * n * n);
+}
+BENCHMARK(BM_Gemv)->Arg(128)->Arg(512);
+
+void BM_FusedUpdate(benchmark::State& state) {
+  // The decayed SGD update w = -eta*g + decay*w: one fused axpby pass
+  // versus the scale+axpy pair it replaced.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<scalar_t> g(n, 0.25), w(n, 1.0);
+  const bool fused = state.range(1) != 0;
+  for (auto _ : state) {
+    if (fused) {
+      tensor::axpby(-0.01, g, 0.999, w);
+    } else {
+      tensor::scale(0.999, w);
+      tensor::axpy(-0.01, g, w);
+    }
+    benchmark::DoNotOptimize(w.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FusedUpdate)
+    ->ArgsProduct({{1 << 14, 1 << 18}, {0, 1}})
+    ->ArgNames({"n", "fused"});
+
 void BM_SimplexProjection(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   rng::Xoshiro256 gen(2);
@@ -127,7 +164,10 @@ void BM_LocalSgdStepMlp(benchmark::State& state) {
 BENCHMARK(BM_LocalSgdStepMlp)->Arg(64)->Arg(784);
 
 void BM_ParallelForDispatch(benchmark::State& state) {
-  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  // force_region_dispatch: measure real concurrent dispatch even on a
+  // single-CPU host (where production pools would inline the chunks).
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)),
+                            /*force_region_dispatch=*/true);
   std::vector<scalar_t> out(1024, 0);
   for (auto _ : state) {
     parallel::parallel_for(

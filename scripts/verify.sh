@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + tests, then a ThreadSanitizer pass
+# over the concurrency suite (the thread-pool region protocol is the one
+# place a data race could hide from the functional tests).
+#
+# Usage: scripts/verify.sh [--skip-tsan]
+#
+# Build trees:
+#   build/       — default flags (created if missing, reused otherwise)
+#   build-tsan/  — HM_SANITIZE=thread, only test_parallel + test_tensor
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build -j"$(nproc)"
+
+echo "== tier-1: ctest =="
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+if [[ "$SKIP_TSAN" == 1 ]]; then
+  echo "== tsan: skipped =="
+  exit 0
+fi
+
+echo "== tsan: configure + build (build-tsan/) =="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target test_parallel test_tensor
+
+echo "== tsan: concurrency suites =="
+# force_region_dispatch pools in the stress tests exercise the real
+# concurrent region path even on single-CPU hosts.
+./build-tsan/tests/test_parallel
+./build-tsan/tests/test_tensor --gtest_filter='Gemm*:Shapes/*:KernelEquivalence*'
+
+echo "verify: OK"

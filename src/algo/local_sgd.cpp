@@ -33,10 +33,12 @@ void run_local_sgd(const nn::Model& model, const data::Dataset& shard,
         scratch.grad[i] += config.prox_mu * (w[i] - scratch.prox_center[i]);
       }
     }
-    if (config.weight_decay > 0) {
-      tensor::scale(1 - config.eta * config.weight_decay, w);
-    }
-    tensor::axpy(-config.eta, scratch.grad, w);
+    // Fused decayed step: w = (1 - eta*wd)*w - eta*g in one pass
+    // (bit-identical to the scale-then-axpy pair; see vecops.hpp).
+    const scalar_t decay =
+        config.weight_decay > 0 ? 1 - config.eta * config.weight_decay
+                                : scalar_t{1};
+    tensor::axpby(-config.eta, scratch.grad, decay, w);
     tensor::project_l2_ball(w, config.w_radius);
     if (capture && step + 1 == config.checkpoint_step) {
       tensor::copy(w, checkpoint);

@@ -1,23 +1,53 @@
 #include "algo/trainer_common.hpp"
 
-#include <algorithm>
+#include <unordered_map>
 
 #include "core/check.hpp"
 #include "tensor/vecops.hpp"
 
 namespace hm::algo::detail {
 
+namespace {
+
+/// Weighted accumulation over a set of participant vectors with the fused
+/// one- and two-source kernels: the first source overwrites (saves the
+/// zero-fill pass), then sources are folded pairwise so `out` is walked
+/// half as many times. Accumulation order over sources is the sequential
+/// order, same as a chain of axpy calls.
+template <typename WeightAt, typename SourceAt>
+void accumulate_weighted(std::size_t count, const WeightAt& weight_at,
+                         const SourceAt& source_at,
+                         std::vector<scalar_t>& out) {
+  HM_CHECK(count > 0);
+  HM_CHECK(source_at(0).size() == out.size());
+  tensor::axpby(weight_at(0), source_at(0), scalar_t{0}, out);
+  std::size_t i = 1;
+  for (; i + 2 <= count; i += 2) {
+    HM_CHECK(source_at(i).size() == out.size());
+    HM_CHECK(source_at(i + 1).size() == out.size());
+    tensor::axpy2(weight_at(i), source_at(i), weight_at(i + 1),
+                  source_at(i + 1), out);
+  }
+  if (i < count) {
+    HM_CHECK(source_at(i).size() == out.size());
+    tensor::axpy(weight_at(i), source_at(i), out);
+  }
+}
+
+}  // namespace
+
 Participants Participants::from_draws(const std::vector<index_t>& draws) {
   Participants p;
   p.total = static_cast<index_t>(draws.size());
+  std::unordered_map<index_t, std::size_t> slot_of;
+  slot_of.reserve(draws.size());
   for (const index_t id : draws) {
-    const auto it = std::find(p.ids.begin(), p.ids.end(), id);
-    if (it == p.ids.end()) {
+    const auto [it, inserted] = slot_of.try_emplace(id, p.ids.size());
+    if (inserted) {
       p.ids.push_back(id);
       p.multiplicity.push_back(1);
     } else {
-      ++p.multiplicity[static_cast<std::size_t>(
-          std::distance(p.ids.begin(), it))];
+      ++p.multiplicity[it->second];
     }
   }
   return p;
@@ -28,13 +58,15 @@ void weighted_average(const std::vector<std::vector<scalar_t>>& vectors,
                       std::vector<scalar_t>& out) {
   HM_CHECK(!parts.ids.empty() && parts.total > 0);
   const scalar_t inv_total = scalar_t{1} / static_cast<scalar_t>(parts.total);
-  std::fill(out.begin(), out.end(), scalar_t{0});
-  for (std::size_t i = 0; i < parts.ids.size(); ++i) {
-    const auto& src = vectors[static_cast<std::size_t>(parts.ids[i])];
-    HM_CHECK(src.size() == out.size());
-    tensor::axpy(static_cast<scalar_t>(parts.multiplicity[i]) * inv_total,
-                 src, out);
-  }
+  accumulate_weighted(
+      parts.ids.size(),
+      [&](std::size_t i) {
+        return static_cast<scalar_t>(parts.multiplicity[i]) * inv_total;
+      },
+      [&](std::size_t i) -> const std::vector<scalar_t>& {
+        return vectors[static_cast<std::size_t>(parts.ids[i])];
+      },
+      out);
 }
 
 void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
@@ -42,12 +74,12 @@ void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
                      std::vector<scalar_t>& out) {
   HM_CHECK(!ids.empty());
   const scalar_t inv = scalar_t{1} / static_cast<scalar_t>(ids.size());
-  std::fill(out.begin(), out.end(), scalar_t{0});
-  for (const index_t id : ids) {
-    const auto& src = vectors[static_cast<std::size_t>(id)];
-    HM_CHECK(src.size() == out.size());
-    tensor::axpy(inv, src, out);
-  }
+  accumulate_weighted(
+      ids.size(), [&](std::size_t) { return inv; },
+      [&](std::size_t i) -> const std::vector<scalar_t>& {
+        return vectors[static_cast<std::size_t>(ids[i])];
+      },
+      out);
 }
 
 void update_running_average(std::vector<scalar_t>& avg,
@@ -56,9 +88,7 @@ void update_running_average(std::vector<scalar_t>& avg,
   const scalar_t w_old =
       static_cast<scalar_t>(k) / static_cast<scalar_t>(k + 1);
   const scalar_t w_new = scalar_t{1} / static_cast<scalar_t>(k + 1);
-  for (std::size_t i = 0; i < avg.size(); ++i) {
-    avg[i] = w_old * avg[i] + w_new * value[i];
-  }
+  tensor::axpby(w_new, value, w_old, avg);
 }
 
 std::vector<scalar_t> uniform_weights(index_t n) {

@@ -19,3 +19,12 @@ using index_t = std::ptrdiff_t;
 using seed_t = std::uint64_t;
 
 }  // namespace hm
+
+/// No-alias qualifier for the tensor kernels' pointer parameters; spans of
+/// (const) scalar_t may legally alias, which otherwise forces the compiler
+/// to emit runtime overlap checks or give up on vectorizing.
+#if defined(_MSC_VER)
+#define HM_RESTRICT __restrict
+#else
+#define HM_RESTRICT __restrict__
+#endif

@@ -1,12 +1,21 @@
 // Blocked parallel-for and deterministic parallel reduction on top of
-// ThreadPool. The iteration space [begin, end) is split into contiguous
-// chunks; `body(i)` runs exactly once per index. Reductions combine
-// per-chunk partials in chunk order, so the result is independent of
-// thread scheduling (bit-reproducible for a fixed chunk count).
+// ThreadPool::run_region. The iteration space [begin, end) is split into
+// contiguous chunks; `body(i)` runs exactly once per index.
+//
+// Chunking is a pure function of (range length, grain) — never of the
+// pool's thread count — and reductions combine per-chunk partials in
+// chunk order after the region completes. Results are therefore
+// bit-identical for any pool size (1, 2, 8, ...) and any scheduling of
+// chunks onto threads, which is the reproducibility guarantee the
+// trainers rely on.
+//
+// Dispatch is the low-overhead region path: no futures, no per-chunk
+// allocation; a parallel_for costs a few atomics plus one wakeup chain,
+// and the calling thread participates in the work.
 #pragma once
 
 #include <algorithm>
-#include <future>
+#include <type_traits>
 #include <vector>
 
 #include "core/check.hpp"
@@ -18,34 +27,53 @@ namespace hm::parallel {
 /// Minimum indices per chunk before the work is split across threads.
 inline constexpr index_t kDefaultGrain = 64;
 
+/// Upper bound on chunks per region. Fixed (not scaled by thread count)
+/// so that chunk boundaries — and with them every chunk-ordered FP
+/// reduction — are identical no matter how many workers the pool has.
+inline constexpr index_t kMaxChunks = 64;
+
+namespace detail {
+
+/// Chunk length for a range of n indices: enough chunks for load
+/// balancing, capped, at least `grain` indices each, and independent of
+/// threads. Callers derive the chunk count as ceil(n / chunk), which
+/// avoids empty trailing chunks after rounding.
+inline index_t chunk_size_for(index_t n, index_t grain) {
+  const index_t num_chunks = std::max<index_t>(
+      1, std::min(kMaxChunks, n / std::max<index_t>(1, grain)));
+  return (n + num_chunks - 1) / num_chunks;
+}
+
+}  // namespace detail
+
 /// Run body(i) for every i in [begin, end), splitting across `pool`.
-/// Falls back to a serial loop when the range is below `grain` or the
-/// pool has a single thread.
+/// Falls back to a serial loop for small ranges and inside nested
+/// parallel constructs.
 template <typename Body>
 void parallel_for(ThreadPool& pool, index_t begin, index_t end, Body&& body,
                   index_t grain = kDefaultGrain) {
   HM_CHECK(begin <= end);
   const index_t n = end - begin;
   if (n == 0) return;
-  const index_t max_chunks = static_cast<index_t>(pool.num_threads()) * 4;
-  const index_t num_chunks =
-      std::max<index_t>(1, std::min(max_chunks, n / std::max<index_t>(1, grain)));
+  const index_t chunk = detail::chunk_size_for(n, grain);
+  const index_t num_chunks = (n + chunk - 1) / chunk;
   if (num_chunks <= 1) {
     for (index_t i = begin; i < end; ++i) body(i);
     return;
   }
-  const index_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(static_cast<std::size_t>(num_chunks));
-  for (index_t c = 0; c < num_chunks; ++c) {
-    const index_t lo = begin + c * chunk;
-    const index_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(pool.submit([lo, hi, &body] {
-      for (index_t i = lo; i < hi; ++i) body(i);
-    }));
-  }
-  for (auto& f : futures) f.get();  // rethrows the first task exception
+  struct Ctx {
+    std::remove_reference_t<Body>* body;
+    index_t begin, end, chunk;
+  } ctx{&body, begin, end, chunk};
+  pool.run_region(
+      num_chunks,
+      [](void* p, index_t c) {
+        auto& s = *static_cast<Ctx*>(p);
+        const index_t lo = s.begin + c * s.chunk;
+        const index_t hi = std::min(s.end, lo + s.chunk);
+        for (index_t i = lo; i < hi; ++i) (*s.body)(i);
+      },
+      &ctx);
 }
 
 /// Convenience overload on the global pool.
@@ -58,7 +86,9 @@ void parallel_for(index_t begin, index_t end, Body&& body,
 
 /// Deterministic parallel reduction: result equals
 /// combine(...combine(init, partial_0)..., partial_{k-1}) where partial_c
-/// folds body(i) over chunk c in index order.
+/// folds body(i) over chunk c in index order. The chunk count depends
+/// only on (n, grain), so the result is bit-identical for every pool
+/// size, including the serial fallback.
 template <typename T, typename Body, typename Combine>
 T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
                   Body&& body, Combine&& combine,
@@ -66,29 +96,30 @@ T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
   HM_CHECK(begin <= end);
   const index_t n = end - begin;
   if (n == 0) return init;
-  const index_t max_chunks = static_cast<index_t>(pool.num_threads()) * 4;
-  const index_t num_chunks =
-      std::max<index_t>(1, std::min(max_chunks, n / std::max<index_t>(1, grain)));
+  const index_t chunk = detail::chunk_size_for(n, grain);
+  const index_t num_chunks = (n + chunk - 1) / chunk;
+  std::vector<T> partials(static_cast<std::size_t>(num_chunks));
+  struct Ctx {
+    std::remove_reference_t<Body>* body;
+    std::remove_reference_t<Combine>* combine;
+    T* partials;
+    index_t begin, end, chunk;
+  } ctx{&body, &combine, partials.data(), begin, end, chunk};
+  auto chunk_fn = [](void* p, index_t c) {
+    auto& s = *static_cast<Ctx*>(p);
+    const index_t lo = s.begin + c * s.chunk;
+    const index_t hi = std::min(s.end, lo + s.chunk);
+    T acc = (*s.body)(lo);
+    for (index_t i = lo + 1; i < hi; ++i) acc = (*s.combine)(acc, (*s.body)(i));
+    s.partials[c] = std::move(acc);
+  };
   if (num_chunks <= 1) {
-    T acc = init;
-    for (index_t i = begin; i < end; ++i) acc = combine(acc, body(i));
-    return acc;
+    chunk_fn(&ctx, 0);  // same fold as the region path, minus dispatch
+  } else {
+    pool.run_region(num_chunks, chunk_fn, &ctx);
   }
-  const index_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::vector<std::future<T>> futures;
-  futures.reserve(static_cast<std::size_t>(num_chunks));
-  for (index_t c = 0; c < num_chunks; ++c) {
-    const index_t lo = begin + c * chunk;
-    const index_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(pool.submit([lo, hi, &body, &combine]() -> T {
-      T acc = body(lo);
-      for (index_t i = lo + 1; i < hi; ++i) acc = combine(acc, body(i));
-      return acc;
-    }));
-  }
-  T acc = init;
-  for (auto& f : futures) acc = combine(acc, f.get());
+  T acc = std::move(init);
+  for (auto& partial : partials) acc = combine(std::move(acc), partial);
   return acc;
 }
 

@@ -2,41 +2,168 @@
 
 #include <algorithm>
 
+#include "core/check.hpp"
+
 namespace hm::parallel {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+namespace {
+
+/// Depth of region nesting on this thread. Non-zero while executing a
+/// chunk body, so nested parallel constructs inline serially.
+thread_local int tl_region_depth = 0;
+
+struct RegionDepthGuard {
+  RegionDepthGuard() { ++tl_region_depth; }
+  ~RegionDepthGuard() { --tl_region_depth; }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads, bool force_region_dispatch) {
   if (num_threads == 0) {
     num_threads = std::max(1u, std::thread::hardware_concurrency());
   }
+  dispatch_regions_ =
+      force_region_dispatch || std::thread::hardware_concurrency() > 1;
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<TaskQueue>());
+  }
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(wake_mutex_);
     stop_ = true;
   }
-  cv_.notify_all();
+  wake_cv_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
+bool ThreadPool::in_region() { return tl_region_depth > 0; }
+
+bool ThreadPool::try_run_task(std::size_t self) {
+  if (pending_tasks_.load(std::memory_order_acquire) <= 0) return false;
+  // Own queue first, then sweep the peers (cheap work stealing).
+  const std::size_t n = queues_.size();
+  for (std::size_t probe = 0; probe < n; ++probe) {
+    TaskQueue& q = *queues_[(self + probe) % n];
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (stop_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop();
+      std::lock_guard<std::mutex> lock(q.mutex);
+      if (q.tasks.empty()) continue;
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
     }
+    pending_tasks_.fetch_sub(1, std::memory_order_release);
     task();  // packaged_task captures exceptions into the future
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::work_region() {
+  RegionDepthGuard depth;
+  Region& r = region_;
+  for (;;) {
+    const index_t c = r.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= r.num_chunks) return;
+    try {
+      r.fn(r.ctx, c);
+    } catch (...) {
+      if (!r.has_error.exchange(true, std::memory_order_acq_rel)) {
+        r.error = std::current_exception();
+      }
+    }
+    if (r.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      r.remaining.notify_all();
+    }
+  }
+}
+
+void ThreadPool::join_region(std::uint64_t epoch) {
+  // seq_cst increment, then re-validate the epoch: if a new setup has
+  // started (odd) or finished (different even value) we must not touch
+  // the region state. See the protocol note in the header.
+  active_.fetch_add(1);
+  if (region_epoch_.load() == epoch) {
+    work_region();
+  }
+  if (active_.fetch_sub(1) == 1) active_.notify_all();
+}
+
+void ThreadPool::run_region(index_t num_chunks, RegionFn fn, void* ctx) {
+  HM_CHECK(num_chunks >= 0 && fn != nullptr);
+  if (num_chunks == 0) return;
+  if (num_chunks == 1 || tl_region_depth > 0 || workers_.empty() ||
+      !dispatch_regions_) {
+    RegionDepthGuard depth;
+    for (index_t c = 0; c < num_chunks; ++c) fn(ctx, c);
+    return;
+  }
+  std::lock_guard<std::mutex> region_lock(region_mutex_);
+  // Phase 1: invalidate (odd epoch) and quiesce stragglers from the
+  // previous region before rewriting shared state.
+  region_epoch_.fetch_add(1);  // even -> odd
+  for (int a = active_.load(); a != 0; a = active_.load()) {
+    active_.wait(a);
+  }
+  Region& r = region_;
+  r.fn = fn;
+  r.ctx = ctx;
+  r.num_chunks = num_chunks;
+  r.next.store(0, std::memory_order_relaxed);
+  r.remaining.store(num_chunks, std::memory_order_relaxed);
+  r.has_error.store(false, std::memory_order_relaxed);
+  r.error = nullptr;
+  // Phase 2: publish (next even epoch) and wake one worker; each joining
+  // worker wakes the next, so sleeping workers are only disturbed while
+  // there is work left to claim.
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    region_epoch_.fetch_add(1);  // odd -> even: region live
+  }
+  wake_cv_.notify_one();
+  // Phase 3: the caller participates, then waits on the countdown latch
+  // for chunks still running on workers.
+  work_region();
+  for (index_t left = r.remaining.load(std::memory_order_acquire); left != 0;
+       left = r.remaining.load(std::memory_order_acquire)) {
+    r.remaining.wait(left);
+  }
+  if (r.has_error.load(std::memory_order_acquire)) {
+    std::rethrow_exception(r.error);
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::uint64_t last_epoch = 0;
+  for (;;) {
+    const std::uint64_t e = region_epoch_.load();
+    if ((e & 1) == 0 && e != last_epoch) {
+      last_epoch = e;
+      wake_cv_.notify_one();  // propagate the wakeup chain
+      join_region(e);
+      continue;
+    }
+    if (try_run_task(self)) continue;
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    wake_cv_.wait(lock, [&] {
+      if (stop_) return true;
+      if (pending_tasks_.load(std::memory_order_acquire) > 0) return true;
+      const std::uint64_t now = region_epoch_.load();
+      return (now & 1) == 0 && now != last_epoch;
+    });
+    if (stop_) {
+      lock.unlock();
+      while (try_run_task(self)) {  // drain pending tasks before exit
+      }
+      return;
+    }
   }
 }
 

@@ -1,30 +1,65 @@
-// Fixed-size thread pool with a single shared task queue.
+// Fixed-size thread pool with per-thread task queues and a low-overhead
+// parallel-region dispatcher.
 //
-// Design notes (following the shared-memory HPC idiom of explicit
-// parallelism): tasks are arbitrary void() callables; submit() returns a
-// future so callers can join and so exceptions thrown inside a task
-// propagate to the waiting thread instead of being swallowed. The pool is
-// intended for coarse-grained tasks (one client's local-SGD run, one tile
-// of a GEMM); it makes no fairness or priority guarantees.
+// Two execution paths:
+//
+//  * submit() — arbitrary void()/R() callables for coarse one-off tasks.
+//    Tasks are distributed round-robin over per-thread queues (no single
+//    hot mutex) and idle workers steal from their peers; the returned
+//    future carries the result or exception.
+//
+//  * run_region() — the steady-state path underneath parallel_for /
+//    parallel_reduce. A region is a fixed count of chunks executed by the
+//    caller plus any workers that join; chunks are claimed from a shared
+//    atomic ticket and completion is a latch-style atomic countdown the
+//    caller waits on. No allocation, no futures, no per-chunk
+//    packaged_task: dispatching a region costs a few atomic operations
+//    and at most one wakeup chain.
+//
+// Region lifecycle / safety protocol (all in ThreadPool::run_region and
+// join_region): callers serialize on region_mutex_. Setup first bumps
+// region_epoch_ to an odd value, then waits for active_ == 0, so no
+// worker can be reading region state while it is rewritten (workers join
+// by incrementing active_ and then re-validating the epoch; the epoch
+// write / active_ read pair on the caller side and the active_ write /
+// epoch read pair on the worker side are both seq_cst, closing the
+// store-load race). Publishing the region bumps the epoch to the next
+// even value. Nested regions (a chunk body calling parallel_for) run
+// inline and serially on the calling thread, which both avoids deadlock
+// and keeps nested reductions in their deterministic serial chunk order.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/types.hpp"
 
 namespace hm::parallel {
 
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>=1). Defaults to hardware concurrency.
-  explicit ThreadPool(std::size_t num_threads = 0);
+  /// Regions are dispatched to workers only when the hardware reports
+  /// more than one logical CPU — on a single-CPU host, handing chunks to
+  /// workers just timeshares one core and adds context-switch churn, so
+  /// the caller runs them inline instead (results are identical either
+  /// way; chunking never depends on the execution mode). Pass
+  /// `force_region_dispatch = true` to always use the concurrent path —
+  /// benchmarks measuring dispatch latency and stress tests (TSan) need
+  /// the real thing regardless of the host.
+  explicit ThreadPool(std::size_t num_threads = 0,
+                      bool force_region_dispatch = false);
 
-  /// Joins all workers; pending tasks are completed first.
+  /// Joins all workers; pending submitted tasks are completed first.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -39,25 +74,71 @@ class ThreadPool {
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> result = task->get_future();
+    const std::size_t slot =
+        next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
+      queues_[slot]->tasks.emplace_back([task] { (*task)(); });
     }
-    cv_.notify_one();
+    pending_tasks_.fetch_add(1, std::memory_order_release);
+    wake_cv_.notify_one();
     return result;
   }
+
+  /// Run fn(ctx, chunk) exactly once for every chunk in [0, num_chunks).
+  /// Blocks until all chunks completed; rethrows the first chunk
+  /// exception. The caller participates, so the region completes even if
+  /// every worker is busy elsewhere. Reentrant calls (from inside a
+  /// region chunk) execute serially inline.
+  using RegionFn = void (*)(void* ctx, index_t chunk);
+  void run_region(index_t num_chunks, RegionFn fn, void* ctx);
+
+  /// True while the calling thread is executing inside a region chunk
+  /// (used by parallel_for to fall back to serial execution).
+  static bool in_region();
 
   /// Process-wide shared pool, created on first use.
   static ThreadPool& global();
 
  private:
-  void worker_loop();
+  struct TaskQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Reusable region descriptor; rewritten only while quiesced.
+  struct Region {
+    RegionFn fn = nullptr;
+    void* ctx = nullptr;
+    index_t num_chunks = 0;
+    std::atomic<index_t> next{0};       // chunk ticket
+    std::atomic<index_t> remaining{0};  // countdown latch
+    std::atomic<bool> has_error{false};
+    std::exception_ptr error;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_run_task(std::size_t self);
+  /// Claim-and-run loop shared by caller and workers.
+  void work_region();
+  /// Worker-side entry: join the published region if `epoch` still
+  /// current; returns after the region has no claimable chunks left.
+  void join_region(std::uint64_t epoch);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
+  bool dispatch_regions_ = true;
+  std::vector<std::unique_ptr<TaskQueue>> queues_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::ptrdiff_t> pending_tasks_{0};
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_cv_;
   bool stop_ = false;
+
+  std::mutex region_mutex_;  // serializes external region callers
+  std::atomic<std::uint64_t> region_epoch_{0};  // odd = setup in progress
+  std::atomic<int> active_{0};  // workers currently inside the region
+  Region region_;
 };
 
 }  // namespace hm::parallel

@@ -5,9 +5,18 @@
 //   C(m x n) (+)= A(m x k) * B(n x k)^T          — gemm_nt
 //   C(k x n) (+)= A(m x k)^T * B(m x n)          — gemm_tn
 //
-// The kernels are cache-blocked and, above a size threshold, split over
-// rows of C on the global thread pool. Row-splitting keeps writes disjoint
-// so no synchronization is needed and results are deterministic.
+// Implementation: a register-tiled MR x NR micro-kernel accumulates over
+// the reduction index in strictly increasing order. gemm/gemm_tn read B
+// in place (its columns are already contiguous); gemm_nt packs B^T once
+// per call into NR-wide k-major panels reused across every row block of
+// C — or, when A has only a handful of rows, computes the transposed
+// product with the small side packed instead. Above a flop threshold the
+// row blocks of C are split across the global thread pool; writes are
+// disjoint per row, and each C(i, j) folds its k-terms in the same fixed
+// order no matter how the rows are distributed, so results are
+// bit-identical for any pool size and match the naive triple loop exactly
+// (FMA contraction is disabled build-wide; see vecops.hpp for the
+// determinism contract).
 #pragma once
 
 #include "tensor/matrix.hpp"
@@ -23,7 +32,8 @@ void gemm_nt(ConstMatView a, ConstMatView b, MatView c, scalar_t beta = 0);
 /// C = beta*C + A^T * B.
 void gemm_tn(ConstMatView a, ConstMatView b, MatView c, scalar_t beta = 0);
 
-/// y = beta*y + A * x (dense matrix-vector).
+/// y = beta*y + A * x (dense matrix-vector; rows are processed pairwise
+/// with the fused dot2 kernel and split across the pool for tall A).
 void gemv(ConstMatView a, ConstVecView x, VecView y, scalar_t beta = 0);
 
 }  // namespace hm::tensor

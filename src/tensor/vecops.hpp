@@ -1,20 +1,57 @@
 // BLAS-1 style kernels on contiguous spans. These are the hot loops of
-// federated aggregation (axpy/scale over flat parameter vectors); they are
-// written as simple countable loops so the compiler auto-vectorizes them.
+// federated aggregation (axpy/scale over flat parameter vectors) and the
+// local-SGD update.
+//
+// Implementation contract (the "determinism contract" relied on by the
+// kernel-equivalence tests and by the cross-thread-count reproducibility
+// guarantee):
+//
+//  * Elementwise kernels (axpy, axpby, axpy2, scale, copy) perform exactly
+//    one rounding sequence per element, identical to the obvious scalar
+//    loop, so they are bit-identical to a naive reference on any ISA.
+//  * Reduction kernels (dot, dot2, sum, dist2) accumulate into kLanes = 8
+//    fixed lanes — lane j folds the elements with index ≡ j (mod 8), in
+//    increasing index order — and combine the lanes with the fixed pairwise
+//    tree ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)). The lane count is a
+//    source-level constant, so results do not depend on the vector width
+//    the compiler targets, on -march flags, or on thread count.
+//  * The build disables FMA contraction (-ffp-contract=off) so a*b+c is
+//    two roundings everywhere, matching the scalar references.
 #pragma once
 
 #include "tensor/matrix.hpp"
 
 namespace hm::tensor {
 
+/// Number of independent accumulator lanes used by the reduction kernels.
+/// Part of the public determinism contract (see header comment).
+inline constexpr std::size_t kLanes = 8;
+
 /// y += alpha * x
 void axpy(scalar_t alpha, ConstVecView x, VecView y);
+
+/// y = alpha * x + beta * y. beta == 0 overwrites y (no 0*y term is
+/// evaluated, so uninitialized/NaN y is permitted). Fuses the
+/// scale-then-axpy pair of the decayed SGD update into one pass and is
+/// bit-identical to scale(beta, y); axpy(alpha, x, y).
+void axpby(scalar_t alpha, ConstVecView x, scalar_t beta, VecView y);
+
+/// y += a0 * x0 + a1 * x1, evaluated per element as (y + a0*x0) + a1*x1.
+/// Bit-identical to axpy(a0, x0, y); axpy(a1, x1, y) but with one pass
+/// over y instead of two (the aggregation hot loop).
+void axpy2(scalar_t a0, ConstVecView x0, scalar_t a1, ConstVecView x1,
+           VecView y);
 
 /// x *= alpha
 void scale(scalar_t alpha, VecView x);
 
-/// <x, y>
+/// <x, y> (8-lane fixed-order reduction; see header contract)
 scalar_t dot(ConstVecView x, ConstVecView y);
+
+/// r0 = <x, y0>, r1 = <x, y1> in a single pass over x. Each result is
+/// bit-identical to the corresponding dot() call; x is loaded once.
+void dot2(ConstVecView x, ConstVecView y0, ConstVecView y1, scalar_t& r0,
+          scalar_t& r1);
 
 /// ||x||_2
 scalar_t nrm2(ConstVecView x);
@@ -28,7 +65,7 @@ void copy(ConstVecView x, VecView y);
 /// x = 0
 void set_zero(VecView x);
 
-/// sum of entries
+/// sum of entries (8-lane fixed-order reduction)
 scalar_t sum(ConstVecView x);
 
 /// max entry (requires non-empty)

@@ -163,6 +163,77 @@ TEST(Participants, WeightedAverageUsesMultiplicity) {
   EXPECT_DOUBLE_EQ(out[0], (1.0 + 3 * 3.0) / 4);
 }
 
+TEST(Participants, ManyDrawsPreserveFirstDrawOrder) {
+  // The id->slot map must keep ids in first-draw order with exact
+  // multiplicities even when draws are large and repetitive.
+  std::vector<index_t> draws;
+  for (index_t r = 0; r < 50; ++r) {
+    for (const index_t id : {7, 3, 7, 11, 3, 7}) draws.push_back(id);
+  }
+  const auto p = detail::Participants::from_draws(draws);
+  EXPECT_EQ(p.total, static_cast<index_t>(draws.size()));
+  EXPECT_EQ(p.ids, (std::vector<index_t>{7, 3, 11}));
+  EXPECT_EQ(p.multiplicity, (std::vector<index_t>{150, 100, 50}));
+}
+
+TEST(Participants, SingleRepeatedId) {
+  const auto p = detail::Participants::from_draws({4, 4, 4, 4});
+  EXPECT_EQ(p.ids, (std::vector<index_t>{4}));
+  EXPECT_EQ(p.multiplicity, (std::vector<index_t>{4}));
+  EXPECT_EQ(p.total, 4);
+}
+
+TEST(Averages, WeightedAverageMatchesSequentialAxpyChain) {
+  // The fused axpby/axpy2 implementation promises bit-identity with the
+  // plain chain out = sum_i w_i * v_i folded left-to-right per element.
+  rng::Xoshiro256 gen(61);
+  const std::size_t dim = 37;
+  std::vector<std::vector<scalar_t>> vecs(7);
+  for (auto& v : vecs) {
+    v.resize(dim);
+    for (auto& x : v) x = gen.normal();
+  }
+  // Odd and even participant counts exercise the pair loop and the tail.
+  for (const auto& draws :
+       {std::vector<index_t>{5, 2, 5, 0, 1}, std::vector<index_t>{6, 4}}) {
+    const auto p = detail::Participants::from_draws(draws);
+    std::vector<scalar_t> out(dim, -7.0);  // stale contents must not leak
+    detail::weighted_average(vecs, p, out);
+    const auto total = static_cast<scalar_t>(p.total);
+    std::vector<scalar_t> expected(dim, 0.0);
+    for (std::size_t i = 0; i < p.ids.size(); ++i) {
+      const scalar_t w = static_cast<scalar_t>(p.multiplicity[i]) / total;
+      const auto& v = vecs[static_cast<std::size_t>(p.ids[i])];
+      for (std::size_t d = 0; d < dim; ++d) {
+        expected[d] = i == 0 ? w * v[d] : expected[d] + w * v[d];
+      }
+    }
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(Averages, UniformAverageMatchesSequentialChain) {
+  rng::Xoshiro256 gen(62);
+  const std::size_t dim = 19;
+  std::vector<std::vector<scalar_t>> vecs(5);
+  for (auto& v : vecs) {
+    v.resize(dim);
+    for (auto& x : v) x = gen.normal();
+  }
+  const std::vector<index_t> ids = {4, 0, 2};
+  std::vector<scalar_t> out(dim, 99.0);
+  detail::uniform_average(vecs, ids, out);
+  const scalar_t inv = 1.0 / static_cast<scalar_t>(ids.size());
+  std::vector<scalar_t> expected(dim, 0.0);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const auto& v = vecs[static_cast<std::size_t>(ids[i])];
+    for (std::size_t d = 0; d < dim; ++d) {
+      expected[d] = i == 0 ? inv * v[d] : expected[d] + inv * v[d];
+    }
+  }
+  EXPECT_EQ(out, expected);
+}
+
 TEST(RunningAverage, MatchesArithmeticMean) {
   std::vector<scalar_t> avg = {0.0};
   const std::vector<std::vector<scalar_t>> values = {{2}, {4}, {9}};

@@ -112,6 +112,67 @@ TEST(ParallelReduce, EmptyRangeReturnsInit) {
   EXPECT_DOUBLE_EQ(result, 123.0);
 }
 
+// ---------------------------------------------------------------------
+// Stress tests for the region dispatcher. The pools force region
+// dispatch so the concurrent path (epoch handshake, chunk ticket,
+// countdown latch) is exercised even on a single-CPU host, where
+// production pools would inline regions.
+
+TEST(RegionStress, ReduceBitIdenticalAcrossPoolSizes) {
+  // FP sums depend on combine order; the chunk-ordered reduction must be
+  // bit-identical no matter how many workers claim the chunks.
+  auto run = [](std::size_t threads) {
+    ThreadPool pool(threads, /*force_region_dispatch=*/true);
+    return parallel_reduce(
+        pool, 0, 40000, 0.0,
+        [](index_t i) { return std::sqrt(static_cast<double>(i)) / 3.0; },
+        std::plus<double>(), /*grain=*/8);
+  };
+  const double one = run(1);
+  EXPECT_EQ(one, run(2));
+  EXPECT_EQ(one, run(8));
+}
+
+TEST(RegionStress, RepeatedRegionsOnOnePoolCoverEveryIndex) {
+  // Back-to-back regions reuse the same descriptor; stragglers from
+  // round r must never touch round r+1 (epoch/quiesce protocol).
+  ThreadPool pool(8, /*force_region_dispatch=*/true);
+  std::vector<std::atomic<int>> hits(512);
+  for (int round = 0; round < 200; ++round) {
+    parallel_for(pool, 0, 512, [&](index_t i) { ++hits[i]; }, /*grain=*/1);
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 200);
+}
+
+TEST(RegionStress, EdgeCaseRangesAndGrains) {
+  ThreadPool pool(4, /*force_region_dispatch=*/true);
+  for (const index_t n : {0, 1, 2, 3, 63, 64, 65, 1000}) {
+    for (const index_t grain : {1, 7, 64, 1000}) {
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      parallel_for(pool, 0, n, [&](index_t i) { ++hits[i]; }, grain);
+      for (const auto& h : hits) {
+        EXPECT_EQ(h.load(), 1) << "n=" << n << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(RegionStress, SubmittedTasksInterleaveWithRegions) {
+  // Workers serve both the task queues and regions; mixing the two paths
+  // must lose neither tasks nor chunks.
+  ThreadPool pool(4, /*force_region_dispatch=*/true);
+  std::atomic<int> task_sum{0};
+  std::vector<std::future<void>> futures;
+  std::atomic<long> region_sum{0};
+  for (int round = 0; round < 50; ++round) {
+    futures.push_back(pool.submit([&task_sum] { ++task_sum; }));
+    parallel_for(pool, 0, 64, [&](index_t) { ++region_sum; }, /*grain=*/1);
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(task_sum.load(), 50);
+  EXPECT_EQ(region_sum.load(), 50 * 64);
+}
+
 class ParallelForThreadCount : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelForThreadCount, SumIndependentOfThreads) {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <limits>
 #include <vector>
 
 #include "rng/rng.hpp"
@@ -212,6 +214,223 @@ TEST(Gemv, MatchesReference) {
   gemv(a, x, y, /*beta=*/1.0);
   for (index_t i = 0; i < 6; ++i) {
     EXPECT_NEAR(y[static_cast<std::size_t>(i)], 3.0 + dot(a.row(i), x), 1e-12);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Kernel-equivalence suite: the vecops/gemm headers promise specific
+// rounding sequences (8-lane reductions with a fixed pairwise combine,
+// elementwise fusions identical to their unfused chains, GEMM accumping
+// each element in naive k-order). These tests pin that contract with
+// exact (0 ULP) comparisons against plain scalar references — EXPECT_EQ
+// on doubles, no tolerance.
+
+/// Reference for the 8-lane reduction order documented in vecops.hpp:
+/// lane j folds indices ≡ j (mod kLanes) in increasing order, lanes
+/// combine as ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
+scalar_t ref_lane_reduce(std::size_t n,
+                         const std::function<scalar_t(std::size_t)>& term) {
+  scalar_t lane[kLanes] = {};
+  for (std::size_t i = 0; i < n; ++i) lane[i % kLanes] += term(i);
+  return ((lane[0] + lane[1]) + (lane[2] + lane[3])) +
+         ((lane[4] + lane[5]) + (lane[6] + lane[7]));
+}
+
+std::vector<scalar_t> random_vec(std::size_t n, rng::Xoshiro256& gen) {
+  std::vector<scalar_t> v(n);
+  for (auto& x : v) x = gen.normal();
+  return v;
+}
+
+/// Sizes straddling the unrolled-body/tail boundaries of the kernels.
+const std::size_t kEquivalenceSizes[] = {0,  1,  2,  3,  7,   8,   9,  15,
+                                         16, 17, 31, 63, 64,  65,  100,
+                                         255, 256, 1000, 4099};
+
+TEST(KernelEquivalence, DotMatchesLaneOrderExactly) {
+  rng::Xoshiro256 gen(900);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x = random_vec(n, gen);
+    const auto y = random_vec(n, gen);
+    const scalar_t expected =
+        ref_lane_reduce(n, [&](std::size_t i) { return x[i] * y[i]; });
+    EXPECT_EQ(dot(x, y), expected) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, SumMatchesLaneOrderExactly) {
+  rng::Xoshiro256 gen(901);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x = random_vec(n, gen);
+    const scalar_t expected =
+        ref_lane_reduce(n, [&](std::size_t i) { return x[i]; });
+    EXPECT_EQ(sum(x), expected) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, Dist2AndNrm2MatchLaneOrderExactly) {
+  rng::Xoshiro256 gen(902);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x = random_vec(n, gen);
+    const auto y = random_vec(n, gen);
+    const scalar_t d2 = ref_lane_reduce(n, [&](std::size_t i) {
+      const scalar_t d = x[i] - y[i];
+      return d * d;
+    });
+    EXPECT_EQ(dist2(x, y), std::sqrt(d2)) << "n=" << n;
+    const scalar_t s2 =
+        ref_lane_reduce(n, [&](std::size_t i) { return x[i] * x[i]; });
+    EXPECT_EQ(nrm2(x), std::sqrt(s2)) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, Dot2MatchesTwoDotsExactly) {
+  rng::Xoshiro256 gen(903);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x = random_vec(n, gen);
+    const auto y0 = random_vec(n, gen);
+    const auto y1 = random_vec(n, gen);
+    scalar_t r0 = -1, r1 = -1;
+    dot2(x, y0, y1, r0, r1);
+    EXPECT_EQ(r0, dot(x, y0)) << "n=" << n;
+    EXPECT_EQ(r1, dot(x, y1)) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, AxpyMatchesScalarLoopExactly) {
+  rng::Xoshiro256 gen(904);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x = random_vec(n, gen);
+    auto y = random_vec(n, gen);
+    auto expected = y;
+    for (std::size_t i = 0; i < n; ++i) expected[i] += 0.37 * x[i];
+    axpy(0.37, x, y);
+    EXPECT_EQ(y, expected) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, AxpbyMatchesScaleThenAxpyExactly) {
+  rng::Xoshiro256 gen(905);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x = random_vec(n, gen);
+    auto fused = random_vec(n, gen);
+    auto chained = fused;
+    scale(0.93, chained);
+    axpy(-0.01, x, chained);
+    axpby(-0.01, x, 0.93, fused);
+    EXPECT_EQ(fused, chained) << "n=" << n;
+  }
+}
+
+TEST(KernelEquivalence, AxpbyBetaZeroOverwritesNaN) {
+  // beta == 0 must not evaluate 0 * y: NaN-poisoned destinations are
+  // overwritten cleanly (the scratch-reuse paths rely on this).
+  const std::vector<scalar_t> x = {1, 2, 3};
+  std::vector<scalar_t> y(3, std::numeric_limits<scalar_t>::quiet_NaN());
+  axpby(2.0, x, 0.0, y);
+  EXPECT_EQ(y, (std::vector<scalar_t>{2, 4, 6}));
+}
+
+TEST(KernelEquivalence, Axpy2MatchesTwoAxpysExactly) {
+  rng::Xoshiro256 gen(906);
+  for (const std::size_t n : kEquivalenceSizes) {
+    const auto x0 = random_vec(n, gen);
+    const auto x1 = random_vec(n, gen);
+    auto fused = random_vec(n, gen);
+    auto chained = fused;
+    axpy(0.25, x0, chained);
+    axpy(-1.5, x1, chained);
+    axpy2(0.25, x0, -1.5, x1, fused);
+    EXPECT_EQ(fused, chained) << "n=" << n;
+  }
+}
+
+/// GEMM reference with the documented rounding sequence: each element is
+/// the k-sequential product sum; beta != 0 scales C first (beta != 1)
+/// and adds the whole accumulated sum in one rounding.
+Matrix ref_gemm_exact(const Matrix& a, const Matrix& b, const Matrix* prior,
+                      scalar_t beta) {
+  Matrix c(a.rows(), b.cols());
+  for (index_t i = 0; i < a.rows(); ++i) {
+    for (index_t j = 0; j < b.cols(); ++j) {
+      scalar_t acc = 0;
+      for (index_t l = 0; l < a.cols(); ++l) acc += a(i, l) * b(l, j);
+      if (beta == 0) {
+        c(i, j) = acc;
+      } else {
+        const scalar_t base =
+            beta == 1 ? (*prior)(i, j) : beta * (*prior)(i, j);
+        c(i, j) = base + acc;
+      }
+    }
+  }
+  return c;
+}
+
+struct GemmExactShape {
+  index_t m, k, n;
+};
+
+class GemmExactTest : public ::testing::TestWithParam<GemmExactShape> {};
+
+TEST_P(GemmExactTest, AllVariantsBitIdenticalToNaiveOrder) {
+  const auto [m, k, n] = GetParam();
+  rng::Xoshiro256 gen(910 + m + 10 * k + 100 * n);
+  const Matrix a = random_matrix(m, k, gen);
+  const Matrix b = random_matrix(k, n, gen);
+  const Matrix bt = transpose(b);
+  const Matrix at = transpose(a);
+  auto expect_bits_equal = [&](const Matrix& c, const Matrix& expected,
+                               const char* what, scalar_t beta) {
+    for (index_t i = 0; i < c.rows(); ++i)
+      for (index_t j = 0; j < c.cols(); ++j)
+        EXPECT_EQ(c(i, j), expected(i, j))
+            << what << " beta=" << beta << " at " << i << "," << j;
+  };
+  for (const scalar_t beta : {0.0, 1.0, 0.5}) {
+    const Matrix prior = random_matrix(m, n, gen);
+    const Matrix expected = ref_gemm_exact(a, b, &prior, beta);
+    Matrix c = prior;
+    gemm(a, b, c, beta);
+    expect_bits_equal(c, expected, "gemm", beta);
+    c = prior;
+    gemm_nt(a, bt, c, beta);
+    expect_bits_equal(c, expected, "gemm_nt", beta);
+    c = prior;
+    gemm_tn(at, b, c, beta);
+    expect_bits_equal(c, expected, "gemm_tn", beta);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmExactTest,
+    ::testing::Values(
+        GemmExactShape{1, 1, 1},      // degenerate
+        GemmExactShape{8, 40, 64},    // gemm_nt swap path (m small, n >> m)
+        GemmExactShape{3, 17, 50},    // swap path, m below one strip
+        GemmExactShape{13, 9, 7},     // row and column tails everywhere
+        GemmExactShape{16, 8, 6},     // exact tile multiples
+        GemmExactShape{65, 33, 19},   // multiple kMR blocks + tails
+        GemmExactShape{130, 50, 70})  // parallel row-band path
+);
+
+TEST(KernelEquivalence, GemvBitIdenticalToLaneDotsPerRow) {
+  rng::Xoshiro256 gen(920);
+  for (const index_t m : {1, 2, 5, 8, 31, 130}) {
+    const Matrix a = random_matrix(m, 67, gen);
+    const auto x = random_vec(67, gen);
+    for (const scalar_t beta : {0.0, 1.0, 0.5}) {
+      const auto prior = random_vec(static_cast<std::size_t>(m), gen);
+      auto y = prior;
+      gemv(a, x, y, beta);
+      for (index_t i = 0; i < m; ++i) {
+        const auto ui = static_cast<std::size_t>(i);
+        const scalar_t r = ref_lane_reduce(
+            67, [&](std::size_t l) { return a(i, static_cast<index_t>(l)) * x[l]; });
+        const scalar_t expected = beta == 0 ? r : beta * prior[ui] + r;
+        EXPECT_EQ(y[ui], expected) << "m=" << m << " beta=" << beta;
+      }
+    }
   }
 }
 
