@@ -20,11 +20,13 @@ struct RegionDepthGuard {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, bool force_region_dispatch) {
+  const unsigned hc = std::thread::hardware_concurrency();
   if (num_threads == 0) {
-    num_threads = std::max(1u, std::thread::hardware_concurrency());
+    num_threads = std::max(1u, hc);
   }
-  dispatch_regions_ =
-      force_region_dispatch || std::thread::hardware_concurrency() > 1;
+  // hardware_concurrency() may return 0 when unknown; default to
+  // dispatching in that case rather than silently serializing.
+  dispatch_regions_ = force_region_dispatch || hc == 0 || hc > 1;
   queues_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     queues_.push_back(std::make_unique<TaskQueue>());

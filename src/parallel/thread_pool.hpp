@@ -80,7 +80,15 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(queues_[slot]->mutex);
       queues_[slot]->tasks.emplace_back([task] { (*task)(); });
     }
-    pending_tasks_.fetch_add(1, std::memory_order_release);
+    // Bump the pending count under wake_mutex_ so a worker that has just
+    // evaluated its wait predicate (pending == 0) but not yet blocked
+    // cannot miss this task: either it sees the new count before
+    // sleeping, or it is already waiting when notify_one fires. Same
+    // reasoning as the region-epoch publish in run_region().
+    {
+      std::lock_guard<std::mutex> wake_lock(wake_mutex_);
+      pending_tasks_.fetch_add(1, std::memory_order_release);
+    }
     wake_cv_.notify_one();
     return result;
   }

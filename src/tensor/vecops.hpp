@@ -30,10 +30,12 @@ inline constexpr std::size_t kLanes = 8;
 /// y += alpha * x
 void axpy(scalar_t alpha, ConstVecView x, VecView y);
 
-/// y = alpha * x + beta * y. beta == 0 overwrites y (no 0*y term is
-/// evaluated, so uninitialized/NaN y is permitted). Fuses the
-/// scale-then-axpy pair of the decayed SGD update into one pass and is
-/// bit-identical to scale(beta, y); axpy(alpha, x, y).
+/// y = alpha * x + beta * y. Fuses the scale-then-axpy pair of the
+/// decayed SGD update into one pass; for beta != 0 the result is
+/// bit-identical to scale(beta, y); axpy(alpha, x, y). beta == 0 is
+/// pure overwrite by design: no 0*y term is evaluated, so
+/// uninitialized/NaN y is permitted (and, unlike the scale/axpy chain,
+/// NaN or -0.0 in y cannot leak into the result).
 void axpby(scalar_t alpha, ConstVecView x, scalar_t beta, VecView y);
 
 /// y += a0 * x0 + a1 * x1, evaluated per element as (y + a0*x0) + a1*x1.
