@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Determinism / convention lint for the HierMinimax sources.
+
+Walks a C++ source tree (default: the repo's src/) and rejects known
+nondeterminism sources and convention violations — the machine-checked
+half of the repo's bit-exact reproducibility guarantee.  Registered with
+ctest as `determinism_lint`; the rule engine and fixtures live in
+tools/detlint/.
+
+Usage:
+  scripts/lint.py                 # lint src/
+  scripts/lint.py --root DIR      # lint another tree
+  scripts/lint.py --selftest      # run the lint's own fixture tests
+  scripts/lint.py --list-rules    # print every rule with its rationale
+
+Exit codes: 0 clean, 1 findings (or selftest failures), 2 usage error.
+"""
+
+import argparse
+import sys
+import textwrap
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.detlint import ALL_RULES, run_lint, run_selftest  # noqa: E402
+
+FIXTURES = REPO_ROOT / "tools" / "detlint" / "fixtures"
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", type=Path, default=REPO_ROOT / "src",
+                    help="source tree to lint (default: %(default)s)")
+    ap.add_argument("--selftest", action="store_true",
+                    help="lint the fixture tree and verify each fixture "
+                         "triggers exactly its declared rules")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print every rule name and rationale, then exit")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(rule.name)
+            print(textwrap.indent(textwrap.fill(rule.description, 74), "    "))
+        return 0
+
+    if args.selftest:
+        errors = run_selftest(FIXTURES, ALL_RULES)
+        for e in errors:
+            print(f"selftest: {e}", file=sys.stderr)
+        print(f"detlint selftest: {'FAIL' if errors else 'OK'} "
+              f"({len(list(FIXTURES.rglob('*.*')))} fixtures)")
+        return 1 if errors else 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"lint: not a directory: {root}", file=sys.stderr)
+        return 2
+    findings = run_lint(root, ALL_RULES)
+    for f in findings:
+        print(f.render())
+    n = len(findings)
+    print(f"detlint: {n} finding{'s' if n != 1 else ''} in {root}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

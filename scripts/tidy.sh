@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# clang-tidy runner over the library sources, using the repo-tuned
+# .clang-tidy at the root. Non-suppressed findings fail the script.
+#
+# Usage: scripts/tidy.sh [--fix] [--allow-missing] [file.cpp ...]
+#
+#   --fix            apply clang-tidy fix-its in place
+#   --allow-missing  exit 0 (with a SKIPPED notice) when clang-tidy is not
+#                    on PATH — used by verify.sh --matrix so the matrix
+#                    stays runnable on gcc-only hosts
+#   file.cpp ...     restrict to specific sources (default: all of src/)
+#
+# Environment: CLANG_TIDY overrides the binary (e.g. clang-tidy-18).
+#
+# A dedicated build tree (build-tidy/) supplies compile_commands.json;
+# it only runs cmake configure, never a build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIX=0
+ALLOW_MISSING=0
+FILES=()
+for arg in "$@"; do
+  case "$arg" in
+    --fix) FIX=1 ;;
+    --allow-missing) ALLOW_MISSING=1 ;;
+    -*) echo "tidy: unknown argument: $arg" >&2; exit 2 ;;
+    *) FILES+=("$arg") ;;
+  esac
+done
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  if [[ "$ALLOW_MISSING" == 1 ]]; then
+    echo "tidy: SKIPPED — '$TIDY' not found on PATH (install clang-tidy" \
+         "or set CLANG_TIDY)"
+    exit 0
+  fi
+  echo "tidy: '$TIDY' not found on PATH; install clang-tidy, set" \
+       "CLANG_TIDY, or pass --allow-missing" >&2
+  exit 1
+fi
+
+echo "== tidy: configure compile database (build-tidy/) =="
+cmake -B build-tidy -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+
+if [[ ${#FILES[@]} -eq 0 ]]; then
+  mapfile -t FILES < <(find src -name '*.cpp' | sort)
+fi
+
+ARGS=(-p build-tidy --quiet --warnings-as-errors='*')
+if [[ "$FIX" == 1 ]]; then ARGS+=(--fix); fi
+
+echo "== tidy: ${#FILES[@]} sources, $("$TIDY" --version | head -n1) =="
+STATUS=0
+FAILED=()
+for f in "${FILES[@]}"; do
+  if ! "$TIDY" "${ARGS[@]}" "$f"; then
+    STATUS=1
+    FAILED+=("$f")
+  fi
+done
+
+if [[ "$STATUS" != 0 ]]; then
+  echo "tidy: findings in: ${FAILED[*]}" >&2
+  exit 1
+fi
+echo "tidy: OK (zero non-suppressed findings)"

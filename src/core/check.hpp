@@ -1,8 +1,28 @@
-// Precondition / invariant checking. Violations throw hm::CheckError so
-// tests can assert on failure paths; checks stay on in release builds
-// because they guard API misuse, not hot inner loops.
+// Contract-checking layer: preconditions, internal invariants, and bounds
+// checks, with three distinct cost/behavior tiers.
+//
+//  * HM_CHECK / HM_CHECK_MSG / HM_CHECK_BOUNDS — API-boundary
+//    preconditions. Always on, including Release: they guard caller
+//    mistakes (shape mismatches, out-of-range indices, invalid options),
+//    which must fail loudly in production. Violations throw hm::CheckError
+//    so tests can assert on the failure path.
+//
+//  * HM_ASSERT / HM_ASSERT_MSG / HM_ASSERT_BOUNDS — internal invariants
+//    in hot inner loops (kernel tile offsets, scheduler ticket state).
+//    Compiled to nothing in plain Release builds so they are free on the
+//    hot path; enabled in Debug and in every sanitizer build
+//    (HM_SANITIZE != "", which defines HM_ENABLE_ASSERTS). A failed
+//    assert is a bug in this library, not in the caller, so it prints the
+//    expression, location, and message to stderr and aborts — it must not
+//    be catchable or silently unwound past corrupted state.
+//
+// Failure messages carry the failed expression, file:line, and (for the
+// *_MSG and *_BOUNDS forms) the formatted operand values, so a report
+// from a sanitizer CI leg is actionable without a debugger.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -17,18 +37,41 @@ class CheckError : public std::logic_error {
 
 namespace detail {
 
+inline std::string check_message(const char* kind, const char* expr,
+                                 const char* file, int line,
+                                 const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  return os.str();
+}
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {
+  throw CheckError(check_message("check", expr, file, line, msg));
+}
+
+[[noreturn]] inline void assert_failed(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  const std::string what = check_message("assert", expr, file, line, msg);
+  std::fprintf(stderr, "hm: %s\n", what.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Formats "index <i-expr>=<i> out of range [0, <n-expr>=<n>)".
+template <typename I, typename N>
+std::string bounds_message(const char* i_expr, I i, const char* n_expr, N n) {
   std::ostringstream os;
-  os << "check failed: " << expr << " at " << file << ":" << line;
-  if (!msg.empty()) os << " — " << msg;
-  throw CheckError(os.str());
+  os << "index " << i_expr << "=" << i << " out of range [0, " << n_expr
+     << "=" << n << ")";
+  return os.str();
 }
 
 }  // namespace detail
 }  // namespace hm
 
-/// Abort (via exception) unless `cond` holds.
+/// Abort (via exception) unless `cond` holds. Always on.
 #define HM_CHECK(cond)                                                \
   do {                                                                \
     if (!(cond)) ::hm::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
@@ -44,3 +87,65 @@ namespace detail {
                                  hm_check_os_.str());                 \
     }                                                                 \
   } while (0)
+
+/// Precondition that `0 <= i < n`, reporting both operand values on
+/// failure: HM_CHECK_BOUNDS(row, rows_). Always on.
+#define HM_CHECK_BOUNDS(i, n)                                         \
+  do {                                                                \
+    const auto hm_cb_i_ = (i);                                        \
+    const auto hm_cb_n_ = (n);                                        \
+    if (!(hm_cb_i_ >= 0 && hm_cb_i_ < hm_cb_n_)) {                    \
+      ::hm::detail::check_failed(                                     \
+          "0 <= " #i " < " #n, __FILE__, __LINE__,                    \
+          ::hm::detail::bounds_message(#i, hm_cb_i_, #n, hm_cb_n_));  \
+    }                                                                 \
+  } while (0)
+
+// HM_ASSERT tier: enabled when HM_ENABLE_ASSERTS is defined (Debug and
+// sanitizer builds — see the top-level CMakeLists), otherwise compiled
+// out without evaluating the condition. The sizeof trick keeps variables
+// referenced only by asserts from triggering -Wunused warnings in
+// Release while guaranteeing zero generated code.
+#ifdef HM_ENABLE_ASSERTS
+
+#define HM_ASSERT(cond)                                               \
+  do {                                                                \
+    if (!(cond)) ::hm::detail::assert_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HM_ASSERT_MSG(cond, msg)                                      \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::ostringstream hm_assert_os_;                               \
+      hm_assert_os_ << msg;                                           \
+      ::hm::detail::assert_failed(#cond, __FILE__, __LINE__,          \
+                                  hm_assert_os_.str());               \
+    }                                                                 \
+  } while (0)
+
+#define HM_ASSERT_BOUNDS(i, n)                                        \
+  do {                                                                \
+    const auto hm_ab_i_ = (i);                                        \
+    const auto hm_ab_n_ = (n);                                        \
+    if (!(hm_ab_i_ >= 0 && hm_ab_i_ < hm_ab_n_)) {                    \
+      ::hm::detail::assert_failed(                                    \
+          "0 <= " #i " < " #n, __FILE__, __LINE__,                    \
+          ::hm::detail::bounds_message(#i, hm_ab_i_, #n, hm_ab_n_));  \
+    }                                                                 \
+  } while (0)
+
+#else  // !HM_ENABLE_ASSERTS
+
+#define HM_ASSERT(cond) \
+  do { static_cast<void>(sizeof((cond) ? 1 : 0)); } while (0)
+
+#define HM_ASSERT_MSG(cond, msg) \
+  do { static_cast<void>(sizeof((cond) ? 1 : 0)); } while (0)
+
+#define HM_ASSERT_BOUNDS(i, n)                        \
+  do {                                                \
+    static_cast<void>(sizeof((i) >= 0 ? 1 : 0));      \
+    static_cast<void>(sizeof((n) >= 0 ? 1 : 0));      \
+  } while (0)
+
+#endif  // HM_ENABLE_ASSERTS

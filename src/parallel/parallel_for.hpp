@@ -71,6 +71,8 @@ void parallel_for(ThreadPool& pool, index_t begin, index_t end, Body&& body,
         auto& s = *static_cast<Ctx*>(p);
         const index_t lo = s.begin + c * s.chunk;
         const index_t hi = std::min(s.end, lo + s.chunk);
+        // ceil-division chunking never produces an empty chunk.
+        HM_ASSERT(lo < hi);
         for (index_t i = lo; i < hi; ++i) (*s.body)(i);
       },
       &ctx);
@@ -109,6 +111,7 @@ T parallel_reduce(ThreadPool& pool, index_t begin, index_t end, T init,
     auto& s = *static_cast<Ctx*>(p);
     const index_t lo = s.begin + c * s.chunk;
     const index_t hi = std::min(s.end, lo + s.chunk);
+    HM_ASSERT(lo < hi);  // the lo-seeded fold below needs >= 1 element
     T acc = (*s.body)(lo);
     for (index_t i = lo + 1; i < hi; ++i) acc = (*s.combine)(acc, (*s.body)(i));
     s.partials[c] = std::move(acc);

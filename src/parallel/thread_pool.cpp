@@ -71,6 +71,7 @@ bool ThreadPool::try_run_task(std::size_t self) {
 void ThreadPool::work_region() {
   RegionDepthGuard depth;
   Region& r = region_;
+  HM_ASSERT(r.fn != nullptr && r.num_chunks > 0);
   for (;;) {
     const index_t c = r.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= r.num_chunks) return;
@@ -81,13 +82,18 @@ void ThreadPool::work_region() {
         r.error = std::current_exception();
       }
     }
-    if (r.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Each claimed chunk decrements the latch exactly once, so it can
+    // never pass through zero.
+    const index_t left = r.remaining.fetch_sub(1, std::memory_order_acq_rel);
+    HM_ASSERT_MSG(left >= 1, "region latch underflow: remaining=" << left);
+    if (left == 1) {
       r.remaining.notify_all();
     }
   }
 }
 
 void ThreadPool::join_region(std::uint64_t epoch) {
+  HM_ASSERT((epoch & 1) == 0);  // workers only join published regions
   // seq_cst increment, then re-validate the epoch: if a new setup has
   // started (odd) or finished (different even value) we must not touch
   // the region state. See the protocol note in the header.
@@ -114,6 +120,9 @@ void ThreadPool::run_region(index_t num_chunks, RegionFn fn, void* ctx) {
   for (int a = active_.load(); a != 0; a = active_.load()) {
     active_.wait(a);
   }
+  // Quiesced: no worker holds the region, and the epoch is odd so none
+  // can re-enter until the publish below.
+  HM_ASSERT(active_.load() == 0 && (region_epoch_.load() & 1) == 1);
   Region& r = region_;
   r.fn = fn;
   r.ctx = ctx;

@@ -74,6 +74,8 @@ void apply_beta(MatView c, scalar_t beta) {
 /// sequential streams, one per source row.
 void pack_bt(const scalar_t* HM_RESTRICT b, index_t ldb, index_t K, index_t N,
              std::vector<scalar_t>& packed) {
+  HM_ASSERT_MSG(K >= 0 && N >= 0 && ldb >= K,
+                "pack_bt K=" << K << " N=" << N << " ldb=" << ldb);
   const index_t strips = (N + kNR - 1) / kNR;
   packed.resize(static_cast<std::size_t>(strips * K * kNR));
   for (index_t s = 0; s < strips; ++s) {
@@ -171,6 +173,10 @@ void run_band(index_t i0, index_t i1, index_t N, index_t K, const scalar_t* a,
   auto tile = [&](index_t i, index_t rows, index_t s) {
     const scalar_t* bs = bd.data + s * bd.strip_stride;
     const index_t j0 = s * kNR;
+    // Tile invariants: an off-by-one here is a silent out-of-bounds read
+    // in the micro-kernel, so pin them down in sanitizer/debug builds.
+    HM_ASSERT_MSG(rows > 0 && rows <= kMR && j0 < N,
+                  "tile rows=" << rows << " j0=" << j0 << " N=" << N);
     micro_tile<Store>(rows, std::min(kNR, N - j0), K, a + i * a_rs, a_rs,
                       a_cs, bs, bd.row_stride, c + i * ldc + j0, ldc);
   };
@@ -198,8 +204,10 @@ void compute(index_t M, index_t N, index_t K, const scalar_t* a, index_t a_rs,
   if (M == 0 || N == 0 || K == 0) return;
   const index_t bands = (M + kMC - 1) / kMC;
   auto band = [&](index_t bi) {
+    HM_ASSERT_BOUNDS(bi, bands);
     const index_t i0 = bi * kMC;
     const index_t i1 = std::min(M, i0 + kMC);
+    HM_ASSERT(i0 < i1 && i1 <= M);
     if (accumulate) {
       run_band<false>(i0, i1, N, K, a, a_rs, a_cs, bd, c, ldc);
     } else {

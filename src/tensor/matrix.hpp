@@ -29,11 +29,17 @@ class ConstMatView {
 
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
+  // Element access is the innermost loop of the NN forward/backward
+  // passes: bounds are HM_ASSERTs (armed in Debug/sanitizer builds, free
+  // in Release), while row() stays HM_CHECK — it sits at slice-handoff
+  // boundaries, not in per-element loops.
   scalar_t operator()(index_t r, index_t c) const {
+    HM_ASSERT_BOUNDS(r, rows_);
+    HM_ASSERT_BOUNDS(c, cols_);
     return ptr_[r * cols_ + c];
   }
   ConstVecView row(index_t r) const {
-    HM_CHECK(0 <= r && r < rows_);
+    HM_CHECK_BOUNDS(r, rows_);
     return ConstVecView(ptr_ + r * cols_, static_cast<std::size_t>(cols_));
   }
   ConstVecView flat() const {
@@ -61,10 +67,12 @@ class MatView {
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   scalar_t& operator()(index_t r, index_t c) const {
+    HM_ASSERT_BOUNDS(r, rows_);
+    HM_ASSERT_BOUNDS(c, cols_);
     return ptr_[r * cols_ + c];
   }
   VecView row(index_t r) const {
-    HM_CHECK(0 <= r && r < rows_);
+    HM_CHECK_BOUNDS(r, rows_);
     return VecView(ptr_ + r * cols_, static_cast<std::size_t>(cols_));
   }
   VecView flat() const {
@@ -95,9 +103,13 @@ class Matrix {
   index_t size() const { return rows_ * cols_; }
 
   scalar_t& operator()(index_t r, index_t c) {
+    HM_ASSERT_BOUNDS(r, rows_);
+    HM_ASSERT_BOUNDS(c, cols_);
     return data_[static_cast<std::size_t>(r * cols_ + c)];
   }
   scalar_t operator()(index_t r, index_t c) const {
+    HM_ASSERT_BOUNDS(r, rows_);
+    HM_ASSERT_BOUNDS(c, cols_);
     return data_[static_cast<std::size_t>(r * cols_ + c)];
   }
 
@@ -105,11 +117,11 @@ class Matrix {
   const scalar_t* data() const { return data_.data(); }
 
   VecView row(index_t r) {
-    HM_CHECK(0 <= r && r < rows_);
+    HM_CHECK_BOUNDS(r, rows_);
     return VecView(data_.data() + r * cols_, static_cast<std::size_t>(cols_));
   }
   ConstVecView row(index_t r) const {
-    HM_CHECK(0 <= r && r < rows_);
+    HM_CHECK_BOUNDS(r, rows_);
     return ConstVecView(data_.data() + r * cols_,
                         static_cast<std::size_t>(cols_));
   }

@@ -83,6 +83,7 @@ scalar_t dot(ConstVecView x, ConstVecView y) {
   for (; i + kLanes <= n; i += kLanes) {
     for (std::size_t j = 0; j < kLanes; ++j) acc[j] += px[i + j] * py[i + j];
   }
+  HM_ASSERT(n - i < kLanes);  // tail shorter than one lane block
   for (std::size_t j = 0; i + j < n; ++j) acc[j] += px[i + j] * py[i + j];
   return reduce_lanes(acc);
 }
@@ -104,6 +105,7 @@ void dot2(ConstVecView x, ConstVecView y0, ConstVecView y1, scalar_t& r0,
       acc1[j] += xv * p1[i + j];
     }
   }
+  HM_ASSERT(n - i < kLanes);
   for (std::size_t j = 0; i + j < n; ++j) {
     const scalar_t xv = px[i + j];
     acc0[j] += xv * p0[i + j];
@@ -128,6 +130,7 @@ scalar_t dist2(ConstVecView x, ConstVecView y) {
       acc[j] += d * d;
     }
   }
+  HM_ASSERT(n - i < kLanes);
   for (std::size_t j = 0; i + j < n; ++j) {
     const scalar_t d = px[i + j] - py[i + j];
     acc[j] += d * d;
@@ -150,6 +153,7 @@ scalar_t sum(ConstVecView x) {
   for (; i + kLanes <= n; i += kLanes) {
     for (std::size_t j = 0; j < kLanes; ++j) acc[j] += p[i + j];
   }
+  HM_ASSERT(n - i < kLanes);
   for (std::size_t j = 0; i + j < n; ++j) acc[j] += p[i + j];
   return reduce_lanes(acc);
 }

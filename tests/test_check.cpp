@@ -1,0 +1,157 @@
+// Contract-layer tests: the HM_CHECK tier (always on, throws CheckError)
+// and the HM_ASSERT tier (armed here via HM_ENABLE_ASSERTS on this
+// target; prints and aborts). Death tests pin down the failure *behavior*
+// — a check must not be silently recoverable past corrupted state — and
+// the message tests pin down the operand formatting that makes a CI
+// sanitizer log actionable without a debugger.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/check.hpp"
+#include "tensor/matrix.hpp"
+
+namespace {
+
+using hm::CheckError;
+
+std::string message_of(void (*fn)()) {
+  try {
+    fn();
+  } catch (const CheckError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected CheckError";
+  return "";
+}
+
+TEST(HmCheck, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(HM_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(HM_CHECK_MSG(true, "unused " << 42));
+}
+
+TEST(HmCheck, FailureThrowsCheckError) {
+  EXPECT_THROW(HM_CHECK(false), CheckError);
+  EXPECT_THROW(HM_CHECK_MSG(false, "ctx"), CheckError);
+}
+
+TEST(HmCheck, CheckErrorIsLogicError) {
+  // Callers that already catch std::logic_error keep working.
+  EXPECT_THROW(HM_CHECK(false), std::logic_error);
+}
+
+TEST(HmCheck, MessageCarriesExpressionAndLocation) {
+  const std::string what = message_of(+[] { HM_CHECK(2 < 1); });
+  EXPECT_NE(what.find("check failed: 2 < 1"), std::string::npos) << what;
+  EXPECT_NE(what.find("test_check.cpp:"), std::string::npos) << what;
+}
+
+TEST(HmCheck, MsgFormatsOperands) {
+  const std::string what = message_of(+[] {
+    const int n = -3;
+    HM_CHECK_MSG(n > 0, "n=" << n << " must be positive");
+  });
+  EXPECT_NE(what.find("n=-3 must be positive"), std::string::npos) << what;
+}
+
+TEST(HmCheckBounds, InRangeIsSilent) {
+  const long i = 4, n = 5;
+  EXPECT_NO_THROW(HM_CHECK_BOUNDS(i, n));
+  EXPECT_NO_THROW(HM_CHECK_BOUNDS(0, 1));
+}
+
+TEST(HmCheckBounds, FailureFormatsBothOperands) {
+  const std::string what = message_of(+[] {
+    const long idx = 7, len = 5;
+    HM_CHECK_BOUNDS(idx, len);
+  });
+  EXPECT_NE(what.find("index idx=7 out of range [0, len=5)"),
+            std::string::npos)
+      << what;
+}
+
+TEST(HmCheckBounds, NegativeIndexThrows) {
+  EXPECT_THROW(HM_CHECK_BOUNDS(-1, 5), CheckError);
+  EXPECT_THROW(HM_CHECK_BOUNDS(5, 5), CheckError);
+}
+
+TEST(HmCheckBounds, EvaluatesOperandsOnce) {
+  int evals = 0;
+  auto next = [&evals] { return evals++; };
+  HM_CHECK_BOUNDS(next(), 5);
+  EXPECT_EQ(evals, 1);
+}
+
+// --- death tests -----------------------------------------------------------
+
+using HmCheckDeathTest = ::testing::Test;
+using HmAssertDeathTest = ::testing::Test;
+
+TEST(HmCheckDeathTest, UncaughtCheckTerminatesWithMessage) {
+  // A CheckError that no frame catches must take the process down with
+  // the failed expression visible (std::terminate prints what()). The
+  // noexcept boundary models the production case inside the death-test
+  // child, since gtest itself would otherwise intercept the exception.
+  EXPECT_DEATH({ []() noexcept { HM_CHECK(1 == 2); }(); },
+               "check failed: 1 == 2");
+}
+
+TEST(HmCheckDeathTest, UncaughtCheckMsgCarriesOperands) {
+  EXPECT_DEATH(
+      {
+        []() noexcept {
+          const int got = 9;
+          HM_CHECK_MSG(got == 3, "got=" << got);
+        }();
+      },
+      "got=9");
+}
+
+TEST(HmAssertDeathTest, PassingAssertIsSilent) {
+  HM_ASSERT(true);
+  HM_ASSERT_MSG(2 + 2 == 4, "arithmetic");
+  HM_ASSERT_BOUNDS(0, 3);
+}
+
+TEST(HmAssertDeathTest, FailedAssertAborts) {
+  EXPECT_DEATH({ HM_ASSERT(false); }, "assert failed: false");
+}
+
+TEST(HmAssertDeathTest, FailedAssertMsgFormatsOperands) {
+  EXPECT_DEATH(
+      {
+        const long left = 0;
+        HM_ASSERT_MSG(left >= 1, "latch underflow: left=" << left);
+      },
+      "latch underflow: left=0");
+}
+
+TEST(HmAssertDeathTest, FailedAssertBoundsFormatsOperands) {
+  EXPECT_DEATH(
+      {
+        const long i = 12;
+        const long n = 8;
+        HM_ASSERT_BOUNDS(i, n);
+      },
+      "index i=12 out of range \\[0, n=8\\)");
+}
+
+TEST(HmAssertDeathTest, MatrixElementAccessIsAssertGuarded) {
+  // matrix.hpp deploys HM_ASSERT_BOUNDS in operator(); with asserts
+  // armed on this target, an out-of-bounds element access must abort
+  // rather than read past the row.
+  EXPECT_DEATH(
+      {
+        hm::tensor::Matrix m(2, 3);
+        (void)m(1, 3);
+      },
+      "assert failed");
+}
+
+TEST(HmCheck, MatrixRowIsCheckGuarded) {
+  hm::tensor::Matrix m(2, 3);
+  EXPECT_THROW((void)m.row(2), CheckError);
+  EXPECT_THROW((void)m.view().row(-1), CheckError);
+}
+
+}  // namespace

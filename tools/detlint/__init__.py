@@ -1,0 +1,20 @@
+"""detlint — the repo's determinism / convention lint.
+
+The headline guarantee of this codebase is bit-exact, thread-count-
+invariant reproduction of HierMinimax and its baselines.  That guarantee
+is easy to break silently: one iteration over a std::unordered_map, one
+wall-clock seed, one std::reduce, and results differ between runs or
+hosts while every functional test still passes.  detlint machine-checks
+the conventions that keep the guarantee true.
+
+Entry point: scripts/lint.py (also registered as the `determinism_lint`
+ctest).  Rule definitions live in rules.py; the file walking, C++
+comment/string stripping, and suppression handling live in engine.py.
+
+Suppressions: a finding is suppressed when the offending line or the
+line directly above carries a comment `detlint: allow(<rule>) — reason`.
+Every suppression is deliberate and reviewable with `git grep 'detlint:'`.
+"""
+
+from .engine import Finding, SourceFile, run_lint, run_selftest  # noqa: F401
+from .rules import ALL_RULES  # noqa: F401

@@ -1,0 +1,232 @@
+"""detlint engine: file walking, C++ comment/string stripping, suppression
+handling, and the selftest harness.
+
+The stripper is deliberately small: it understands //, /* */, character
+and string literals, and raw strings R"delim(...)delim" — enough to keep
+rules from firing on prose like "rand" in a comment.  Stripped regions
+are replaced with spaces so line numbers and column positions survive.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence
+
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h"}
+
+SUPPRESS_RE = re.compile(r"detlint:\s*allow\(\s*([\w.,\- ]+?)\s*\)")
+
+
+@dataclasses.dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source line (1-based)."""
+
+    path: str  # path relative to the lint root, posix separators
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class SourceFile:
+    """A parsed C++ source file as seen by rules.
+
+    `raw_lines` is the file verbatim (used for suppression comments and
+    pragma checks); `code_lines` has comments and string/char literal
+    contents blanked out, so regex rules match only real code.
+    """
+
+    def __init__(self, root: Path, path: Path):
+        self.abs_path = path
+        self.rel = path.relative_to(root).as_posix()
+        text = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = text.splitlines()
+        self.code_lines = strip_comments_and_strings(text).splitlines()
+        # Pad in case the file ends without newline asymmetrically.
+        while len(self.code_lines) < len(self.raw_lines):
+            self.code_lines.append("")
+        self._suppressed = self._collect_suppressions()
+
+    def _collect_suppressions(self) -> dict:
+        """Map line number -> set of rule names allowed on that line."""
+        allowed = {}
+        for i, line in enumerate(self.raw_lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            # A marker covers its own line and the line below, so both
+            # trailing comments and whole-line comments above work.
+            allowed.setdefault(i, set()).update(rules)
+            allowed.setdefault(i + 1, set()).update(rules)
+        return allowed
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        return rule in self._suppressed.get(line, set())
+
+    def in_dir(self, *prefixes: str) -> bool:
+        """True if the file lives under any of the given root-relative
+        directory prefixes (posix, e.g. "algo", "sim")."""
+        return any(
+            self.rel == p or self.rel.startswith(p + "/") for p in prefixes
+        )
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comment bodies and string/char literal contents.
+
+    Newlines are preserved everywhere so line numbers are stable; the
+    delimiters themselves ("", '', //) are blanked too — rules never need
+    them and keeping them would let `"//"` confuse later states.
+    """
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = BLOCK_COMMENT
+                out.append("  ")
+                i += 2
+            elif c == '"':
+                # Raw string?  Look back for R / u8R / LR / uR / UR.
+                m = re.search(r'(?:u8|[uUL])?R$', text[max(0, i - 3):i])
+                if m:
+                    m2 = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
+                    if m2:
+                        raw_terminator = ")" + m2.group(1) + '"'
+                        state = RAW
+                        out.append(" " * (len(m2.group(0))))
+                        i += len(m2.group(0))
+                        continue
+                state = STRING
+                out.append(" ")
+                i += 1
+            elif c == "'":
+                state = CHAR
+                out.append(" ")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == LINE_COMMENT:
+            if c == "\n":
+                state = NORMAL
+                out.append(c)
+            elif c == "\\" and nxt == "\n":
+                out.append(" \n")
+                i += 1
+            else:
+                out.append(" ")
+            i += 1
+        elif state == BLOCK_COMMENT:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        elif state in (STRING, CHAR):
+            quote = '"' if state == STRING else "'"
+            if c == "\\":
+                out.append("  " if nxt != "\n" else " \n")
+                i += 2
+            elif c == quote:
+                state = NORMAL
+                out.append(" ")
+                i += 1
+            elif c == "\n":  # unterminated; bail to NORMAL to stay sane
+                state = NORMAL
+                out.append(c)
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+        else:  # RAW
+            if text.startswith(raw_terminator, i):
+                state = NORMAL
+                out.append(" " * len(raw_terminator))
+                i += len(raw_terminator)
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+class Rule:
+    """A named check over one SourceFile."""
+
+    def __init__(self, name: str, description: str,
+                 check: Callable[[SourceFile], Iterable[Finding]]):
+        self.name = name
+        self.description = description
+        self._check = check
+
+    def apply(self, f: SourceFile) -> List[Finding]:
+        return [
+            fi for fi in self._check(f) if not f.is_suppressed(fi.line, fi.rule)
+        ]
+
+
+def iter_source_files(root: Path) -> Iterable[Path]:
+    for path in sorted(root.rglob("*")):
+        if path.is_file() and path.suffix in CXX_SUFFIXES:
+            yield path
+
+
+def run_lint(root: Path, rules: Sequence[Rule],
+             files: Optional[Sequence[Path]] = None) -> List[Finding]:
+    """Lint every C++ file under `root` (or the explicit file list)."""
+    findings: List[Finding] = []
+    paths = list(files) if files is not None else list(iter_source_files(root))
+    for path in paths:
+        src = SourceFile(root, path)
+        for rule in rules:
+            findings.extend(rule.apply(src))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Selftest: fixtures under tools/detlint/fixtures/ mirror the src/ layout
+# (rules scoped to src/algo etc. see the same relative paths).  Each
+# fixture declares the rules it must trigger with `// detlint-expect:
+# rule` header lines; a fixture with no expectations must lint clean.
+
+EXPECT_RE = re.compile(r"//\s*detlint-expect:\s*([\w\-]+)")
+
+
+def run_selftest(fixtures_root: Path, rules: Sequence[Rule]) -> List[str]:
+    """Returns a list of selftest failure messages (empty = pass)."""
+    errors: List[str] = []
+    fixture_files = list(iter_source_files(fixtures_root))
+    if not fixture_files:
+        return [f"no fixture files found under {fixtures_root}"]
+    for path in fixture_files:
+        rel = path.relative_to(fixtures_root).as_posix()
+        expected = set(EXPECT_RE.findall(path.read_text(encoding="utf-8")))
+        unknown = expected - {r.name for r in rules}
+        if unknown:
+            errors.append(f"{rel}: expects unknown rule(s) {sorted(unknown)}")
+            continue
+        got = {f.rule for f in run_lint(fixtures_root, rules, files=[path])}
+        missing = expected - got
+        surplus = got - expected
+        for rule in sorted(missing):
+            errors.append(f"{rel}: expected [{rule}] to fire, it did not")
+        for rule in sorted(surplus):
+            errors.append(f"{rel}: [{rule}] fired unexpectedly")
+    return errors

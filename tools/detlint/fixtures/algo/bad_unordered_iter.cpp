@@ -1,0 +1,33 @@
+// Fixture: iterating hash containers in src/algo must fire; keyed lookup
+// and a suppressed iteration must not add extra findings beyond the rule.
+// detlint-expect: unordered-iteration
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+inline double bad_weight_sum(
+    const std::unordered_map<int, double>& weights) {
+  double s = 0;
+  for (const auto& [client, w] : weights) s += w;  // order-dependent sum
+  return s;
+}
+
+inline int bad_explicit_iter(const std::unordered_set<int>& ids) {
+  int n = 0;
+  for (auto it = ids.begin(); it != ids.end(); ++it) n += *it;
+  return n;
+}
+
+inline double ok_lookup(const std::unordered_map<int, double>& weights) {
+  return weights.count(0) ? weights.at(0) : 0.0;
+}
+
+inline int ok_suppressed(const std::unordered_set<int>& ids) {
+  int n = 0;
+  // Size-only fold, order-invariant. detlint: allow(unordered-iteration)
+  for (int id : ids) n += (id ? 1 : 1);
+  return n;
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture: a file that exercises near-miss patterns and must lint clean.
+// (No detlint-expect lines — any finding here is a selftest failure.)
+#include <map>
+#include <numeric>
+#include <unordered_map>
+
+namespace fixture {
+
+// The words rand, time(, std::cout, and #pragma omp in comments or
+// strings must not fire: the engine strips comments and literals.
+// std::random_device is also banned — but only in code.
+inline const char* kDoc = "call rand() at time() via std::cout #pragma omp";
+
+// Identifier substrings must not fire: operand, runtime, daytime_offset.
+inline int operand_runtime(int daytime_offset) { return daytime_offset; }
+
+// parallel_reduce / reduce_lanes are not std::reduce.
+inline int reduce_lanes_sum(int a, int b) { return a + b; }
+
+// Ordered accumulation is allowed.
+inline double ordered_sum(const std::map<int, double>& m) {
+  double s = 0;
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+// Keyed lookup into an unordered_map is allowed anywhere (only
+// *iteration* is order-dependent) — and this file is under core/, where
+// even iteration is unrestricted.
+inline double lookup(const std::unordered_map<int, double>& m, int k) {
+  auto it = m.find(k);
+  return it == m.end() ? 0.0 : it->second;
+}
+
+}  // namespace fixture

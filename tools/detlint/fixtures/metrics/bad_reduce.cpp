@@ -1,0 +1,16 @@
+// Fixture: unordered accumulation primitives must fire.
+// detlint-expect: unordered-accumulation
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+inline double bad_total(const std::vector<double>& xs) {
+  return std::reduce(xs.begin(), xs.end(), 0.0);
+}
+
+inline double ok_total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+}  // namespace fixture

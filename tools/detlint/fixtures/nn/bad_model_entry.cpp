@@ -1,0 +1,26 @@
+// Fixture: a Model entry point without an HM_CHECK guard must fire; the
+// guarded one next to it must not produce a second finding.
+// detlint-expect: model-entry-unchecked
+#define HM_CHECK(cond) ((void)(cond))
+
+namespace fixture {
+
+struct Span { const double* p; long n; };
+
+struct TinyModel {
+  double loss(Span w, Span batch) const;
+  void predict(Span w, Span batch, long* out) const;
+};
+
+double TinyModel::loss(Span w, Span batch) const {
+  double s = 0;  // no precondition guard: fires
+  for (long i = 0; i < w.n; ++i) s += w.p[i] + batch.n;
+  return s;
+}
+
+void TinyModel::predict(Span w, Span batch, long* out) const {
+  HM_CHECK(w.n > 0 && batch.n > 0);
+  out[0] = static_cast<long>(w.p[0] + batch.n);
+}
+
+}  // namespace fixture

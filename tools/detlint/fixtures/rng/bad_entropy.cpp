@@ -1,0 +1,20 @@
+// Fixture: hardware entropy, C PRNG, and wall-clock seeding must all fire.
+// detlint-expect: banned-random-device
+// detlint-expect: banned-c-random
+// detlint-expect: banned-wall-clock
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+inline unsigned bad_seed() {
+  std::random_device rd;
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  auto wall = std::chrono::system_clock::now().time_since_epoch().count();
+  return rd() + static_cast<unsigned>(std::rand()) +
+         static_cast<unsigned>(wall);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: OpenMP pragmas and direct stdout writes must fire.
+// detlint-expect: no-openmp
+// detlint-expect: stray-stdout
+#include <cstdio>
+#include <iostream>
+
+namespace fixture {
+
+inline void bad_parallel_print(int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    std::cout << i << "\n";
+    printf("%d\n", i);
+  }
+  std::fprintf(stderr, "stderr is allowed\n");
+}
+
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: float arithmetic inside src/tensor must fire (kernels compute
+// in scalar_t = double; a float temporary narrows the result).
+// detlint-expect: float-narrowing-in-kernel
+
+namespace fixture {
+
+inline double bad_dot(const double* x, const double* y, long n) {
+  float acc = 0.0f;  // narrows every partial sum
+  for (long i = 0; i < n; ++i) acc += static_cast<float>(x[i] * y[i]);
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,233 @@
+"""detlint rule set.
+
+Each rule names the determinism invariant or repo convention it guards.
+Scopes are directories relative to the lint root (normally src/).  See
+DESIGN.md §8 for the rationale behind every rule.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence
+
+from .engine import Finding, Rule, SourceFile
+
+
+def _regex_rule(name: str, description: str, pattern: str, message: str,
+                scope: Optional[Sequence[str]] = None,
+                exclude: Optional[Sequence[str]] = None,
+                raw: bool = False) -> Rule:
+    """Rule that flags every code line matching `pattern`.
+
+    scope/exclude are root-relative directory or file prefixes; `raw`
+    matches against unstripped lines (needed for preprocessor pragmas).
+    """
+    rx = re.compile(pattern)
+
+    def check(f: SourceFile) -> Iterable[Finding]:
+        if scope is not None and not f.in_dir(*scope):
+            return
+        if exclude is not None and any(
+                f.rel == e or f.rel.startswith(e) for e in exclude):
+            return
+        lines = f.raw_lines if raw else f.code_lines
+        for i, line in enumerate(lines, start=1):
+            if rx.search(line):
+                yield Finding(f.rel, i, name, message)
+
+    return Rule(name, description, check)
+
+
+# --- nondeterminism sources -------------------------------------------------
+
+RULE_RANDOM_DEVICE = _regex_rule(
+    "banned-random-device",
+    "std::random_device draws hardware entropy; every RNG stream must "
+    "derive from an explicit seed_t (src/rng) so runs replay bit-exactly.",
+    r"\brandom_device\b",
+    "std::random_device is nondeterministic; seed an hm::rng stream instead",
+)
+
+RULE_C_RANDOM = _regex_rule(
+    "banned-c-random",
+    "rand()/srand()/rand_r() use hidden global state with "
+    "implementation-defined sequences; results differ across libcs.",
+    r"\b(?:s?rand|rand_r)\s*\(",
+    "C rand()/srand() is banned; use hm::rng::Xoshiro256",
+)
+
+RULE_WALL_CLOCK = _regex_rule(
+    "banned-wall-clock",
+    "Wall-clock reads (time(), clock(), system_clock, "
+    "high_resolution_clock) leak the host's clock into results or seeds. "
+    "Timing measurements use steady_clock via hm::Stopwatch.",
+    r"\btime\s*\(|\bclock\s*\(|\bsystem_clock\b|\bhigh_resolution_clock\b",
+    "wall-clock access is banned in src/; use hm::Stopwatch (steady_clock) "
+    "for timing and explicit seeds for RNG",
+)
+
+RULE_UNORDERED_ACCUM = _regex_rule(
+    "unordered-accumulation",
+    "std::reduce / std::transform_reduce / parallel execution policies "
+    "reassociate floating-point sums, so totals depend on the "
+    "implementation's chunking. Numeric code uses the fixed-order "
+    "hm::tensor reductions or std::accumulate.",
+    r"\breduce\s*\(|\btransform_reduce\s*\(|\bexecution::",
+    "unordered accumulation primitive; use hm::tensor::sum/dot or "
+    "std::accumulate (fixed order)",
+)
+
+RULE_FLOAT_IN_KERNEL = _regex_rule(
+    "float-narrowing-in-kernel",
+    "Kernels compute in scalar_t (double). A float temporary inserts a "
+    "double->float->double narrowing round-trip that silently changes "
+    "results vs. the scalar references the tests compare against.",
+    r"\bfloat\b",
+    "float in a kernel narrows scalar_t arithmetic; use scalar_t",
+    scope=("tensor",),
+)
+
+
+class _UnorderedIterationRule(Rule):
+    """Iteration over std::unordered_{map,set} in deterministic modules.
+
+    Hash-container iteration order is unspecified and varies with libc++,
+    load factor, and pointer values; iterating one inside src/algo,
+    src/sim, or src/metrics reorders float accumulation or client visit
+    order between hosts. Keyed lookup (find/at/[]/count/contains) is fine.
+    """
+
+    NAME = "unordered-iteration"
+    SCOPE = ("algo", "sim", "metrics")
+
+    # Catches locals, members, and (reference/pointer) parameters.
+    DECL_RE = re.compile(
+        r"unordered_(?:map|set|multimap|multiset)\s*<(?:[^<>]|<[^<>]*>)*>"
+        r"\s*[&*]*\s*(\w+)\s*[;,)({=\[]")
+    TEMP_ITER_RE = re.compile(r"for\s*\([^()]*:[^()]*\bunordered_")
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "Iterating a std::unordered_map/set yields an unspecified, "
+            "host-dependent order; inside src/algo, src/sim, and "
+            "src/metrics that order reaches float accumulation and "
+            "scheduling decisions. Use std::map/std::vector, or sort keys "
+            "before iterating.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if not f.in_dir(*self.SCOPE):
+            return
+        names = set()
+        for line in f.code_lines:
+            for m in self.DECL_RE.finditer(line):
+                names.add(m.group(1))
+        iter_res: List[re.Pattern] = [self.TEMP_ITER_RE]
+        if names:
+            alt = "|".join(sorted(re.escape(n) for n in names))
+            iter_res.append(
+                re.compile(r"for\s*\([^()]*:[^()]*\b(?:%s)\b" % alt))
+            # .begin() starts an iteration; bare .end() in a find()
+            # comparison is keyed lookup and stays legal.
+            iter_res.append(
+                re.compile(r"\b(?:%s)\s*\.\s*c?r?begin\s*\(" % alt))
+        msg = ("iteration over an unordered container has host-dependent "
+               "order; use an ordered container or sort the keys first")
+        for i, line in enumerate(f.code_lines, start=1):
+            if any(rx.search(line) for rx in iter_res):
+                yield Finding(f.rel, i, self.NAME, msg)
+
+
+# --- repo conventions -------------------------------------------------------
+
+RULE_OMP = _regex_rule(
+    "no-openmp",
+    "Threading goes through hm::parallel exclusively — its chunking is "
+    "what makes reductions thread-count-invariant. An OpenMP pragma "
+    "bypasses that contract (and the build does not pass -fopenmp).",
+    r"#\s*pragma\s+omp\b",
+    "#pragma omp bypasses hm::parallel's deterministic chunking",
+)
+
+RULE_STDOUT = _regex_rule(
+    "stray-stdout",
+    "All user-facing output flows through src/core/log so verbosity is "
+    "centrally controlled and benchmark stdout stays machine-parseable.",
+    r"\bstd::cout\b|\bprintf\s*\(|\bputs\s*\(|\bfprintf\s*\(\s*stdout\b",
+    "direct stdout write outside src/core/log; use hm::log",
+    exclude=("core/log",),
+)
+
+
+class _ModelEntryCheckRule(Rule):
+    """Every public Model entry point must open with HM_CHECK guards.
+
+    The Model interface takes caller-owned spans (parameters, batches,
+    outputs); an unguarded size mismatch is a silent out-of-bounds read.
+    The rule accepts any HM_CHECK* within the first lines of the
+    definition body.
+    """
+
+    NAME = "model-entry-unchecked"
+    SCOPE = ("nn",)
+    METHODS = ("init_params", "loss_and_grad", "loss", "predict")
+    WINDOW = 40  # lines of body scanned for a check
+
+    DEF_RE = re.compile(
+        r"\b(\w+)::(%s)\s*\(" % "|".join(METHODS))
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "Public Model entry points (init_params, loss_and_grad, loss, "
+            "predict) must guard their span/shape preconditions with "
+            "HM_CHECK before touching caller memory.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if not f.in_dir(*self.SCOPE) or not f.rel.endswith(".cpp"):
+            return
+        n = len(f.code_lines)
+        for i, line in enumerate(f.code_lines, start=1):
+            m = self.DEF_RE.search(line)
+            if m is None:
+                continue
+            # Definition, not a qualified call: the statement must open a
+            # brace before it hits a ';'.
+            window = " ".join(f.code_lines[i - 1:min(n, i + 4)])
+            tail = window[window.index(m.group(0)):]
+            brace, semi = tail.find("{"), tail.find(";")
+            if brace == -1 or (semi != -1 and semi < brace):
+                continue
+            # Scan the body only up to its closing brace (or WINDOW lines,
+            # whichever comes first) so a guard in the *next* definition
+            # cannot satisfy this one.
+            depth, opened = 0, False
+            body_lines = []
+            for j in range(i - 1, min(n, i - 1 + self.WINDOW)):
+                body_lines.append(f.code_lines[j])
+                depth += f.code_lines[j].count("{")
+                opened = opened or depth > 0
+                depth -= f.code_lines[j].count("}")
+                if opened and depth <= 0:
+                    break
+            body = "\n".join(body_lines)
+            if "HM_CHECK" not in body:
+                yield Finding(
+                    f.rel, i, self.NAME,
+                    f"{m.group(1)}::{m.group(2)} has no HM_CHECK guard in "
+                    f"the first {self.WINDOW} lines of its body")
+
+
+ALL_RULES: List[Rule] = [
+    RULE_RANDOM_DEVICE,
+    RULE_C_RANDOM,
+    RULE_WALL_CLOCK,
+    RULE_UNORDERED_ACCUM,
+    RULE_FLOAT_IN_KERNEL,
+    _UnorderedIterationRule(),
+    RULE_OMP,
+    RULE_STDOUT,
+    _ModelEntryCheckRule(),
+]
