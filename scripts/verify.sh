@@ -37,6 +37,10 @@ for arg in "$@"; do
 done
 
 JOBS="$(nproc)"
+# One compiler for the probe and every cmake leg: honoring $CXX here but
+# not there would let the probe pass while the real build fails (or vice
+# versa) on hosts where they differ.
+CXX_BIN="${CXX:-c++}"
 SUMMARY=()
 note() { SUMMARY+=("$1"); echo "== $1 =="; }
 
@@ -47,7 +51,7 @@ probe_sanitizer() {
   local san="$1" skip_flag="$2"
   local dir; dir="$(mktemp -d)"
   echo 'int main() { return 0; }' > "$dir/probe.cpp"
-  if ! c++ "-fsanitize=$san" -o "$dir/probe" "$dir/probe.cpp" \
+  if ! "$CXX_BIN" "-fsanitize=$san" -o "$dir/probe" "$dir/probe.cpp" \
        >"$dir/log" 2>&1; then
     echo "verify: host toolchain does not support -fsanitize=$san" >&2
     sed 's/^/verify:   | /' "$dir/log" | head -n 5 >&2
@@ -59,7 +63,8 @@ probe_sanitizer() {
 }
 
 note "tier-1: configure + build (build/)"
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_COMPILER="$CXX_BIN" >/dev/null
 cmake --build build -j"$JOBS"
 
 note "tier-1: full ctest"
@@ -83,6 +88,7 @@ else
   probe_sanitizer thread --skip-tsan
   note "tsan: configure + build (build-tsan/)"
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="$CXX_BIN" \
     -DHM_SANITIZE=thread -DHM_BUILD_BENCH=OFF -DHM_BUILD_EXAMPLES=OFF \
     >/dev/null
   cmake --build build-tsan -j"$JOBS"
@@ -100,6 +106,7 @@ if [[ "$MATRIX" == 1 ]]; then
     probe_sanitizer address,undefined --skip-asan
     note "asan+ubsan: configure + build (build-asan-ubsan/)"
     cmake -B build-asan-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_COMPILER="$CXX_BIN" \
       -DHM_SANITIZE=address,undefined -DHM_BUILD_BENCH=OFF \
       -DHM_BUILD_EXAMPLES=OFF >/dev/null
     cmake --build build-asan-ubsan -j"$JOBS"

@@ -120,9 +120,12 @@ void ThreadPool::run_region(index_t num_chunks, RegionFn fn, void* ctx) {
   for (int a = active_.load(); a != 0; a = active_.load()) {
     active_.wait(a);
   }
-  // Quiesced: no worker holds the region, and the epoch is odd so none
-  // can re-enter until the publish below.
-  HM_ASSERT(active_.load() == 0 && (region_epoch_.load() & 1) == 1);
+  // The epoch stays odd until the publish below (we hold region_mutex_),
+  // so no joiner can touch region state from here on. Note active_ may
+  // legally tick non-zero again: a worker that loaded a stale even epoch
+  // increments it before re-validating in join_region and bails without
+  // entering the region, so we do not assert active_ == 0 here.
+  HM_ASSERT((region_epoch_.load() & 1) == 1);
   Region& r = region_;
   r.fn = fn;
   r.ctx = ctx;

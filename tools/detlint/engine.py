@@ -101,8 +101,13 @@ def strip_comments_and_strings(text: str) -> str:
                 out.append("  ")
                 i += 2
             elif c == '"':
-                # Raw string?  Look back for R / u8R / LR / uR / UR.
-                m = re.search(r'(?:u8|[uUL])?R$', text[max(0, i - 3):i])
+                # Raw string?  Look back for R / u8R / LR / uR / UR. The
+                # prefix must not be the tail of a longer identifier
+                # (`MY_STR_R"..."` is an ordinary literal, not a raw one),
+                # so require a non-identifier char — or start of file —
+                # immediately before it.
+                m = re.search(r'(?:\A|[^0-9A-Za-z_])(?:u8|[uUL])?R$',
+                              text[max(0, i - 4):i])
                 if m:
                     m2 = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
                     if m2:

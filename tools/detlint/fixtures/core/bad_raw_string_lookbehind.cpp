@@ -1,0 +1,19 @@
+// Fixture: raw-string lookbehind regression. FMT_R is an ordinary
+// identifier, so the literal after it is a plain string — the stripper
+// must not enter raw-string mode (which would hunt for a `)"` terminator
+// and swallow the rest of the file, hiding the banned call below).
+// detlint-expect: banned-c-random
+#include <cstdlib>
+
+namespace fixture {
+
+#define FMT_R "%d"
+inline const char* kNotRaw = FMT_R"(open paren, no close paren";
+
+// A genuine raw string still strips: its prose contents must not fire,
+// and scanning resumes after the matching delimiter.
+inline const char* kRaw = R"lint(calling rand() here is just prose)lint";
+
+inline int bad() { return std::rand(); }
+
+}  // namespace fixture
