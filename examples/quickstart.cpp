@@ -10,8 +10,14 @@
 //      adversarial edge weights p.
 //
 // Build & run:  ./quickstart [--rounds 200]
+//
+// Fault injection (see src/algo/fault_config.hpp for the full set):
+//   ./quickstart --dropout 0.2 --on-fault stale
+// trains the same seeded run under 20% per-round client dropout, reusing
+// decayed stale updates for the casualties, and reports delivery stats.
 #include <iostream>
 
+#include "algo/fault_config.hpp"
 #include "algo/hierminimax.hpp"
 #include "io/checkpoint.hpp"
 #include "core/flags.hpp"
@@ -56,6 +62,10 @@ int main(int argc, char** argv) {
   opts.eval_every = opts.rounds / 10;
   opts.seed = 1;
 
+  // Optional fault injection: --dropout/--straggler/--edge-loss/... turn
+  // on a deterministic FaultPlan; --on-fault picks the degradation policy.
+  algo::apply_fault_flags(flags, opts);
+
   // 5. Train and report.
   const auto result = algo::train_hierminimax(model, fed, topo, opts);
 
@@ -77,5 +87,11 @@ int main(int argc, char** argv) {
   std::cout << "\nfinal: avg=" << final_summary.average
             << " worst=" << final_summary.worst
             << " variance=" << final_summary.variance_pct2 << " pct^2\n";
+  if (opts.fault.enabled) {
+    std::cout << "faults (" << algo::to_string(opts.on_fault)
+              << " policy): delivered=" << result.comm.msgs_delivered()
+              << " dropped=" << result.comm.msgs_dropped()
+              << " straggled=" << result.comm.msgs_straggled() << '\n';
+  }
   return 0;
 }

@@ -43,6 +43,7 @@ TrainResult train_drfa(const nn::Model& model,
   HM_CHECK(q_set.feasible(num_clients));
 
   rng::Xoshiro256 root(opts.seed);
+  const sim::FaultPlan plan(opts.fault);
 
   TrainResult result;
   result.w.assign(static_cast<std::size_t>(d), 0);
@@ -51,6 +52,8 @@ TrainResult train_drfa(const nn::Model& model,
     model.init_params(result.w, init_gen);
   }
   result.w_avg = result.w;
+  detail::StaleStore stale;
+  if (plan.enabled()) stale.init(num_clients);
 
   std::vector<scalar_t> q = detail::uniform_weights(num_clients);
   std::vector<scalar_t> q_avg = q;
@@ -108,9 +111,49 @@ TrainResult train_drfa(const nn::Model& model,
         },
         /*grain=*/1);
 
-    detail::weighted_average(client_w, parts, result.w);
-    detail::weighted_average(client_ckpt, parts, checkpoint);
-    tensor::project_l2_ball(result.w, opts.w_radius);
+    bool aggregated = true;
+    if (!plan.enabled()) {
+      detail::weighted_average(client_w, parts, result.w);
+      detail::weighted_average(client_ckpt, parts, checkpoint);
+      tensor::project_l2_ball(result.w, opts.w_radius);
+    } else {
+      std::vector<char> delivered(parts.ids.size(), 0);
+      for (std::size_t j = 0; j < parts.ids.size(); ++j) {
+        const index_t n = parts.ids[j];
+        if (plan.client_crashed(k, n)) continue;
+        if (plan.client_dropped(k, n)) {
+          result.comm.edge_cloud_fault.note_lost_report();
+          continue;
+        }
+        if (!plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, n),
+                          result.comm.edge_cloud_fault)) {
+          continue;
+        }
+        result.comm.edge_cloud_fault.note_straggle(plan.straggler_mult(k, n));
+        delivered[j] = 1;
+      }
+      aggregated = detail::degraded_weighted_average(
+          client_w, parts, delivered, opts.on_fault, opts.stale_decay, k,
+          stale, result.w, result.w);
+      if (aggregated) {
+        // Checkpoint: only delivered reports carry one; renormalize over
+        // the survivors. With no surviving checkpoint (possible under
+        // kReuseStale), estimate Phase-2 losses on the aggregate instead.
+        Participants surv;
+        for (std::size_t j = 0; j < parts.ids.size(); ++j) {
+          if (!delivered[j]) continue;
+          surv.ids.push_back(parts.ids[j]);
+          surv.multiplicity.push_back(parts.multiplicity[j]);
+          surv.total += parts.multiplicity[j];
+        }
+        if (surv.ids.empty()) {
+          tensor::copy(result.w, checkpoint);
+        } else {
+          detail::weighted_average(client_ckpt, surv, checkpoint);
+        }
+        tensor::project_l2_ball(result.w, opts.w_radius);
+      }
+    }
     result.comm.edge_cloud_rounds += 1;
     result.comm.edge_cloud_models_up += 2 * participating;  // model + ckpt
     result.comm.edge_cloud_bytes +=
@@ -118,51 +161,83 @@ TrainResult train_drfa(const nn::Model& model,
                          2 * sim::payload_bytes(d, opts.quantize_bits));
 
     // --- Phase 2: uniform client sample, loss estimation at checkpoint.
-    rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
-    const auto loss_clients =
-        rng::sample_without_replacement(num_clients, m, uniform_gen);
-    result.comm.edge_cloud_models_down +=
-        static_cast<std::uint64_t>(loss_clients.size());
-    std::vector<scalar_t> losses(loss_clients.size(), 0);
-    parallel::parallel_for(
-        pool, 0, static_cast<index_t>(loss_clients.size()),
-        [&](index_t j) {
-          const index_t n = loss_clients[static_cast<std::size_t>(j)];
-          auto& sc = scratch[static_cast<std::size_t>(n)];
-          sc.ensure(model);
-          const data::Dataset& shard =
-              fed.client_train[static_cast<std::size_t>(n)];
-          rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                    .split(static_cast<std::uint64_t>(n));
-          std::vector<index_t> batch;
-          if (opts.loss_est_batch > 0) {
-            batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-            for (auto& idx : batch) {
-              idx = static_cast<index_t>(gen.uniform_index(
-                  static_cast<std::uint64_t>(shard.size())));
-            }
+    // A skipped Phase 1 (kSkipRound with casualties, or no survivors at
+    // all) also skips the q ascent: there is no fresh checkpoint to
+    // estimate losses at, so the round leaves (w, q) untouched.
+    if (aggregated) {
+      rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
+      const auto loss_clients =
+          rng::sample_without_replacement(num_clients, m, uniform_gen);
+      result.comm.edge_cloud_models_down +=
+          static_cast<std::uint64_t>(loss_clients.size());
+      // Loss reports ride the same faulty wide-area link as models; only
+      // delivered reports enter the ascent, and the importance weight is
+      // renormalized to the delivered count.
+      std::vector<char> loss_ok(loss_clients.size(), 1);
+      std::uint64_t num_loss_ok = static_cast<std::uint64_t>(loss_clients.size());
+      if (plan.enabled()) {
+        for (std::size_t j = 0; j < loss_clients.size(); ++j) {
+          const index_t n = loss_clients[j];
+          if (plan.client_crashed(k, n)) {
+            loss_ok[j] = 0;
+          } else if (plan.client_dropped(k, n)) {
+            result.comm.edge_cloud_fault.note_lost_report();
+            loss_ok[j] = 0;
+          } else if (!plan.deliver(k, sim::fault_msg(sim::kMsgLossUp, n),
+                                   result.comm.edge_cloud_fault)) {
+            loss_ok[j] = 0;
           } else {
-            batch = nn::all_indices(shard.size());
+            result.comm.edge_cloud_fault.note_straggle(
+                plan.straggler_mult(k, n));
           }
-          losses[static_cast<std::size_t>(j)] =
-              model.loss(checkpoint, shard, batch, *sc.ws);
-        },
-        /*grain=*/1);
-    result.comm.edge_cloud_scalars +=
-        static_cast<std::uint64_t>(loss_clients.size());
-    result.comm.edge_cloud_rounds += 1;
-    result.comm.edge_cloud_bytes +=
-        static_cast<std::uint64_t>(loss_clients.size()) *
-        (sim::payload_bytes(d, 0) + 8);
+          if (!loss_ok[j]) num_loss_ok -= 1;
+        }
+      }
+      std::vector<scalar_t> losses(loss_clients.size(), 0);
+      parallel::parallel_for(
+          pool, 0, static_cast<index_t>(loss_clients.size()),
+          [&](index_t j) {
+            if (!loss_ok[static_cast<std::size_t>(j)]) return;
+            const index_t n = loss_clients[static_cast<std::size_t>(j)];
+            auto& sc = scratch[static_cast<std::size_t>(n)];
+            sc.ensure(model);
+            const data::Dataset& shard =
+                fed.client_train[static_cast<std::size_t>(n)];
+            rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                      .split(static_cast<std::uint64_t>(n));
+            std::vector<index_t> batch;
+            if (opts.loss_est_batch > 0) {
+              batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+              for (auto& idx : batch) {
+                idx = static_cast<index_t>(gen.uniform_index(
+                    static_cast<std::uint64_t>(shard.size())));
+              }
+            } else {
+              batch = nn::all_indices(shard.size());
+            }
+            losses[static_cast<std::size_t>(j)] =
+                model.loss(checkpoint, shard, batch, *sc.ws);
+          },
+          /*grain=*/1);
+      result.comm.edge_cloud_scalars +=
+          static_cast<std::uint64_t>(loss_clients.size());
+      result.comm.edge_cloud_rounds += 1;
+      result.comm.edge_cloud_bytes +=
+          static_cast<std::uint64_t>(loss_clients.size()) *
+          (sim::payload_bytes(d, 0) + 8);
 
-    const scalar_t scale_v = static_cast<scalar_t>(num_clients) /
-                             static_cast<scalar_t>(loss_clients.size());
-    const scalar_t step = opts.eta_p * static_cast<scalar_t>(opts.tau1);
-    for (index_t j = 0; j < static_cast<index_t>(loss_clients.size()); ++j) {
-      q[static_cast<std::size_t>(loss_clients[static_cast<std::size_t>(j)])] +=
-          step * scale_v * losses[static_cast<std::size_t>(j)];
+      if (num_loss_ok > 0) {
+        const scalar_t scale_v = static_cast<scalar_t>(num_clients) /
+                                 static_cast<scalar_t>(num_loss_ok);
+        const scalar_t step = opts.eta_p * static_cast<scalar_t>(opts.tau1);
+        for (std::size_t j = 0; j < loss_clients.size(); ++j) {
+          if (!loss_ok[j]) continue;
+          q[static_cast<std::size_t>(loss_clients[j])] +=
+              step * scale_v * losses[j];
+        }
+        project_capped_simplex(q, q_set);
+      }
     }
-    project_capped_simplex(q, q_set);
 
     detail::update_running_average(result.w_avg, result.w, k);
     detail::update_running_average(q_avg, q, k);

@@ -1,0 +1,52 @@
+#include "algo/fault_config.hpp"
+
+#include "core/check.hpp"
+
+namespace hm::algo {
+
+OnFault parse_on_fault(const std::string& name) {
+  if (name == "renormalize") return OnFault::kRenormalize;
+  if (name == "stale") return OnFault::kReuseStale;
+  if (name == "skip") return OnFault::kSkipRound;
+  HM_CHECK_MSG(false, "unknown --on-fault policy '"
+                          << name
+                          << "' (expected renormalize | stale | skip)");
+}
+
+const char* to_string(OnFault policy) {
+  switch (policy) {
+    case OnFault::kRenormalize:
+      return "renormalize";
+    case OnFault::kReuseStale:
+      return "stale";
+    case OnFault::kSkipRound:
+      return "skip";
+  }
+  return "?";
+}
+
+sim::FaultSpec fault_spec_from_flags(const Flags& flags) {
+  sim::FaultSpec spec;
+  spec.client_dropout_prob = flags.get_double("dropout", 0);
+  spec.straggler_prob = flags.get_double("straggler", 0);
+  spec.straggler_mult_mean =
+      flags.get_double("straggler-mult", spec.straggler_mult_mean);
+  spec.edge_loss_prob = flags.get_double("edge-loss", 0);
+  spec.max_retries = flags.get_int("max-retries", spec.max_retries);
+  spec.seed = static_cast<seed_t>(flags.get_int(
+      "fault-seed", static_cast<index_t>(spec.seed)));
+  spec.enabled = flags.has("dropout") || flags.has("straggler") ||
+                 flags.has("straggler-mult") || flags.has("edge-loss") ||
+                 flags.has("max-retries") || flags.has("fault-seed");
+  spec.validate();
+  return spec;
+}
+
+void apply_fault_flags(const Flags& flags, TrainOptions& opts) {
+  opts.fault = fault_spec_from_flags(flags);
+  opts.on_fault =
+      parse_on_fault(flags.get_string("on-fault", to_string(opts.on_fault)));
+  opts.stale_decay = flags.get_double("stale-decay", opts.stale_decay);
+}
+
+}  // namespace hm::algo

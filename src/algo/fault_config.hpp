@@ -1,0 +1,37 @@
+// Command-line configuration of the fault-injection layer, shared by the
+// examples and benchmark harnesses so every binary speaks the same flags:
+//
+//   --dropout P          per-round client dropout probability
+//   --straggler P        per-round straggler probability
+//   --straggler-mult M   mean straggler delay multiplier (>= 1)
+//   --edge-loss P        per-attempt edge-cloud message loss probability
+//   --max-retries N      retry budget per message
+//   --fault-seed S       seed of the fault plan's RNG streams
+//   --on-fault POLICY    renormalize | stale | skip
+//   --stale-decay D      kReuseStale decay per round of staleness
+//
+// Any fault flag present on the command line enables the plan.
+#pragma once
+
+#include <string>
+
+#include "algo/options.hpp"
+#include "core/flags.hpp"
+
+namespace hm::algo {
+
+/// Parse a policy name ("renormalize", "stale", "skip"); throws
+/// CheckError on anything else.
+OnFault parse_on_fault(const std::string& name);
+
+const char* to_string(OnFault policy);
+
+/// Build a FaultSpec from the flags above. The spec is enabled iff at
+/// least one fault flag was given (so binaries without fault flags keep
+/// the bit-identical fault-free path).
+sim::FaultSpec fault_spec_from_flags(const Flags& flags);
+
+/// Apply the fault flags (spec, policy, stale decay) to `opts`.
+void apply_fault_flags(const Flags& flags, TrainOptions& opts);
+
+}  // namespace hm::algo

@@ -22,6 +22,7 @@ TrainResult train_fedavg(const nn::Model& model,
   HM_CHECK(m <= num_clients);
 
   rng::Xoshiro256 root(opts.seed);
+  const sim::FaultPlan plan(opts.fault);
 
   TrainResult result;
   result.w.assign(static_cast<std::size_t>(d), 0);
@@ -37,6 +38,8 @@ TrainResult train_fedavg(const nn::Model& model,
       static_cast<std::size_t>(num_clients),
       std::vector<scalar_t>(static_cast<std::size_t>(d)));
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  detail::StaleStore stale;
+  if (plan.enabled()) stale.init(num_clients);
 
   detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
                        result.w, result.comm, result.history);
@@ -74,8 +77,34 @@ TrainResult train_fedavg(const nn::Model& model,
         },
         /*grain=*/1);
 
-    detail::uniform_average(client_w, clients, result.w);
-    tensor::project_l2_ball(result.w, opts.w_radius);
+    if (!plan.enabled()) {
+      detail::uniform_average(client_w, clients, result.w);
+      tensor::project_l2_ball(result.w, opts.w_radius);
+    } else {
+      // Decide which sampled clients report over the wide-area link:
+      // crashed clients never send, dropped clients' reports are lost,
+      // link loss burns the retry budget, stragglers arrive late.
+      std::vector<char> delivered(clients.size(), 0);
+      for (std::size_t j = 0; j < clients.size(); ++j) {
+        const index_t n = clients[j];
+        if (plan.client_crashed(k, n)) continue;
+        if (plan.client_dropped(k, n)) {
+          result.comm.edge_cloud_fault.note_lost_report();
+          continue;
+        }
+        if (!plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, n),
+                          result.comm.edge_cloud_fault)) {
+          continue;
+        }
+        result.comm.edge_cloud_fault.note_straggle(plan.straggler_mult(k, n));
+        delivered[j] = 1;
+      }
+      if (detail::degraded_uniform_average(client_w, clients, delivered,
+                                           opts.on_fault, opts.stale_decay,
+                                           k, stale, result.w, result.w)) {
+        tensor::project_l2_ball(result.w, opts.w_radius);
+      }
+    }
     result.comm.edge_cloud_rounds += 1;
     result.comm.edge_cloud_models_up +=
         static_cast<std::uint64_t>(clients.size());

@@ -25,6 +25,7 @@ TrainResult train_hierfavg(const nn::Model& model,
   HM_CHECK(m_e <= num_edges);
 
   rng::Xoshiro256 root(opts.seed);
+  const sim::FaultPlan plan(opts.fault);
 
   TrainResult result;
   result.w.assign(static_cast<std::size_t>(d), 0);
@@ -44,6 +45,8 @@ TrainResult train_hierfavg(const nn::Model& model,
       std::vector<scalar_t>(static_cast<std::size_t>(d)));
   std::vector<ClientScratch> scratch(
       static_cast<std::size_t>(topo.num_clients()));
+  detail::StaleStore stale;
+  if (plan.enabled()) stale.init(num_edges);
 
   detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
                        result.w, result.comm, result.history);
@@ -68,6 +71,11 @@ TrainResult train_hierfavg(const nn::Model& model,
             const index_t e = edges[static_cast<std::size_t>(job / n0)];
             const index_t i = job % n0;
             const index_t client = topo.client_id(e, i);
+            // Crashed hardware computes nothing this round. (Dropped
+            // clients still compute — only their report is lost.)
+            if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
+              return;
+            }
             auto& w_local = client_w[static_cast<std::size_t>(client)];
             tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
             LocalSgdConfig cfg;
@@ -90,9 +98,31 @@ TrainResult train_hierfavg(const nn::Model& model,
           },
           /*grain=*/1);
       for (const index_t e : edges) {
-        auto clients = topo.clients_of_edge(e);
-        detail::uniform_average(client_w, clients,
-                                edge_w[static_cast<std::size_t>(e)]);
+        if (!plan.enabled()) {
+          auto clients = topo.clients_of_edge(e);
+          detail::uniform_average(client_w, clients,
+                                  edge_w[static_cast<std::size_t>(e)]);
+          continue;
+        }
+        if (plan.edge_crashed(k, e)) continue;  // area offline, model frozen
+        // Edge aggregation runs over whichever clients actually reported;
+        // an edge with zero survivors keeps its previous block's model.
+        std::vector<index_t> surv;
+        for (const index_t c : topo.clients_of_edge(e)) {
+          if (plan.client_crashed(k, c)) continue;  // silent, never sent
+          if (plan.client_dropped(k, c)) {
+            result.comm.client_edge_fault.note_lost_report();
+            continue;
+          }
+          result.comm.client_edge_fault.note_delivered();
+          result.comm.client_edge_fault.note_straggle(
+              plan.straggler_mult(k, c));
+          surv.push_back(c);
+        }
+        if (!surv.empty()) {
+          detail::uniform_average(client_w, surv,
+                                  edge_w[static_cast<std::size_t>(e)]);
+        }
       }
       result.comm.client_edge_rounds += 1;
       result.comm.client_edge_models_down +=
@@ -113,8 +143,24 @@ TrainResult train_hierfavg(const nn::Model& model,
                               opts.quantize_bits, qgen);
       }
     }
-    detail::uniform_average(edge_w, edges, result.w);
-    tensor::project_l2_ball(result.w, opts.w_radius);
+    bool aggregated = true;
+    if (!plan.enabled()) {
+      detail::uniform_average(edge_w, edges, result.w);
+    } else {
+      std::vector<char> delivered(edges.size(), 0);
+      for (std::size_t j = 0; j < edges.size(); ++j) {
+        const index_t e = edges[j];
+        if (plan.edge_crashed(k, e)) continue;
+        if (plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, e),
+                         result.comm.edge_cloud_fault)) {
+          delivered[j] = 1;
+        }
+      }
+      aggregated = detail::degraded_uniform_average(
+          edge_w, edges, delivered, opts.on_fault, opts.stale_decay, k,
+          stale, result.w, result.w);
+    }
+    if (aggregated) tensor::project_l2_ball(result.w, opts.w_radius);
     result.comm.edge_cloud_rounds += 1;
     result.comm.edge_cloud_models_up += participating;
     result.comm.edge_cloud_bytes +=

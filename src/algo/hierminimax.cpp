@@ -44,6 +44,7 @@ TrainResult train_hierminimax(const nn::Model& model,
   const index_t m_e = opts.sampled_edges > 0 ? opts.sampled_edges : num_edges;
 
   rng::Xoshiro256 root(opts.seed);
+  const sim::FaultPlan plan(opts.fault);
 
   TrainResult result;
   result.w.assign(static_cast<std::size_t>(d), 0);
@@ -67,6 +68,11 @@ TrainResult train_hierminimax(const nn::Model& model,
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
   std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
   std::vector<scalar_t> edge_losses(static_cast<std::size_t>(num_edges));
+  detail::StaleStore stale;
+  if (plan.enabled()) stale.init(num_edges);
+  // Whether edge e captured a checkpoint at block c2 this round (an edge
+  // whose every client failed at that block has no fresh checkpoint).
+  std::vector<char> edge_has_ckpt(static_cast<std::size_t>(num_edges), 1);
 
   detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
                        result.w, result.comm, result.history);
@@ -104,6 +110,11 @@ TrainResult train_hierminimax(const nn::Model& model,
                 parts.ids[static_cast<std::size_t>(job / n0)];
             const index_t i = job % n0;
             const index_t client = topo.client_id(e, i);
+            // Crashed hardware computes nothing this round. (Dropped
+            // clients still compute — only their report is lost.)
+            if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
+              return;
+            }
             auto& w_local = client_w[static_cast<std::size_t>(client)];
             tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
             LocalSgdConfig cfg;
@@ -135,12 +146,46 @@ TrainResult train_hierminimax(const nn::Model& model,
 
       // Client-edge aggregation (and checkpoint aggregation at block c2).
       for (const index_t e : parts.ids) {
-        auto clients = topo.clients_of_edge(e);
-        detail::uniform_average(client_w, clients,
-                                edge_w[static_cast<std::size_t>(e)]);
+        if (!plan.enabled()) {
+          auto clients = topo.clients_of_edge(e);
+          detail::uniform_average(client_w, clients,
+                                  edge_w[static_cast<std::size_t>(e)]);
+          if (t2 == c2) {
+            detail::uniform_average(client_ckpt, clients,
+                                    edge_ckpt[static_cast<std::size_t>(e)]);
+          }
+          continue;
+        }
+        if (plan.edge_crashed(k, e)) {
+          if (t2 == c2) edge_has_ckpt[static_cast<std::size_t>(e)] = 0;
+          continue;  // area offline, model frozen
+        }
+        // Aggregate over whichever clients actually reported this block;
+        // an edge with zero survivors keeps its previous block's model.
+        std::vector<index_t> surv;
+        for (const index_t c : topo.clients_of_edge(e)) {
+          if (plan.client_crashed(k, c)) continue;  // silent, never sent
+          if (plan.client_dropped(k, c)) {
+            result.comm.client_edge_fault.note_lost_report();
+            continue;
+          }
+          result.comm.client_edge_fault.note_delivered();
+          result.comm.client_edge_fault.note_straggle(
+              plan.straggler_mult(k, c));
+          surv.push_back(c);
+        }
+        if (!surv.empty()) {
+          detail::uniform_average(client_w, surv,
+                                  edge_w[static_cast<std::size_t>(e)]);
+        }
         if (t2 == c2) {
-          detail::uniform_average(client_ckpt, clients,
-                                  edge_ckpt[static_cast<std::size_t>(e)]);
+          if (surv.empty()) {
+            edge_has_ckpt[static_cast<std::size_t>(e)] = 0;
+          } else {
+            edge_has_ckpt[static_cast<std::size_t>(e)] = 1;
+            detail::uniform_average(client_ckpt, surv,
+                                    edge_ckpt[static_cast<std::size_t>(e)]);
+          }
         }
       }
       result.comm.client_edge_rounds += 1;
@@ -170,13 +215,55 @@ TrainResult train_hierminimax(const nn::Model& model,
     }
 
     // Edge-cloud aggregation: global model (Eq. 5) + checkpoint (Eq. 6).
-    detail::weighted_average(edge_w, parts, result.w);
-    if (opts.use_checkpoint) {
-      detail::weighted_average(edge_ckpt, parts, checkpoint);
+    bool aggregated = true;
+    if (!plan.enabled()) {
+      detail::weighted_average(edge_w, parts, result.w);
+      if (opts.use_checkpoint) {
+        detail::weighted_average(edge_ckpt, parts, checkpoint);
+      } else {
+        tensor::copy(result.w, checkpoint);  // ablation: last-iterate losses
+      }
+      tensor::project_l2_ball(result.w, opts.w_radius);
     } else {
-      tensor::copy(result.w, checkpoint);  // ablation: last-iterate losses
+      // Each participating edge uploads model + checkpoint as one report
+      // over the faulty wide-area link.
+      std::vector<char> delivered(parts.ids.size(), 0);
+      for (std::size_t j = 0; j < parts.ids.size(); ++j) {
+        const index_t e = parts.ids[j];
+        if (plan.edge_crashed(k, e)) continue;
+        if (plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, e),
+                         result.comm.edge_cloud_fault)) {
+          delivered[j] = 1;
+        }
+      }
+      aggregated = detail::degraded_weighted_average(
+          edge_w, parts, delivered, opts.on_fault, opts.stale_decay, k,
+          stale, result.w, result.w);
+      if (aggregated) {
+        if (opts.use_checkpoint) {
+          // Checkpoints exist only for delivered edges that captured one
+          // at block c2; renormalize over those. With none surviving,
+          // fall back to the aggregate (last-iterate losses this round).
+          Participants surv;
+          for (std::size_t j = 0; j < parts.ids.size(); ++j) {
+            const index_t e = parts.ids[j];
+            if (!delivered[j] || !edge_has_ckpt[static_cast<std::size_t>(e)])
+              continue;
+            surv.ids.push_back(e);
+            surv.multiplicity.push_back(parts.multiplicity[j]);
+            surv.total += parts.multiplicity[j];
+          }
+          if (surv.ids.empty()) {
+            tensor::copy(result.w, checkpoint);
+          } else {
+            detail::weighted_average(edge_ckpt, surv, checkpoint);
+          }
+        } else {
+          tensor::copy(result.w, checkpoint);
+        }
+        tensor::project_l2_ball(result.w, opts.w_radius);
+      }
     }
-    tensor::project_l2_ball(result.w, opts.w_radius);
     result.comm.edge_cloud_rounds += 1;
     result.comm.edge_cloud_models_up += 2 * participating;
     result.comm.edge_cloud_bytes +=
@@ -184,80 +271,144 @@ TrainResult train_hierminimax(const nn::Model& model,
                          2 * sim::payload_bytes(d, opts.quantize_bits));
 
     // --- Phase 2: uniform edge sample, loss estimation on the checkpoint.
-    rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
-    const auto losses_set =
-        rng::sample_without_replacement(num_edges, m_e, uniform_gen);
-    result.comm.edge_cloud_models_down +=
-        static_cast<std::uint64_t>(losses_set.size());
-    result.comm.client_edge_models_down +=
-        static_cast<std::uint64_t>(losses_set.size()) *
-        static_cast<std::uint64_t>(n0);
-    result.comm.client_edge_rounds += 1;
+    // A skipped Phase 1 (kSkipRound with casualties, or no surviving
+    // reports at all) also skips the ascent: there is no fresh checkpoint
+    // to estimate losses at, so the round leaves (w, p) untouched.
+    if (aggregated) {
+      rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
+      const auto losses_set =
+          rng::sample_without_replacement(num_edges, m_e, uniform_gen);
+      result.comm.edge_cloud_models_down +=
+          static_cast<std::uint64_t>(losses_set.size());
+      result.comm.client_edge_models_down +=
+          static_cast<std::uint64_t>(losses_set.size()) *
+          static_cast<std::uint64_t>(n0);
+      result.comm.client_edge_rounds += 1;
 
-    std::fill(edge_losses.begin(), edge_losses.end(), scalar_t{0});
-    const index_t loss_jobs = static_cast<index_t>(losses_set.size()) * n0;
-    std::vector<scalar_t> client_losses(
-        static_cast<std::size_t>(loss_jobs), 0);
-    parallel::parallel_for(
-        pool, 0, loss_jobs,
-        [&](index_t job) {
-          const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
-          const index_t i = job % n0;
-          const index_t client = topo.client_id(e, i);
-          auto& sc = scratch[static_cast<std::size_t>(client)];
-          sc.ensure(model);
-          const data::Dataset& shard = fed.shard(e, i);
-          rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                    .split(static_cast<std::uint64_t>(e))
-                                    .split(static_cast<std::uint64_t>(i));
-          std::vector<index_t> batch;
-          if (opts.loss_est_batch > 0) {
-            batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-            for (auto& idx : batch) {
-              idx = static_cast<index_t>(gen.uniform_index(
-                  static_cast<std::uint64_t>(shard.size())));
+      std::fill(edge_losses.begin(), edge_losses.end(), scalar_t{0});
+      const index_t loss_jobs = static_cast<index_t>(losses_set.size()) * n0;
+      std::vector<scalar_t> client_losses(
+          static_cast<std::size_t>(loss_jobs), 0);
+      // Loss reports ride the same faulty links as models: a client report
+      // can be lost on the client-edge hop, the per-edge mean is over
+      // whichever clients reported, and the edge's scalar can be lost on
+      // the wide-area hop. Edges with nothing to report leave v_e = 0.
+      std::vector<char> edge_ok(losses_set.size(), 1);
+      std::vector<char> client_ok(static_cast<std::size_t>(loss_jobs), 1);
+      std::vector<index_t> edge_nsurv(losses_set.size(), n0);
+      std::uint64_t num_loss_edges =
+          static_cast<std::uint64_t>(losses_set.size());
+      if (plan.enabled()) {
+        for (std::size_t j = 0; j < losses_set.size(); ++j) {
+          const index_t e = losses_set[j];
+          if (plan.edge_crashed(k, e)) {
+            edge_ok[j] = 0;
+            edge_nsurv[j] = 0;
+            for (index_t i = 0; i < n0; ++i) {
+              client_ok[j * static_cast<std::size_t>(n0) +
+                        static_cast<std::size_t>(i)] = 0;
             }
-          } else {
-            batch = nn::all_indices(shard.size());
+            num_loss_edges -= 1;
+            continue;
           }
-          client_losses[static_cast<std::size_t>(job)] =
-              model.loss(checkpoint, shard, batch, *sc.ws);
-        },
-        /*grain=*/1);
-    for (index_t j = 0; j < static_cast<index_t>(losses_set.size()); ++j) {
-      scalar_t f_e = 0;
-      for (index_t i = 0; i < n0; ++i) {
-        f_e += client_losses[static_cast<std::size_t>(j * n0 + i)];
+          index_t nsurv = 0;
+          for (index_t i = 0; i < n0; ++i) {
+            const index_t c = topo.client_id(e, i);
+            const std::size_t job =
+                j * static_cast<std::size_t>(n0) + static_cast<std::size_t>(i);
+            if (plan.client_crashed(k, c)) {
+              client_ok[job] = 0;
+              continue;
+            }
+            if (plan.client_dropped(k, c)) {
+              result.comm.client_edge_fault.note_lost_report();
+              client_ok[job] = 0;
+              continue;
+            }
+            result.comm.client_edge_fault.note_delivered();
+            result.comm.client_edge_fault.note_straggle(
+                plan.straggler_mult(k, c));
+            nsurv += 1;
+          }
+          edge_nsurv[j] = nsurv;
+          if (nsurv == 0 ||
+              !plan.deliver(k, sim::fault_msg(sim::kMsgLossUp, e),
+                            result.comm.edge_cloud_fault)) {
+            edge_ok[j] = 0;
+            num_loss_edges -= 1;
+          }
+        }
       }
-      edge_losses[static_cast<std::size_t>(
-          losses_set[static_cast<std::size_t>(j)])] =
-          f_e / static_cast<scalar_t>(n0);
-    }
-    result.comm.client_edge_scalars +=
-        static_cast<std::uint64_t>(losses_set.size()) *
-        static_cast<std::uint64_t>(n0);
-    result.comm.edge_cloud_scalars +=
-        static_cast<std::uint64_t>(losses_set.size());
-    result.comm.edge_cloud_rounds += 1;
-    // Phase-2 bytes: checkpoint broadcasts down both hops + scalar losses.
-    result.comm.edge_cloud_bytes +=
-        static_cast<std::uint64_t>(losses_set.size()) *
-            sim::payload_bytes(d, 0) +
-        static_cast<std::uint64_t>(losses_set.size()) * 8;
-    result.comm.client_edge_bytes +=
-        static_cast<std::uint64_t>(losses_set.size()) *
-            static_cast<std::uint64_t>(n0) * (sim::payload_bytes(d, 0) + 8);
+      parallel::parallel_for(
+          pool, 0, loss_jobs,
+          [&](index_t job) {
+            if (!client_ok[static_cast<std::size_t>(job)]) return;
+            const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
+            const index_t i = job % n0;
+            const index_t client = topo.client_id(e, i);
+            auto& sc = scratch[static_cast<std::size_t>(client)];
+            sc.ensure(model);
+            const data::Dataset& shard = fed.shard(e, i);
+            rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                      .split(static_cast<std::uint64_t>(e))
+                                      .split(static_cast<std::uint64_t>(i));
+            std::vector<index_t> batch;
+            if (opts.loss_est_batch > 0) {
+              batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+              for (auto& idx : batch) {
+                idx = static_cast<index_t>(gen.uniform_index(
+                    static_cast<std::uint64_t>(shard.size())));
+              }
+            } else {
+              batch = nn::all_indices(shard.size());
+            }
+            client_losses[static_cast<std::size_t>(job)] =
+                model.loss(checkpoint, shard, batch, *sc.ws);
+          },
+          /*grain=*/1);
+      for (index_t j = 0; j < static_cast<index_t>(losses_set.size()); ++j) {
+        if (!edge_ok[static_cast<std::size_t>(j)]) continue;
+        scalar_t f_e = 0;
+        for (index_t i = 0; i < n0; ++i) {
+          f_e += client_losses[static_cast<std::size_t>(j * n0 + i)];
+        }
+        edge_losses[static_cast<std::size_t>(
+            losses_set[static_cast<std::size_t>(j)])] =
+            f_e /
+            static_cast<scalar_t>(edge_nsurv[static_cast<std::size_t>(j)]);
+      }
+      result.comm.client_edge_scalars +=
+          static_cast<std::uint64_t>(losses_set.size()) *
+          static_cast<std::uint64_t>(n0);
+      result.comm.edge_cloud_scalars +=
+          static_cast<std::uint64_t>(losses_set.size());
+      result.comm.edge_cloud_rounds += 1;
+      // Phase-2 bytes: checkpoint broadcasts down both hops + scalar losses.
+      result.comm.edge_cloud_bytes +=
+          static_cast<std::uint64_t>(losses_set.size()) *
+              sim::payload_bytes(d, 0) +
+          static_cast<std::uint64_t>(losses_set.size()) * 8;
+      result.comm.client_edge_bytes +=
+          static_cast<std::uint64_t>(losses_set.size()) *
+              static_cast<std::uint64_t>(n0) *
+              (sim::payload_bytes(d, 0) + 8);
 
-    // Ascent step (Eq. 7): v_e = (N_E/m_E) f_e on sampled edges, else 0.
-    const scalar_t scale_v = static_cast<scalar_t>(num_edges) /
-                             static_cast<scalar_t>(losses_set.size());
-    const scalar_t step = opts.eta_p * static_cast<scalar_t>(opts.tau1) *
-                          static_cast<scalar_t>(opts.tau2);
-    for (const index_t e : losses_set) {
-      result.p[static_cast<std::size_t>(e)] +=
-          step * scale_v * edge_losses[static_cast<std::size_t>(e)];
+      // Ascent step (Eq. 7): v_e = (N_E/m_E) f_e on delivered edges, else
+      // 0, with m_E renormalized to the delivered count.
+      if (num_loss_edges > 0) {
+        const scalar_t scale_v = static_cast<scalar_t>(num_edges) /
+                                 static_cast<scalar_t>(num_loss_edges);
+        const scalar_t step = opts.eta_p * static_cast<scalar_t>(opts.tau1) *
+                              static_cast<scalar_t>(opts.tau2);
+        for (std::size_t j = 0; j < losses_set.size(); ++j) {
+          if (!edge_ok[j]) continue;
+          const index_t e = losses_set[j];
+          result.p[static_cast<std::size_t>(e)] +=
+              step * scale_v * edge_losses[static_cast<std::size_t>(e)];
+        }
+        project_capped_simplex(result.p, opts.p_set);
+      }
     }
-    project_capped_simplex(result.p, opts.p_set);
 
     detail::update_running_average(result.w_avg, result.w, k);
     detail::update_running_average(result.p_avg, result.p, k);

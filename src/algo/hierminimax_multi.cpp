@@ -28,6 +28,11 @@ struct SubtreeRunner {
   rng::Xoshiro256 round_gen;           // per-round base stream
   index_t checkpoint_iter = 0;         // in [1, prod(taus)]
   MultiCommStats* comm = nullptr;
+  // Fault model: faults bite at the leaf link (innermost aggregation) and
+  // the cloud-area link (handled by the caller); interior servers are
+  // assumed reliable. `round` indexes the plan's per-round draws.
+  const sim::FaultPlan* plan = nullptr;
+  index_t round = 0;
 
   std::vector<std::vector<scalar_t>>* leaf_w = nullptr;
   std::vector<std::vector<scalar_t>>* leaf_ckpt = nullptr;
@@ -81,9 +86,33 @@ struct SubtreeRunner {
           run(level + 1, node * fanout + c, cw, block_base);
         }
       }
-      tensor::set_zero(w);
-      for (const auto& cw : child_w) {
-        tensor::axpy(scalar_t{1} / static_cast<scalar_t>(fanout), cw, w);
+      if (!plan || !plan->enabled() || level + 1 != topo.depth()) {
+        tensor::set_zero(w);
+        for (const auto& cw : child_w) {
+          tensor::axpy(scalar_t{1} / static_cast<scalar_t>(fanout), cw, w);
+        }
+      } else {
+        // Innermost aggregation under faults: average whichever leaf
+        // reports arrived; a node with zero survivors keeps its model.
+        std::vector<index_t> surv;
+        for (index_t c = 0; c < fanout; ++c) {
+          const index_t leaf = node * fanout + c;
+          if (plan->client_crashed(round, leaf)) continue;  // never sent
+          if (plan->client_dropped(round, leaf)) {
+            comm->leaf_fault.note_lost_report();
+            continue;
+          }
+          comm->leaf_fault.note_delivered();
+          comm->leaf_fault.note_straggle(plan->straggler_mult(round, leaf));
+          surv.push_back(c);
+        }
+        if (!surv.empty()) {
+          tensor::set_zero(w);
+          for (const index_t c : surv) {
+            tensor::axpy(scalar_t{1} / static_cast<scalar_t>(surv.size()),
+                         child_w[static_cast<std::size_t>(c)], w);
+          }
+        }
       }
       auto& lc = comm->levels[static_cast<std::size_t>(level)];
       lc.rounds += 1;
@@ -93,6 +122,9 @@ struct SubtreeRunner {
   }
 
   void run_leaf(index_t leaf, nn::VecView w, index_t base_iter) {
+    // Crashed hardware computes nothing this round. (Dropped leaves still
+    // compute — only their report is lost at the aggregation.)
+    if (plan && plan->client_crashed(round, leaf)) return;
     const index_t steps = opts.taus.back();
     LocalSgdConfig cfg;
     cfg.steps = steps;
@@ -140,6 +172,7 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
       [](index_t a, index_t b) { return a * b; });
 
   rng::Xoshiro256 root(opts.seed);
+  const sim::FaultPlan plan(opts.fault);
 
   MultiTrainResult result;
   result.w.assign(static_cast<std::size_t>(d), 0);
@@ -149,6 +182,8 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
   }
   result.p = detail::uniform_weights(num_areas);
   result.comm.levels.resize(static_cast<std::size_t>(topo.depth()));
+  detail::StaleStore stale;
+  if (plan.enabled()) stale.init(num_areas);
 
   std::vector<std::vector<scalar_t>> leaf_w(
       static_cast<std::size_t>(topo.num_leaves()),
@@ -176,6 +211,8 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
       flat.client_edge_models_up += result.comm.levels[l].models_up;
       flat.client_edge_models_down += result.comm.levels[l].models_down;
     }
+    flat.client_edge_fault = result.comm.leaf_fault;
+    flat.edge_cloud_fault = result.comm.top_fault;
     return flat;
   };
   detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
@@ -196,96 +233,191 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
     std::fill(leaf_has_ckpt.begin(), leaf_has_ckpt.end(), char{0});
     SubtreeRunner runner{model,   fed,     topo,    opts,
                          pool,    round_gen, checkpoint_iter,
-                         &result.comm, &leaf_w, &leaf_ckpt, &scratch,
-                         &leaf_has_ckpt};
+                         &result.comm, &plan, k,
+                         &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt};
 
     auto& top = result.comm.levels[0];
     for (const index_t area : parts.ids) {
       auto& aw = area_w[static_cast<std::size_t>(area)];
-      tensor::copy(result.w, aw);
-      runner.run(/*level=*/1, area, aw, /*base_iter=*/0);
+      // A crashed area server takes its whole subtree offline: nothing
+      // computes and nothing is uploaded (the area's model stays stale).
+      if (!plan.edge_crashed(k, area)) {
+        tensor::copy(result.w, aw);
+        runner.run(/*level=*/1, area, aw, /*base_iter=*/0);
+      }
       top.models_down += 1;
       top.models_up += 2;  // final model + checkpoint aggregate
     }
     top.rounds += 1;
 
-    detail::weighted_average(area_w, parts, result.w);
-    tensor::project_l2_ball(result.w, opts.w_radius);
+    bool aggregated = true;
+    std::vector<char> delivered(parts.ids.size(), 1);
+    if (!plan.enabled()) {
+      detail::weighted_average(area_w, parts, result.w);
+      tensor::project_l2_ball(result.w, opts.w_radius);
+    } else {
+      for (std::size_t pi = 0; pi < parts.ids.size(); ++pi) {
+        const index_t area = parts.ids[pi];
+        delivered[pi] = 0;
+        if (plan.edge_crashed(k, area)) continue;
+        if (plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, area),
+                         result.comm.top_fault)) {
+          delivered[pi] = 1;
+        }
+      }
+      aggregated = detail::degraded_weighted_average(
+          area_w, parts, delivered, opts.on_fault, opts.stale_decay, k,
+          stale, result.w, result.w);
+      if (aggregated) tensor::project_l2_ball(result.w, opts.w_radius);
+    }
 
     // Aggregate the checkpoint: average over the leaves that captured it
     // (exactly the leaves of the sampled areas), weighted by area
-    // multiplicity — the L-level analogue of Eqs. (6).
-    tensor::set_zero(nn::VecView(checkpoint));
-    scalar_t ckpt_weight = 0;
-    for (std::size_t pi = 0; pi < parts.ids.size(); ++pi) {
-      const index_t area = parts.ids[pi];
-      const auto mult = static_cast<scalar_t>(parts.multiplicity[pi]);
-      const index_t first = topo.first_leaf_of(1, area);
-      for (index_t leaf = first; leaf < first + topo.leaves_per_area();
-           ++leaf) {
-        if (!leaf_has_ckpt[static_cast<std::size_t>(leaf)]) continue;
-        tensor::axpy(mult, leaf_ckpt[static_cast<std::size_t>(leaf)],
-                     nn::VecView(checkpoint));
-        ckpt_weight += mult;
+    // multiplicity — the L-level analogue of Eqs. (6). Under faults only
+    // delivered areas contribute, and only their reporting leaves; when
+    // no surviving leaf holds a checkpoint, fall back to the aggregate.
+    if (aggregated) {
+      tensor::set_zero(nn::VecView(checkpoint));
+      scalar_t ckpt_weight = 0;
+      for (std::size_t pi = 0; pi < parts.ids.size(); ++pi) {
+        if (!delivered[pi]) continue;
+        const index_t area = parts.ids[pi];
+        const auto mult = static_cast<scalar_t>(parts.multiplicity[pi]);
+        const index_t first = topo.first_leaf_of(1, area);
+        for (index_t leaf = first; leaf < first + topo.leaves_per_area();
+             ++leaf) {
+          if (!leaf_has_ckpt[static_cast<std::size_t>(leaf)]) continue;
+          if (plan.enabled() && !plan.client_reports(k, leaf)) continue;
+          tensor::axpy(mult, leaf_ckpt[static_cast<std::size_t>(leaf)],
+                       nn::VecView(checkpoint));
+          ckpt_weight += mult;
+        }
+      }
+      if (plan.enabled() && ckpt_weight <= 0) {
+        tensor::copy(result.w, checkpoint);
+      } else {
+        HM_CHECK_MSG(ckpt_weight > 0, "no leaf captured the checkpoint");
+        tensor::scale(1 / ckpt_weight, nn::VecView(checkpoint));
       }
     }
-    HM_CHECK_MSG(ckpt_weight > 0, "no leaf captured the checkpoint");
-    tensor::scale(1 / ckpt_weight, nn::VecView(checkpoint));
 
     // --- Phase 2: uniform area sample, loss estimation at the checkpoint.
-    rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
-    const auto loss_areas =
-        rng::sample_without_replacement(num_areas, m, uniform_gen);
-    std::fill(area_losses.begin(), area_losses.end(), scalar_t{0});
-    const index_t lpa = topo.leaves_per_area();
-    const index_t loss_jobs = static_cast<index_t>(loss_areas.size()) * lpa;
-    std::vector<scalar_t> leaf_losses(static_cast<std::size_t>(loss_jobs));
-    parallel::parallel_for(
-        pool, 0, loss_jobs,
-        [&](index_t job) {
-          const index_t area = loss_areas[static_cast<std::size_t>(job / lpa)];
-          const index_t leaf = topo.first_leaf_of(1, area) + job % lpa;
-          auto& sc = scratch[static_cast<std::size_t>(leaf)];
-          sc.ensure(model);
-          const data::Dataset& shard =
-              fed.client_train[static_cast<std::size_t>(leaf)];
-          rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                    .split(static_cast<std::uint64_t>(leaf));
-          std::vector<index_t> batch;
-          if (opts.loss_est_batch > 0) {
-            batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-            for (auto& idx : batch) {
-              idx = static_cast<index_t>(gen.uniform_index(
-                  static_cast<std::uint64_t>(shard.size())));
+    // A skipped Phase 1 also skips the ascent (no fresh checkpoint).
+    if (aggregated) {
+      rng::Xoshiro256 uniform_gen =
+          round_gen.split(detail::kTagSampleUniform);
+      const auto loss_areas =
+          rng::sample_without_replacement(num_areas, m, uniform_gen);
+      std::fill(area_losses.begin(), area_losses.end(), scalar_t{0});
+      const index_t lpa = topo.leaves_per_area();
+      const index_t loss_jobs = static_cast<index_t>(loss_areas.size()) * lpa;
+      std::vector<scalar_t> leaf_losses(static_cast<std::size_t>(loss_jobs));
+      // Loss reports ride the same faulty links as models: leaf reports
+      // can be lost on the leaf link, the per-area mean is over whichever
+      // leaves reported, and the area's scalar can be lost on the cloud
+      // link. Areas with nothing to report leave v = 0.
+      std::vector<char> area_ok(loss_areas.size(), 1);
+      std::vector<char> leaf_ok(static_cast<std::size_t>(loss_jobs), 1);
+      std::vector<index_t> area_nsurv(loss_areas.size(), lpa);
+      std::uint64_t num_loss_areas =
+          static_cast<std::uint64_t>(loss_areas.size());
+      if (plan.enabled()) {
+        for (std::size_t j = 0; j < loss_areas.size(); ++j) {
+          const index_t area = loss_areas[j];
+          if (plan.edge_crashed(k, area)) {
+            area_ok[j] = 0;
+            area_nsurv[j] = 0;
+            for (index_t i = 0; i < lpa; ++i) {
+              leaf_ok[j * static_cast<std::size_t>(lpa) +
+                      static_cast<std::size_t>(i)] = 0;
             }
-          } else {
-            batch = nn::all_indices(shard.size());
+            num_loss_areas -= 1;
+            continue;
           }
-          leaf_losses[static_cast<std::size_t>(job)] =
-              model.loss(checkpoint, shard, batch, *sc.ws);
-        },
-        /*grain=*/1);
-    for (index_t j = 0; j < static_cast<index_t>(loss_areas.size()); ++j) {
-      scalar_t f = 0;
-      for (index_t i = 0; i < lpa; ++i) {
-        f += leaf_losses[static_cast<std::size_t>(j * lpa + i)];
+          index_t nsurv = 0;
+          const index_t first = topo.first_leaf_of(1, area);
+          for (index_t i = 0; i < lpa; ++i) {
+            const index_t leaf = first + i;
+            const std::size_t job =
+                j * static_cast<std::size_t>(lpa) +
+                static_cast<std::size_t>(i);
+            if (plan.client_crashed(k, leaf)) {
+              leaf_ok[job] = 0;
+              continue;
+            }
+            if (plan.client_dropped(k, leaf)) {
+              result.comm.leaf_fault.note_lost_report();
+              leaf_ok[job] = 0;
+              continue;
+            }
+            result.comm.leaf_fault.note_delivered();
+            result.comm.leaf_fault.note_straggle(
+                plan.straggler_mult(k, leaf));
+            nsurv += 1;
+          }
+          area_nsurv[j] = nsurv;
+          if (nsurv == 0 ||
+              !plan.deliver(k, sim::fault_msg(sim::kMsgLossUp, area),
+                            result.comm.top_fault)) {
+            area_ok[j] = 0;
+            num_loss_areas -= 1;
+          }
+        }
       }
-      area_losses[static_cast<std::size_t>(
-          loss_areas[static_cast<std::size_t>(j)])] =
-          f / static_cast<scalar_t>(lpa);
-    }
-    top.rounds += 1;
-    top.models_down += static_cast<std::uint64_t>(loss_areas.size());
+      parallel::parallel_for(
+          pool, 0, loss_jobs,
+          [&](index_t job) {
+            if (!leaf_ok[static_cast<std::size_t>(job)]) return;
+            const index_t area =
+                loss_areas[static_cast<std::size_t>(job / lpa)];
+            const index_t leaf = topo.first_leaf_of(1, area) + job % lpa;
+            auto& sc = scratch[static_cast<std::size_t>(leaf)];
+            sc.ensure(model);
+            const data::Dataset& shard =
+                fed.client_train[static_cast<std::size_t>(leaf)];
+            rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                      .split(static_cast<std::uint64_t>(leaf));
+            std::vector<index_t> batch;
+            if (opts.loss_est_batch > 0) {
+              batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+              for (auto& idx : batch) {
+                idx = static_cast<index_t>(gen.uniform_index(
+                    static_cast<std::uint64_t>(shard.size())));
+              }
+            } else {
+              batch = nn::all_indices(shard.size());
+            }
+            leaf_losses[static_cast<std::size_t>(job)] =
+                model.loss(checkpoint, shard, batch, *sc.ws);
+          },
+          /*grain=*/1);
+      for (index_t j = 0; j < static_cast<index_t>(loss_areas.size()); ++j) {
+        if (!area_ok[static_cast<std::size_t>(j)]) continue;
+        scalar_t f = 0;
+        for (index_t i = 0; i < lpa; ++i) {
+          f += leaf_losses[static_cast<std::size_t>(j * lpa + i)];
+        }
+        area_losses[static_cast<std::size_t>(
+            loss_areas[static_cast<std::size_t>(j)])] =
+            f / static_cast<scalar_t>(area_nsurv[static_cast<std::size_t>(j)]);
+      }
+      top.rounds += 1;
+      top.models_down += static_cast<std::uint64_t>(loss_areas.size());
 
-    const scalar_t scale_v = static_cast<scalar_t>(num_areas) /
-                             static_cast<scalar_t>(loss_areas.size());
-    const scalar_t step =
-        opts.eta_p * static_cast<scalar_t>(iters_per_round);
-    for (const index_t area : loss_areas) {
-      result.p[static_cast<std::size_t>(area)] +=
-          step * scale_v * area_losses[static_cast<std::size_t>(area)];
+      if (num_loss_areas > 0) {
+        const scalar_t scale_v = static_cast<scalar_t>(num_areas) /
+                                 static_cast<scalar_t>(num_loss_areas);
+        const scalar_t step =
+            opts.eta_p * static_cast<scalar_t>(iters_per_round);
+        for (std::size_t j = 0; j < loss_areas.size(); ++j) {
+          if (!area_ok[j]) continue;
+          const index_t area = loss_areas[j];
+          result.p[static_cast<std::size_t>(area)] +=
+              step * scale_v * area_losses[static_cast<std::size_t>(area)];
+        }
+        project_capped_simplex(result.p, opts.p_set);
+      }
     }
-    project_capped_simplex(result.p, opts.p_set);
 
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, comm_snapshot(),
@@ -320,6 +452,7 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
   const index_t d = model.num_params();
 
   rng::Xoshiro256 root(opts.seed);
+  const sim::FaultPlan plan(opts.fault);
 
   MultiTrainResult result;
   result.w.assign(static_cast<std::size_t>(d), 0);
@@ -329,6 +462,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
   }
   result.p = detail::uniform_weights(num_areas);  // fixed
   result.comm.levels.resize(static_cast<std::size_t>(topo.depth()));
+  detail::StaleStore stale;
+  if (plan.enabled()) stale.init(num_areas);
 
   std::vector<std::vector<scalar_t>> leaf_w(
       static_cast<std::size_t>(topo.num_leaves()),
@@ -352,6 +487,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
       flat.client_edge_models_up += result.comm.levels[l].models_up;
       flat.client_edge_models_down += result.comm.levels[l].models_down;
     }
+    flat.client_edge_fault = result.comm.leaf_fault;
+    flat.edge_cloud_fault = result.comm.top_fault;
     return flat;
   };
   detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
@@ -365,20 +502,39 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
 
     SubtreeRunner runner{model, fed,       topo,
                          opts,  pool,      round_gen,
-                         /*checkpoint_iter=*/0, &result.comm,
+                         /*checkpoint_iter=*/0, &result.comm, &plan, k,
                          &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt};
     auto& top = result.comm.levels[0];
     for (const index_t area : areas) {
       auto& aw = area_w[static_cast<std::size_t>(area)];
-      tensor::copy(result.w, aw);
-      runner.run(/*level=*/1, area, aw, /*base_iter=*/0);
+      if (!plan.edge_crashed(k, area)) {
+        tensor::copy(result.w, aw);
+        runner.run(/*level=*/1, area, aw, /*base_iter=*/0);
+      }
       top.models_down += 1;
       top.models_up += 1;
     }
     top.rounds += 1;
 
-    detail::uniform_average(area_w, areas, result.w);
-    tensor::project_l2_ball(result.w, opts.w_radius);
+    if (!plan.enabled()) {
+      detail::uniform_average(area_w, areas, result.w);
+      tensor::project_l2_ball(result.w, opts.w_radius);
+    } else {
+      std::vector<char> delivered(areas.size(), 0);
+      for (std::size_t j = 0; j < areas.size(); ++j) {
+        const index_t area = areas[j];
+        if (plan.edge_crashed(k, area)) continue;
+        if (plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, area),
+                         result.comm.top_fault)) {
+          delivered[j] = 1;
+        }
+      }
+      if (detail::degraded_uniform_average(area_w, areas, delivered,
+                                           opts.on_fault, opts.stale_decay,
+                                           k, stale, result.w, result.w)) {
+        tensor::project_l2_ball(result.w, opts.w_radius);
+      }
+    }
 
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, comm_snapshot(),

@@ -37,6 +37,13 @@ struct MultiTrainOptions {
   seed_t seed = 1;
   index_t eval_every = 10;
   index_t loss_est_batch = 32;
+
+  // Fault injection (see TrainOptions): leaf-level dropout/crash/straggle
+  // plus cloud-area link loss and area (edge_crash_round) crashes.
+  // Interior aggregation servers are assumed reliable.
+  sim::FaultSpec fault;
+  OnFault on_fault = OnFault::kRenormalize;
+  scalar_t stale_decay = 0.5;
 };
 
 /// Per-link-level communication meter (level 0 = cloud-area link).
@@ -47,6 +54,12 @@ struct MultiCommStats {
     std::uint64_t models_down = 0;
   };
   std::vector<Level> levels;
+
+  // Fault delivery accounting: leaf reports (innermost link) and area
+  // uplinks (cloud link). Mapped onto client_edge/edge_cloud in the flat
+  // CommStats snapshots History records.
+  sim::LinkFaultStats leaf_fault;
+  sim::LinkFaultStats top_fault;
 
   std::uint64_t total_rounds() const {
     std::uint64_t total = 0;

@@ -7,8 +7,26 @@
 #include "algo/projection.hpp"
 #include "metrics/history.hpp"
 #include "sim/comm.hpp"
+#include "sim/fault.hpp"
 
 namespace hm::algo {
+
+/// Degradation policy when a sampled participant (client or edge) fails
+/// to report its update for a round (sim/fault.hpp).
+enum class OnFault {
+  /// Drop the casualties and renormalize the surviving participants'
+  /// aggregation weights to sum to 1 (the FedAvg-style default).
+  kRenormalize,
+  /// Substitute each casualty's last delivered update, geometrically
+  /// decayed toward the broadcast model by its staleness:
+  /// contribution = decay^age * stale + (1 - decay^age) * broadcast.
+  /// A participant that never delivered contributes the broadcast model.
+  kReuseStale,
+  /// Abandon the round's aggregation entirely: the global model and the
+  /// minimax weights stay unchanged (traffic is still charged — the
+  /// failure is discovered mid-round).
+  kSkipRound,
+};
 
 struct TrainOptions {
   index_t rounds = 100;          // K — cloud-level training rounds
@@ -35,6 +53,16 @@ struct TrainOptions {
                                  // false, Phase 2 estimates losses on the
                                  // final round model w^(k+1) instead of the
                                  // random checkpoint of Eq. (6)
+
+  // Fault injection (sim/fault.hpp). The default spec is disabled and the
+  // trainers take their fault-free path bit-identically; an enabled spec
+  // with zero probabilities is also bit-identical to the fault-free path
+  // in model outputs (only delivery counters differ).
+  sim::FaultSpec fault;
+  OnFault on_fault = OnFault::kRenormalize;
+  scalar_t stale_decay = 0.5;    // kReuseStale: per-round-of-age decay of a
+                                 // casualty's stale update toward the
+                                 // broadcast model, in [0, 1]
 };
 
 struct TrainResult {

@@ -82,6 +82,135 @@ void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
       out);
 }
 
+namespace {
+
+/// decay^age by repeated multiplication — no libm pow, so the result is
+/// bit-identical across platforms like everything else in the trainers.
+scalar_t decay_pow(scalar_t decay, index_t age) {
+  scalar_t df = 1;
+  for (index_t i = 0; i < age; ++i) df *= decay;
+  return df;
+}
+
+/// Materialize a casualty's substitute vector into `buf`:
+/// decay^age * stale + (1 - decay^age) * fallback, or a plain copy of
+/// `fallback` when no stale update exists.
+void make_blend(const StaleStore& stale, index_t id, scalar_t stale_decay,
+                index_t round, const std::vector<scalar_t>& fallback,
+                std::vector<scalar_t>& buf) {
+  buf.resize(fallback.size());
+  if (!stale.has(id)) {
+    tensor::copy(fallback, buf);
+    return;
+  }
+  const index_t age = round - stale.last_round[static_cast<std::size_t>(id)];
+  const scalar_t df = decay_pow(stale_decay, age);
+  tensor::axpby(df, stale.models[static_cast<std::size_t>(id)], scalar_t{0},
+                buf);
+  tensor::axpy(scalar_t{1} - df, fallback, buf);
+}
+
+}  // namespace
+
+bool degraded_weighted_average(
+    const std::vector<std::vector<scalar_t>>& vectors,
+    const Participants& parts, const std::vector<char>& delivered,
+    OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out) {
+  HM_CHECK(delivered.size() == parts.ids.size());
+  bool all_delivered = true;
+  for (const char c : delivered) all_delivered = all_delivered && c != 0;
+
+  if (all_delivered) {
+    // Empty surviving set (e.g. Participants::from_draws on zero draws):
+    // there is nothing to aggregate — every policy skips the round.
+    if (parts.ids.empty()) return false;
+    weighted_average(vectors, parts, out);
+    if (policy == OnFault::kReuseStale) {
+      for (const index_t id : parts.ids) {
+        stale.deliver(id, vectors[static_cast<std::size_t>(id)], round);
+      }
+    }
+    return true;
+  }
+
+  if (policy == OnFault::kSkipRound) return false;
+
+  if (policy == OnFault::kRenormalize) {
+    Participants survivors;
+    for (std::size_t i = 0; i < parts.ids.size(); ++i) {
+      if (!delivered[i]) continue;
+      survivors.ids.push_back(parts.ids[i]);
+      survivors.multiplicity.push_back(parts.multiplicity[i]);
+      survivors.total += parts.multiplicity[i];
+    }
+    if (survivors.ids.empty()) return false;  // skip-round fallback
+    weighted_average(vectors, survivors, out);
+    return true;
+  }
+
+  // kReuseStale: original weights, casualties replaced by their blends.
+  // All blends are materialized before the accumulation writes `out`, so
+  // `fallback` may alias `out`.
+  const scalar_t inv_total =
+      scalar_t{1} / static_cast<scalar_t>(parts.total);
+  if (stale.blend.size() < parts.ids.size()) {
+    stale.blend.resize(parts.ids.size());
+  }
+  std::vector<scalar_t> ws(parts.ids.size());
+  std::vector<const std::vector<scalar_t>*> srcs(parts.ids.size());
+  for (std::size_t i = 0; i < parts.ids.size(); ++i) {
+    const index_t id = parts.ids[i];
+    ws[i] = static_cast<scalar_t>(parts.multiplicity[i]) * inv_total;
+    if (delivered[i]) {
+      srcs[i] = &vectors[static_cast<std::size_t>(id)];
+    } else {
+      make_blend(stale, id, stale_decay, round, fallback, stale.blend[i]);
+      srcs[i] = &stale.blend[i];
+    }
+  }
+  accumulate_weighted(
+      srcs.size(), [&](std::size_t i) { return ws[i]; },
+      [&](std::size_t i) -> const std::vector<scalar_t>& { return *srcs[i]; },
+      out);
+  for (std::size_t i = 0; i < parts.ids.size(); ++i) {
+    if (delivered[i]) {
+      stale.deliver(parts.ids[i],
+                    vectors[static_cast<std::size_t>(parts.ids[i])], round);
+    }
+  }
+  return true;
+}
+
+bool degraded_uniform_average(
+    const std::vector<std::vector<scalar_t>>& vectors,
+    const std::vector<index_t>& ids, const std::vector<char>& delivered,
+    OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out) {
+  HM_CHECK(delivered.size() == ids.size());
+  bool all_delivered = true;
+  for (const char c : delivered) all_delivered = all_delivered && c != 0;
+  if (all_delivered) {
+    if (ids.empty()) return false;
+    uniform_average(vectors, ids, out);
+    if (policy == OnFault::kReuseStale) {
+      for (const index_t id : ids) {
+        stale.deliver(id, vectors[static_cast<std::size_t>(id)], round);
+      }
+    }
+    return true;
+  }
+  // Multiplicity-1 weighted aggregation computes the same 1/n weights in
+  // the same accumulation order, so delegating keeps the partial-failure
+  // policies in one place.
+  Participants p;
+  p.ids = ids;
+  p.multiplicity.assign(ids.size(), 1);
+  p.total = static_cast<index_t>(ids.size());
+  return degraded_weighted_average(vectors, p, delivered, policy,
+                                   stale_decay, round, stale, fallback, out);
+}
+
 void update_running_average(std::vector<scalar_t>& avg,
                             const std::vector<scalar_t>& value, index_t k) {
   HM_CHECK(avg.size() == value.size() && k >= 0);

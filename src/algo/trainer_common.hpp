@@ -44,6 +44,57 @@ void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
                      const std::vector<index_t>& ids,
                      std::vector<scalar_t>& out);
 
+/// Last delivered update per potential participant, for OnFault::
+/// kReuseStale. `last_round[id] < 0` means the participant never
+/// delivered; a casualty's staleness at round k is k - last_round[id].
+struct StaleStore {
+  std::vector<std::vector<scalar_t>> models;
+  std::vector<index_t> last_round;
+  // Scratch for the blended substitute vectors, sized on demand. Blends
+  // are materialized before the accumulation touches `out`, so the
+  // fallback vector may alias the output (trainers pass result.w as
+  // both).
+  std::vector<std::vector<scalar_t>> blend;
+
+  void init(index_t n) {
+    models.assign(static_cast<std::size_t>(n), {});
+    last_round.assign(static_cast<std::size_t>(n), -1);
+  }
+  bool has(index_t id) const {
+    return last_round[static_cast<std::size_t>(id)] >= 0;
+  }
+  void deliver(index_t id, const std::vector<scalar_t>& m, index_t round) {
+    models[static_cast<std::size_t>(id)] = m;
+    last_round[static_cast<std::size_t>(id)] = round;
+  }
+};
+
+/// Weighted aggregation of `vectors[parts.ids[i]]` under failures.
+/// `delivered[i]` (aligned with parts.ids) flags survivors. Policies:
+///   kRenormalize — survivors only, multiplicities renormalized to the
+///                  surviving total (stays on the simplex);
+///   kReuseStale  — original weights; casualties contribute
+///                  decay^age * stale + (1 - decay^age) * fallback, and
+///                  survivors refresh `stale`;
+///   kSkipRound   — any failure abandons the aggregation.
+/// Returns false when the aggregation is skipped (kSkipRound with a
+/// failure, or no survivor carries weight under kRenormalize); `out` is
+/// untouched then. With all participants delivered this is bit-identical
+/// to weighted_average for every policy. `fallback` may alias `out`.
+bool degraded_weighted_average(
+    const std::vector<std::vector<scalar_t>>& vectors,
+    const Participants& parts, const std::vector<char>& delivered,
+    OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out);
+
+/// Uniform-weight variant over `ids` (multiplicity 1 each); otherwise
+/// identical semantics to degraded_weighted_average.
+bool degraded_uniform_average(
+    const std::vector<std::vector<scalar_t>>& vectors,
+    const std::vector<index_t>& ids, const std::vector<char>& delivered,
+    OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out);
+
 /// avg <- (avg * k + value) / (k + 1); k is the number of points already
 /// folded into avg.
 void update_running_average(std::vector<scalar_t>& avg,

@@ -58,14 +58,17 @@ void save_history_csv(const std::string& path,
   HM_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
   out << "round,total_rounds,client_edge_rounds,edge_cloud_rounds,"
          "edge_cloud_models,client_edge_bytes,edge_cloud_bytes,"
+         "msgs_delivered,msgs_dropped,msgs_straggled,"
          "avg_acc,worst_acc,variance_pct2,loss\n";
   for (const auto& r : history.records()) {
     out << r.round << ',' << r.comm.total_rounds() << ','
         << r.comm.client_edge_rounds << ',' << r.comm.edge_cloud_rounds
         << ',' << r.comm.edge_cloud_models() << ','
         << r.comm.client_edge_bytes << ',' << r.comm.edge_cloud_bytes << ','
-        << r.summary.average << ',' << r.summary.worst << ','
-        << r.summary.variance_pct2 << ',' << r.global_loss << '\n';
+        << r.comm.msgs_delivered() << ',' << r.comm.msgs_dropped() << ','
+        << r.comm.msgs_straggled() << ',' << r.summary.average << ','
+        << r.summary.worst << ',' << r.summary.variance_pct2 << ','
+        << r.global_loss << '\n';
   }
   HM_CHECK_MSG(out.good(), "write to '" << path << "' failed");
 }

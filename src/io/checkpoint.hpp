@@ -24,8 +24,8 @@ std::vector<scalar_t> load_vector(const std::string& path);
 
 /// Write a TrainingHistory as a CSV with a header row. Columns: round,
 /// total_rounds, client_edge_rounds, edge_cloud_rounds, edge_cloud_models,
-/// client_edge_bytes, edge_cloud_bytes, avg_acc, worst_acc, variance_pct2,
-/// loss.
+/// client_edge_bytes, edge_cloud_bytes, msgs_delivered, msgs_dropped,
+/// msgs_straggled, avg_acc, worst_acc, variance_pct2, loss.
 void save_history_csv(const std::string& path,
                       const metrics::TrainingHistory& history);
 

@@ -77,8 +77,10 @@ void TrainingHistory::write_tsv(std::ostream& os,
   for (const auto& r : records_) {
     os << label << '\t' << r.round << '\t' << r.comm.total_rounds() << '\t'
        << r.comm.client_edge_rounds << '\t' << r.comm.edge_cloud_rounds
-       << '\t' << r.comm.edge_cloud_models() << '\t' << r.summary.average
-       << '\t' << r.summary.worst << '\t' << r.summary.variance_pct2 << '\t'
+       << '\t' << r.comm.edge_cloud_models() << '\t'
+       << r.comm.msgs_delivered() << '\t' << r.comm.msgs_dropped() << '\t'
+       << r.comm.msgs_straggled() << '\t' << r.summary.average << '\t'
+       << r.summary.worst << '\t' << r.summary.variance_pct2 << '\t'
        << r.global_loss << '\n';
   }
 }

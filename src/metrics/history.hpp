@@ -67,8 +67,10 @@ class TrainingHistory {
   /// snapshot alone.
   AccuracySummary tail_summary(index_t window) const;
 
-  /// TSV dump: one line per record with round, comm counters, avg/worst/
-  /// variance. `label` becomes the first column (method name).
+  /// TSV dump: one line per record with round, comm counters, the fault
+  /// delivery roll-ups (delivered/dropped/straggled, all zero without a
+  /// FaultPlan), avg/worst/variance. `label` becomes the first column
+  /// (method name).
   void write_tsv(std::ostream& os, const std::string& label) const;
 
  private:

@@ -25,6 +25,25 @@ class ClusterSim {
     parallel::parallel_for(*pool_, 0, count, job, /*grain=*/1);
   }
 
+  /// Fault-aware variant: devices that `plan` marks as crashed at `round`
+  /// never run their job (a crashed device computes nothing). Dropped and
+  /// straggling devices still compute — their failures happen at report
+  /// time and are the algorithm layer's concern.
+  void run_devices(index_t count, const FaultPlan& plan, index_t round,
+                   const std::function<void(index_t)>& job) const {
+    if (!plan.enabled()) {
+      run_devices(count, job);
+      return;
+    }
+    parallel::parallel_for(
+        *pool_, 0, count,
+        [&](index_t i) {
+          if (plan.client_crashed(round, i)) return;
+          job(i);
+        },
+        /*grain=*/1);
+  }
+
  private:
   parallel::ThreadPool* pool_;
 };

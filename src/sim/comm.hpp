@@ -19,6 +19,60 @@
 
 namespace hm::sim {
 
+/// Delivery accounting for one link under fault injection (sim/fault.hpp).
+/// One "attempt" is one wire transmission of a payload; a logical message
+/// may take several attempts (bounded retries). Every attempt ends in
+/// exactly one of three states, so
+///     attempted == delivered + dropped + in_retry
+/// holds at all times — the conservation law test_sim pins down.
+struct LinkFaultStats {
+  std::uint64_t attempted = 0;   // wire attempts (first sends + retries)
+  std::uint64_t delivered = 0;   // attempts that arrived
+  std::uint64_t dropped = 0;     // final losses (report lost, budget spent)
+  std::uint64_t in_retry = 0;    // non-final losses (a retry follows)
+  std::uint64_t straggled = 0;   // delivered attempts that arrived late
+  // Extra round-trip equivalents owed to faults: exactly 1 per retry
+  // attempt plus (mult - 1) per straggled report. The latency model
+  // (sim/latency.hpp) charges this once — retries never also inflate the
+  // per-round latency term, so nothing is double-charged.
+  double extra_rtts = 0;
+
+  /// A report that was never transmitted successfully and is not retried
+  /// (client dropout: the device went silent mid-round).
+  void note_lost_report() {
+    attempted += 1;
+    dropped += 1;
+  }
+
+  /// A report that arrived on the first attempt on a loss-free link
+  /// (client-edge reports are local and never retried).
+  void note_delivered() {
+    attempted += 1;
+    delivered += 1;
+  }
+
+  /// A delivered report that arrived `mult`x late (straggler).
+  void note_straggle(double mult) {
+    if (mult > 1) {
+      straggled += 1;
+      extra_rtts += mult - 1;
+    }
+  }
+
+  /// Logical messages with a final outcome.
+  std::uint64_t messages() const { return delivered + dropped; }
+
+  LinkFaultStats& operator+=(const LinkFaultStats& o) {
+    attempted += o.attempted;
+    delivered += o.delivered;
+    dropped += o.dropped;
+    in_retry += o.in_retry;
+    straggled += o.straggled;
+    extra_rtts += o.extra_rtts;
+    return *this;
+  }
+};
+
 struct CommStats {
   // Aggregation/synchronization events per link.
   std::uint64_t client_edge_rounds = 0;
@@ -39,6 +93,13 @@ struct CommStats {
   std::uint64_t client_edge_bytes = 0;
   std::uint64_t edge_cloud_bytes = 0;
 
+  // Fault-injection delivery accounting per link (all zero when training
+  // runs without a FaultPlan). The model/byte counters above still meter
+  // *offered* traffic — a lost payload consumed the wire — while these
+  // track what actually arrived, what was lost, and what arrived late.
+  LinkFaultStats client_edge_fault;
+  LinkFaultStats edge_cloud_fault;
+
   /// Total synchronization rounds across both link levels — the x-axis
   /// used for the Fig. 3 / Fig. 4 communication comparisons.
   std::uint64_t total_rounds() const {
@@ -56,6 +117,17 @@ struct CommStats {
            edge_cloud_models();
   }
 
+  /// Fault-accounting roll-ups across both links (for History/TSV).
+  std::uint64_t msgs_delivered() const {
+    return client_edge_fault.delivered + edge_cloud_fault.delivered;
+  }
+  std::uint64_t msgs_dropped() const {
+    return client_edge_fault.dropped + edge_cloud_fault.dropped;
+  }
+  std::uint64_t msgs_straggled() const {
+    return client_edge_fault.straggled + edge_cloud_fault.straggled;
+  }
+
   CommStats& operator+=(const CommStats& o) {
     client_edge_rounds += o.client_edge_rounds;
     edge_cloud_rounds += o.edge_cloud_rounds;
@@ -67,6 +139,8 @@ struct CommStats {
     edge_cloud_scalars += o.edge_cloud_scalars;
     client_edge_bytes += o.client_edge_bytes;
     edge_cloud_bytes += o.edge_cloud_bytes;
+    client_edge_fault += o.client_edge_fault;
+    edge_cloud_fault += o.edge_cloud_fault;
     return *this;
   }
 };

@@ -1,0 +1,101 @@
+#include "sim/fault.hpp"
+
+#include "core/check.hpp"
+
+namespace hm::sim {
+
+namespace {
+
+// Stream-split tags for the fault plan's private RNG root (arbitrary
+// distinct constants, ASCII mnemonics). They never collide with the
+// algorithm layer's tags because the plan hangs off its own seed.
+inline constexpr std::uint64_t kTagDrop = 0x64726f70;      // "drop"
+inline constexpr std::uint64_t kTagStraggle = 0x73747267;  // "strg"
+inline constexpr std::uint64_t kTagLoss = 0x6c6f7365;      // "lose"
+
+/// crash_round[id] when present and nonnegative, else "never".
+bool crashed_at(const std::vector<index_t>& schedule, index_t round,
+                index_t id) {
+  if (id < 0 || id >= static_cast<index_t>(schedule.size())) return false;
+  const index_t at = schedule[static_cast<std::size_t>(id)];
+  return at >= 0 && round >= at;
+}
+
+}  // namespace
+
+void FaultSpec::validate() const {
+  HM_CHECK_MSG(client_dropout_prob >= 0 && client_dropout_prob <= 1,
+               "client_dropout_prob must be in [0,1], got "
+                   << client_dropout_prob);
+  HM_CHECK_MSG(straggler_prob >= 0 && straggler_prob <= 1,
+               "straggler_prob must be in [0,1], got " << straggler_prob);
+  HM_CHECK_MSG(straggler_mult_mean >= 1,
+               "straggler_mult_mean must be >= 1, got " << straggler_mult_mean);
+  HM_CHECK_MSG(edge_loss_prob >= 0 && edge_loss_prob <= 1,
+               "edge_loss_prob must be in [0,1], got " << edge_loss_prob);
+  HM_CHECK_MSG(max_retries >= 0,
+               "max_retries must be >= 0, got " << max_retries);
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec), root_(spec.seed) {
+  spec_.validate();
+}
+
+bool FaultPlan::client_crashed(index_t round, index_t client) const {
+  return enabled() && crashed_at(spec_.client_crash_round, round, client);
+}
+
+bool FaultPlan::edge_crashed(index_t round, index_t edge) const {
+  return enabled() && crashed_at(spec_.edge_crash_round, round, edge);
+}
+
+bool FaultPlan::client_dropped(index_t round, index_t client) const {
+  if (!enabled() || spec_.client_dropout_prob <= 0) return false;
+  rng::Xoshiro256 gen = root_.split(kTagDrop)
+                            .split(static_cast<std::uint64_t>(round))
+                            .split(static_cast<std::uint64_t>(client));
+  return gen.uniform() < spec_.client_dropout_prob;
+}
+
+double FaultPlan::straggler_mult(index_t round, index_t client) const {
+  if (!enabled() || spec_.straggler_prob <= 0) return 1.0;
+  rng::Xoshiro256 gen = root_.split(kTagStraggle)
+                            .split(static_cast<std::uint64_t>(round))
+                            .split(static_cast<std::uint64_t>(client));
+  if (gen.uniform() >= spec_.straggler_prob) return 1.0;
+  // Uniform[1, 2*mean - 1]: mean multiplier == straggler_mult_mean.
+  return 1.0 + gen.uniform() * 2.0 * (spec_.straggler_mult_mean - 1.0);
+}
+
+bool FaultPlan::attempt_lost(index_t round, std::uint64_t msg,
+                             index_t attempt) const {
+  if (!enabled() || spec_.edge_loss_prob <= 0) return false;
+  rng::Xoshiro256 gen = root_.split(kTagLoss)
+                            .split(static_cast<std::uint64_t>(round))
+                            .split(msg)
+                            .split(static_cast<std::uint64_t>(attempt));
+  return gen.uniform() < spec_.edge_loss_prob;
+}
+
+bool FaultPlan::deliver(index_t round, std::uint64_t msg,
+                        LinkFaultStats& link) const {
+  for (index_t attempt = 0; attempt <= spec_.max_retries; ++attempt) {
+    link.attempted += 1;
+    if (!attempt_lost(round, msg, attempt)) {
+      link.delivered += 1;
+      return true;
+    }
+    if (attempt < spec_.max_retries) {
+      // Non-final loss: the retransmission costs exactly one extra
+      // round-trip; the bandwidth term is not re-charged here because the
+      // byte meters count offered traffic once per payload.
+      link.in_retry += 1;
+      link.extra_rtts += 1.0;
+    } else {
+      link.dropped += 1;
+    }
+  }
+  return false;
+}
+
+}  // namespace hm::sim

@@ -1,0 +1,109 @@
+// Fault injection for the client–edge–cloud simulator: client dropout,
+// straggler delays, edge-link message loss with bounded retries, and
+// crash-at-round schedules.
+//
+// Design: a FaultPlan is a *pure function* of (seed, round, entity). Every
+// query derives its randomness from the plan's own root stream through
+// named splits (hm::rng::Xoshiro256::split does not advance the parent),
+// so queries are independent of call order and thread schedule, two runs
+// with the same seed replay bit-identically, and the plan's stream never
+// perturbs the training streams — a run with a zero-probability plan is
+// bit-identical to a run with no plan at all.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "rng/rng.hpp"
+#include "sim/comm.hpp"
+
+namespace hm::sim {
+
+/// Declarative fault model. All probabilities are per-decision (per round
+/// and entity, or per wire attempt); crash schedules are absolute round
+/// indices. The default-constructed spec is the null model: `enabled`
+/// is false and trainers take their fault-free fast path untouched.
+struct FaultSpec {
+  bool enabled = false;            // master switch; false = perfect network
+
+  // Per-(round, client) chance that the client's report for the round is
+  // lost (the device computed but went silent before uploading).
+  double client_dropout_prob = 0;
+
+  // Per-(round, client) chance the client's report arrives late, and the
+  // delay multiplier distribution: a straggler's report takes
+  // mult ~ Uniform[1, 2*straggler_mult_mean - 1] link round-trips, so the
+  // mean multiplier is straggler_mult_mean.
+  double straggler_prob = 0;
+  double straggler_mult_mean = 4.0;
+
+  // Per-attempt chance that a message on the edge-cloud (wide-area) link
+  // is lost; each loss consumes one retry from the bounded budget.
+  double edge_loss_prob = 0;
+  index_t max_retries = 2;
+
+  // crash_round[id] >= 0 crashes that entity permanently at the start of
+  // that round; missing entries / negative values = never crashes. A
+  // crashed client computes nothing and attempts no sends; a crashed edge
+  // server takes its whole client area offline.
+  std::vector<index_t> client_crash_round;
+  std::vector<index_t> edge_crash_round;
+
+  seed_t seed = 0x6661756c74;  // "fault"; independent of the training seed
+
+  /// Throws CheckError on out-of-range parameters (probabilities outside
+  /// [0, 1], multiplier mean < 1, negative retry budget).
+  void validate() const;
+};
+
+/// Compose a per-round-unique message id for deliver()/attempt_lost()
+/// from a small kind tag and an entity index.
+constexpr std::uint64_t fault_msg(std::uint64_t kind, index_t entity) {
+  return (kind << 48) | static_cast<std::uint64_t>(entity);
+}
+inline constexpr std::uint64_t kMsgModelUp = 1;  // model/checkpoint uplink
+inline constexpr std::uint64_t kMsgLossUp = 2;   // Phase-2 loss scalar
+
+class FaultPlan {
+ public:
+  /// Null plan: nothing ever fails, enabled() is false.
+  FaultPlan() = default;
+
+  /// Validates the spec and fixes the plan's random streams.
+  explicit FaultPlan(const FaultSpec& spec);
+
+  bool enabled() const { return spec_.enabled; }
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Entity is permanently down from its scheduled crash round onward.
+  bool client_crashed(index_t round, index_t client) const;
+  bool edge_crashed(index_t round, index_t edge) const;
+
+  /// Transient per-round dropout draw (independent of crashes).
+  bool client_dropped(index_t round, index_t client) const;
+
+  /// Not crashed and not dropped: the client computes and uploads.
+  bool client_reports(index_t round, index_t client) const {
+    return !client_crashed(round, client) && !client_dropped(round, client);
+  }
+
+  /// Delay multiplier (>= 1) for the client's report this round; 1 when
+  /// the client is not a straggler.
+  double straggler_mult(index_t round, index_t client) const;
+
+  /// Whether wire attempt `attempt` of message `msg` in `round` is lost
+  /// on the edge-cloud link.
+  bool attempt_lost(index_t round, std::uint64_t msg, index_t attempt) const;
+
+  /// Simulate one edge-cloud message with the bounded retry budget.
+  /// Returns true if it was delivered. Accounts every attempt into `link`
+  /// (delivered / in_retry / dropped) and charges one extra round-trip
+  /// per retry to link.extra_rtts.
+  bool deliver(index_t round, std::uint64_t msg, LinkFaultStats& link) const;
+
+ private:
+  FaultSpec spec_;
+  rng::Xoshiro256 root_;
+};
+
+}  // namespace hm::sim

@@ -20,6 +20,14 @@ TimeBreakdown time_breakdown(const CommStats& comm,
           net.edge_cloud.latency_s +
       static_cast<double>(comm.edge_cloud_bytes) * 8 /
           (net.edge_cloud.bandwidth_bps * concurrency);
+  // Fault overhead: each retry attempt and each straggler wait costs
+  // extra round-trips on its link (LinkFaultStats::extra_rtts), charged
+  // exactly once here — the byte meters already count a lost payload's
+  // bandwidth, so retries add latency only.
+  t.client_edge_s += comm.client_edge_fault.extra_rtts *
+                     net.client_edge.latency_s;
+  t.edge_cloud_s += comm.edge_cloud_fault.extra_rtts *
+                    net.edge_cloud.latency_s;
   return t;
 }
 

@@ -8,6 +8,9 @@
 // latency; payload bytes stream at the link bandwidth. Transfers within
 // one round are concurrent across devices, so bytes are divided by the
 // number of parallel transfers (we approximate with the per-round mean).
+// Fault injection (sim/fault.hpp) adds extra round-trips per link —
+// one per retry attempt, (mult - 1) per straggler wait — accumulated in
+// CommStats::*_fault.extra_rtts and charged once in the latency term.
 #pragma once
 
 #include "core/types.hpp"

@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "core/types.hpp"
+#include "sim/fault.hpp"
 
 namespace hm::sim {
 
@@ -41,6 +42,24 @@ class HierTopology {
     out.reserve(static_cast<std::size_t>(clients_per_edge_));
     for (index_t i = 0; i < clients_per_edge_; ++i) {
       out.push_back(client_id(edge, i));
+    }
+    return out;
+  }
+
+  /// Client ids in edge area e whose reports reach the edge server at
+  /// `round` under `plan`: crashed and dropped clients are excluded, and
+  /// a crashed edge server takes the whole area offline (empty result).
+  /// With a disabled plan this is exactly clients_of_edge(edge).
+  std::vector<index_t> surviving_clients_of_edge(index_t edge,
+                                                 const FaultPlan& plan,
+                                                 index_t round) const {
+    if (!plan.enabled()) return clients_of_edge(edge);
+    std::vector<index_t> out;
+    out.reserve(static_cast<std::size_t>(clients_per_edge_));
+    if (plan.edge_crashed(round, edge)) return out;
+    for (index_t i = 0; i < clients_per_edge_; ++i) {
+      const index_t id = client_id(edge, i);
+      if (plan.client_reports(round, id)) out.push_back(id);
     }
     return out;
   }

@@ -1,0 +1,477 @@
+// Deterministic fault-matrix suite for the fault-injection subsystem:
+// every algorithm x every degradation policy x a set of fault scenarios,
+// checking (a) bit-identical replay of two same-seed runs, (b) a
+// zero-probability enabled plan is bit-identical to the fault-free path
+// (golden replay within one binary — no stored hashes, so platform libm
+// differences cannot break it), and (c) the minimax weights stay on the
+// simplex under renormalization. Plus directed tests for the skip-round
+// fallback, the empty-participant regression, end-to-end delivery
+// conservation, and the CI smoke target (FaultSmoke).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algo/drfa.hpp"
+#include "algo/fedavg.hpp"
+#include "algo/fault_config.hpp"
+#include "algo/hierfavg.hpp"
+#include "algo/hierminimax.hpp"
+#include "algo/hierminimax_multi.hpp"
+#include "algo/trainer_common.hpp"
+#include "nn/softmax_regression.hpp"
+#include "sim/fault.hpp"
+#include "test_util.hpp"
+
+namespace hm::algo {
+namespace {
+
+using testing_util::heterogeneous_task;
+
+// ---------------------------------------------------------------------
+// Bit-exact fingerprinting. Scalars are hashed through their bit
+// patterns, so two fingerprints agree iff every value is bit-identical.
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t bits(scalar_t x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+std::uint64_t mix_vec(std::uint64_t h, const std::vector<scalar_t>& v) {
+  h = mix(h, v.size());
+  for (const scalar_t x : v) h = mix(h, bits(x));
+  return h;
+}
+
+std::uint64_t mix_link(std::uint64_t h, const sim::LinkFaultStats& f) {
+  h = mix(h, f.attempted);
+  h = mix(h, f.delivered);
+  h = mix(h, f.dropped);
+  h = mix(h, f.in_retry);
+  h = mix(h, f.straggled);
+  h = mix(h, bits(f.extra_rtts));
+  return h;
+}
+
+/// `model_only` drops the fault delivery counters: an enabled
+/// zero-probability plan legitimately meters deliveries the disabled
+/// fast path never counts, while every model-visible quantity must stay
+/// bit-identical.
+std::uint64_t fingerprint_comm(std::uint64_t h, const sim::CommStats& c,
+                               bool model_only) {
+  h = mix(h, c.client_edge_rounds);
+  h = mix(h, c.edge_cloud_rounds);
+  h = mix(h, c.client_edge_models_up);
+  h = mix(h, c.client_edge_models_down);
+  h = mix(h, c.edge_cloud_models_up);
+  h = mix(h, c.edge_cloud_models_down);
+  h = mix(h, c.client_edge_scalars);
+  h = mix(h, c.edge_cloud_scalars);
+  h = mix(h, c.client_edge_bytes);
+  h = mix(h, c.edge_cloud_bytes);
+  if (!model_only) {
+    h = mix_link(h, c.client_edge_fault);
+    h = mix_link(h, c.edge_cloud_fault);
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_history(std::uint64_t h,
+                                  const metrics::TrainingHistory& hist,
+                                  bool model_only) {
+  h = mix(h, hist.size());
+  for (const auto& r : hist.records()) {
+    h = mix(h, static_cast<std::uint64_t>(r.round));
+    h = fingerprint_comm(h, r.comm, model_only);
+    h = mix_vec(h, r.edge_acc);
+    h = mix(h, bits(r.summary.average));
+    h = mix(h, bits(r.summary.worst));
+    h = mix(h, bits(r.global_loss));
+  }
+  return h;
+}
+
+std::uint64_t fingerprint(const TrainResult& r, bool model_only) {
+  std::uint64_t h = 0;
+  h = mix_vec(h, r.w);
+  h = mix_vec(h, r.p);
+  h = mix_vec(h, r.w_avg);
+  h = mix_vec(h, r.p_avg);
+  h = fingerprint_comm(h, r.comm, model_only);
+  h = fingerprint_history(h, r.history, model_only);
+  return h;
+}
+
+std::uint64_t fingerprint(const MultiTrainResult& r, bool model_only) {
+  std::uint64_t h = 0;
+  h = mix_vec(h, r.w);
+  h = mix_vec(h, r.p);
+  h = mix(h, r.comm.levels.size());
+  for (const auto& l : r.comm.levels) {
+    h = mix(h, l.rounds);
+    h = mix(h, l.models_up);
+    h = mix(h, l.models_down);
+  }
+  if (!model_only) {
+    h = mix_link(h, r.comm.leaf_fault);
+    h = mix_link(h, r.comm.top_fault);
+  }
+  h = fingerprint_history(h, r.history, model_only);
+  return h;
+}
+
+// ---------------------------------------------------------------------
+// The matrix axes.
+
+struct Scenario {
+  std::string name;
+  sim::FaultSpec spec;  // always enabled; "none" is the zero-prob plan
+};
+
+std::vector<Scenario> fault_scenarios() {
+  std::vector<Scenario> out;
+  {
+    Scenario s;
+    s.name = "none";
+    s.spec.enabled = true;  // exercises the fault code path, zero faults
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "dropout20";
+    s.spec.enabled = true;
+    s.spec.client_dropout_prob = 0.2;
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "heavy_stragglers";
+    s.spec.enabled = true;
+    s.spec.straggler_prob = 0.6;
+    s.spec.straggler_mult_mean = 8.0;
+    s.spec.edge_loss_prob = 0.3;  // wide-area retries in the same scenario
+    out.push_back(s);
+  }
+  {
+    Scenario s;
+    s.name = "edge_crash";
+    s.spec.enabled = true;
+    s.spec.edge_crash_round = {-1, 2};      // edge 1 dies at round 2
+    s.spec.client_crash_round = {-1, -1, 3};  // client 2 dies at round 3
+    s.spec.client_dropout_prob = 0.1;
+    out.push_back(s);
+  }
+  return out;
+}
+
+const std::vector<OnFault> kPolicies = {
+    OnFault::kRenormalize, OnFault::kReuseStale, OnFault::kSkipRound};
+
+TrainOptions fault_opts(const sim::FaultSpec& spec, OnFault policy) {
+  TrainOptions o;
+  o.rounds = 6;
+  o.tau1 = 2;
+  o.tau2 = 2;
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eta_p = 0.02;
+  o.eval_every = 3;
+  o.seed = 5;
+  o.sampled_edges = 3;    // partial participation in both phases
+  o.sampled_clients = 5;
+  o.fault = spec;
+  o.on_fault = policy;
+  return o;
+}
+
+MultiTrainOptions multi_fault_opts(const sim::FaultSpec& spec,
+                                   OnFault policy) {
+  MultiTrainOptions o;
+  o.rounds = 5;
+  o.taus = {2, 2};
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eta_p = 0.02;
+  o.eval_every = 3;
+  o.seed = 5;
+  o.sampled_areas = 3;
+  o.fault = spec;
+  o.on_fault = policy;
+  return o;
+}
+
+/// One fixture per algorithm: run under (spec, policy) and fingerprint.
+/// The fault-free baseline is the same run with a default (disabled)
+/// FaultSpec.
+struct Algorithm {
+  std::string name;
+  std::uint64_t (*run)(const sim::FaultSpec&, OnFault, bool model_only);
+  std::vector<scalar_t> (*weights)(const sim::FaultSpec&, OnFault);
+};
+
+const data::FederatedDataset& shared_task() {
+  static const data::FederatedDataset fed = heterogeneous_task(4, 2);
+  return fed;
+}
+
+std::vector<Algorithm> algorithms() {
+  std::vector<Algorithm> out;
+  out.push_back(
+      {"fedavg",
+       [](const sim::FaultSpec& s, OnFault p, bool mo) {
+         const auto& fed = shared_task();
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return fingerprint(train_fedavg(model, fed, fault_opts(s, p)), mo);
+       },
+       [](const sim::FaultSpec& s, OnFault p) {
+         const auto& fed = shared_task();
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return train_fedavg(model, fed, fault_opts(s, p)).p;
+       }});
+  out.push_back(
+      {"hierfavg",
+       [](const sim::FaultSpec& s, OnFault p, bool mo) {
+         const auto& fed = shared_task();
+         const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return fingerprint(train_hierfavg(model, fed, topo, fault_opts(s, p)),
+                            mo);
+       },
+       [](const sim::FaultSpec& s, OnFault p) {
+         const auto& fed = shared_task();
+         const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return train_hierfavg(model, fed, topo, fault_opts(s, p)).p;
+       }});
+  out.push_back(
+      {"drfa",
+       [](const sim::FaultSpec& s, OnFault p, bool mo) {
+         const auto& fed = shared_task();
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return fingerprint(train_drfa(model, fed, fault_opts(s, p)), mo);
+       },
+       [](const sim::FaultSpec& s, OnFault p) {
+         const auto& fed = shared_task();
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return train_drfa(model, fed, fault_opts(s, p)).p;
+       }});
+  out.push_back(
+      {"hierminimax",
+       [](const sim::FaultSpec& s, OnFault p, bool mo) {
+         const auto& fed = shared_task();
+         const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return fingerprint(
+             train_hierminimax(model, fed, topo, fault_opts(s, p)), mo);
+       },
+       [](const sim::FaultSpec& s, OnFault p) {
+         const auto& fed = shared_task();
+         const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return train_hierminimax(model, fed, topo, fault_opts(s, p)).p;
+       }});
+  out.push_back(
+      {"hierminimax_multi",
+       [](const sim::FaultSpec& s, OnFault p, bool mo) {
+         const auto& fed = shared_task();
+         const sim::MultiTopology topo({fed.num_edges(),
+                                        fed.clients_per_edge});
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return fingerprint(
+             train_hierminimax_multi(model, fed, topo,
+                                     multi_fault_opts(s, p)),
+             mo);
+       },
+       [](const sim::FaultSpec& s, OnFault p) {
+         const auto& fed = shared_task();
+         const sim::MultiTopology topo({fed.num_edges(),
+                                        fed.clients_per_edge});
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return train_hierminimax_multi(model, fed, topo,
+                                        multi_fault_opts(s, p))
+             .p;
+       }});
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// (a) Bit-identical replay: same seed, same plan -> identical everything,
+// fault counters included.
+
+TEST(FaultMatrix, SameSeedRunsReplayBitIdentically) {
+  for (const auto& algo : algorithms()) {
+    for (const auto& sc : fault_scenarios()) {
+      for (const OnFault policy : kPolicies) {
+        const auto a = algo.run(sc.spec, policy, /*model_only=*/false);
+        const auto b = algo.run(sc.spec, policy, /*model_only=*/false);
+        EXPECT_EQ(a, b) << algo.name << " x " << sc.name << " x "
+                        << to_string(policy);
+      }
+    }
+  }
+}
+
+// (b) Golden replay: the enabled zero-probability plan must produce a
+// bit-identical model trajectory to the pre-fault (disabled) path under
+// every policy — the fault layer is pay-for-what-you-use.
+
+TEST(FaultMatrix, ZeroProbabilityPlanMatchesFaultFreePath) {
+  const sim::FaultSpec disabled;  // default: enabled == false
+  sim::FaultSpec zero;
+  zero.enabled = true;  // fault code path on, nothing ever fails
+  for (const auto& algo : algorithms()) {
+    const auto golden =
+        algo.run(disabled, OnFault::kRenormalize, /*model_only=*/true);
+    for (const OnFault policy : kPolicies) {
+      EXPECT_EQ(algo.run(zero, policy, /*model_only=*/true), golden)
+          << algo.name << " x " << to_string(policy);
+    }
+  }
+}
+
+// (c) Renormalization keeps the minimax weights on the (capped) simplex.
+
+TEST(FaultMatrix, WeightsStayOnSimplexUnderRenormalization) {
+  for (const auto& algo : algorithms()) {
+    for (const auto& sc : fault_scenarios()) {
+      const auto p = algo.weights(sc.spec, OnFault::kRenormalize);
+      ASSERT_FALSE(p.empty()) << algo.name;
+      scalar_t sum = 0;
+      for (const scalar_t x : p) {
+        EXPECT_GE(x, -1e-12) << algo.name << " x " << sc.name;
+        sum += x;
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9) << algo.name << " x " << sc.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Skip-round fallback: when every report is lost, kSkipRound must leave
+// the model exactly at its (deterministic) initialization no matter how
+// many rounds elapse.
+
+TEST(FaultPolicy, SkipRoundUnderTotalDropoutFreezesTheModel) {
+  sim::FaultSpec all_lost;
+  all_lost.enabled = true;
+  all_lost.client_dropout_prob = 1.0;
+
+  const auto& fed = shared_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts3 = fault_opts(all_lost, OnFault::kSkipRound);
+  opts3.rounds = 3;
+  auto opts7 = fault_opts(all_lost, OnFault::kSkipRound);
+  opts7.rounds = 7;
+  const auto r3 = train_fedavg(model, fed, opts3);
+  const auto r7 = train_fedavg(model, fed, opts7);
+  ASSERT_EQ(r3.w.size(), r7.w.size());
+  for (std::size_t i = 0; i < r3.w.size(); ++i) {
+    EXPECT_EQ(bits(r3.w[i]), bits(r7.w[i])) << i;
+  }
+  // Every offered report was metered as lost.
+  EXPECT_EQ(r7.comm.edge_cloud_fault.delivered, 0u);
+  EXPECT_GT(r7.comm.edge_cloud_fault.dropped, 0u);
+}
+
+// An empty surviving set skips the round under every policy — including
+// kRenormalize, which would otherwise divide by a zero total.
+
+TEST(FaultPolicy, EmptySurvivorsSkipUnderEveryPolicy) {
+  sim::FaultSpec all_lost;
+  all_lost.enabled = true;
+  all_lost.client_dropout_prob = 1.0;
+  const auto& fed = shared_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  std::vector<std::uint64_t> fps;
+  for (const OnFault policy : kPolicies) {
+    auto opts = fault_opts(all_lost, policy);
+    const auto r = train_hierminimax(
+        model, fed, sim::HierTopology(fed.num_edges(), fed.clients_per_edge),
+        opts);
+    fps.push_back(fingerprint(r, /*model_only=*/true));
+  }
+  // With zero survivors the policies cannot diverge: all skip.
+  EXPECT_EQ(fps[0], fps[1]);
+  EXPECT_EQ(fps[0], fps[2]);
+}
+
+// ---------------------------------------------------------------------
+// Regression: Participants::from_draws on an empty draw list, and the
+// aggregation behavior that hangs off it.
+
+TEST(Participants, EmptyDrawsYieldEmptyParticipants) {
+  const auto p = detail::Participants::from_draws({});
+  EXPECT_TRUE(p.ids.empty());
+  EXPECT_TRUE(p.multiplicity.empty());
+  EXPECT_EQ(p.total, 0);
+  // The strict aggregator refuses an empty set...
+  std::vector<std::vector<scalar_t>> vectors;
+  std::vector<scalar_t> out(3, 0);
+  EXPECT_THROW(detail::weighted_average(vectors, p, out), CheckError);
+  // ...while the degraded one reports "skip this round" for every policy.
+  detail::StaleStore stale;
+  for (const OnFault policy : kPolicies) {
+    std::vector<scalar_t> w = {1, 2, 3};
+    EXPECT_FALSE(detail::degraded_weighted_average(
+        vectors, p, {}, policy, 0.5, 0, stale, w, w));
+    EXPECT_EQ(w, (std::vector<scalar_t>{1, 2, 3}));  // untouched
+  }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end conservation: after a faulty training run, every wire
+// attempt on every link resolved to exactly one of the three states.
+
+TEST(FaultAccounting, EndToEndConservation) {
+  sim::FaultSpec spec;
+  spec.enabled = true;
+  spec.client_dropout_prob = 0.25;
+  spec.straggler_prob = 0.3;
+  spec.edge_loss_prob = 0.35;
+  spec.max_retries = 2;
+  const auto& fed = shared_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  const auto r = train_hierminimax(
+      model, fed, topo, fault_opts(spec, OnFault::kRenormalize));
+  for (const auto* link :
+       {&r.comm.client_edge_fault, &r.comm.edge_cloud_fault}) {
+    EXPECT_EQ(link->attempted,
+              link->delivered + link->dropped + link->in_retry);
+  }
+  // The faulty wide-area link actually exercised retries and drops.
+  EXPECT_GT(r.comm.edge_cloud_fault.in_retry, 0u);
+  EXPECT_GT(r.comm.msgs_dropped(), 0u);
+  EXPECT_GT(r.comm.msgs_straggled(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// CI smoke target: one HierMinimax round under 50% dropout. The ASan+
+// UBSan smoke job runs exactly this filter.
+
+TEST(FaultSmoke, HierMinimaxOneRoundHalfDropout) {
+  sim::FaultSpec spec;
+  spec.enabled = true;
+  spec.client_dropout_prob = 0.5;
+  const auto& fed = shared_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = fault_opts(spec, OnFault::kRenormalize);
+  opts.rounds = 1;
+  const auto r = train_hierminimax(model, fed, topo, opts);
+  EXPECT_EQ(r.w.size(), static_cast<std::size_t>(model.num_params()));
+  EXPECT_EQ(r.comm.client_edge_fault.attempted,
+            r.comm.client_edge_fault.delivered +
+                r.comm.client_edge_fault.dropped +
+                r.comm.client_edge_fault.in_retry);
+}
+
+}  // namespace
+}  // namespace hm::algo

@@ -7,6 +7,7 @@
 
 #include "rng/rng.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault.hpp"
 #include "sim/latency.hpp"
 #include "sim/quantize.hpp"
 #include "sim/comm.hpp"
@@ -216,6 +217,159 @@ TEST(Quantize, ZeroVectorUnchangedAndBadBitsThrow) {
   std::vector<scalar_t> v = {1.0};
   EXPECT_THROW(quantize_payload(v, 0, gen), CheckError);
   EXPECT_THROW(quantize_payload(v, 17, gen), CheckError);
+}
+
+// ---------------------------------------------------------------------
+// Fault-plan properties. These drive the FaultPlan/LinkFaultStats pair
+// the way the trainers do and check the invariants the paper-level
+// accounting relies on.
+
+// Conservation: every report either delivers, drops, or burns retries —
+// under ANY plan, attempted == delivered + dropped + in_retry, and the
+// legacy messages() rollup equals sends plus lost reports.
+
+TEST(Fault, DeliveryConservationUnderArbitraryPlan) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.client_dropout_prob = 0.3;
+  spec.straggler_prob = 0.4;
+  spec.straggler_mult_mean = 5.0;
+  spec.edge_loss_prob = 0.45;
+  spec.max_retries = 3;
+  spec.client_crash_round = {-1, 4, -1, 2};
+  const FaultPlan plan(spec);
+
+  LinkFaultStats link;
+  const index_t rounds = 40;
+  const index_t clients = 12;
+  std::uint64_t offered = 0;
+  std::uint64_t lost_reports = 0;
+  std::uint64_t sends = 0;
+  for (index_t k = 0; k < rounds; ++k) {
+    for (index_t c = 0; c < clients; ++c) {
+      if (plan.client_crashed(k, c)) continue;  // silent: nothing metered
+      ++offered;
+      if (plan.client_dropped(k, c)) {
+        link.note_lost_report();
+        ++lost_reports;
+        continue;
+      }
+      if (plan.deliver(k, fault_msg(kMsgModelUp, c), link)) {
+        link.note_straggle(plan.straggler_mult(k, c));
+      }
+      ++sends;
+    }
+  }
+  EXPECT_EQ(link.attempted, link.delivered + link.dropped + link.in_retry);
+  EXPECT_EQ(link.messages(), sends + lost_reports);
+  EXPECT_EQ(link.messages(), offered);
+  // The plan above is lossy enough that every state is populated.
+  EXPECT_GT(link.delivered, 0u);
+  EXPECT_GT(link.dropped, 0u);
+  EXPECT_GT(link.in_retry, 0u);
+  EXPECT_GT(link.straggled, 0u);
+}
+
+// Retry accounting never double-charges latency: with losses but no
+// stragglers, extra_rtts is exactly the retry count, and time_breakdown
+// charges it once at the link's round-trip latency.
+
+TEST(Fault, RetryLatencyChargedExactlyOnce) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.edge_loss_prob = 0.5;
+  spec.max_retries = 4;
+  const FaultPlan plan(spec);
+
+  CommStats comm;
+  for (index_t k = 0; k < 50; ++k) {
+    for (index_t e = 0; e < 8; ++e) {
+      plan.deliver(k, fault_msg(kMsgModelUp, e), comm.edge_cloud_fault);
+    }
+  }
+  const auto& link = comm.edge_cloud_fault;
+  EXPECT_GT(link.in_retry, 0u);
+  EXPECT_DOUBLE_EQ(link.extra_rtts, static_cast<double>(link.in_retry));
+
+  const NetworkProfile net;
+  CommStats clean = comm;
+  clean.edge_cloud_fault = LinkFaultStats{};
+  clean.client_edge_fault = LinkFaultStats{};
+  const double with_faults = time_breakdown(comm, net).edge_cloud_s;
+  const double without = time_breakdown(clean, net).edge_cloud_s;
+  EXPECT_NEAR(with_faults - without, link.extra_rtts * net.edge_cloud.latency_s,
+              1e-9);
+  // The LAN segment is untouched by WAN retries.
+  EXPECT_DOUBLE_EQ(time_breakdown(comm, net).client_edge_s,
+                   time_breakdown(clean, net).client_edge_s);
+}
+
+// Straggler waits land in extra_rtts as (mult - 1) and nowhere else.
+
+TEST(Fault, StragglerWaitChargedAsExtraRoundTrips) {
+  LinkFaultStats link;
+  link.note_delivered();
+  link.note_straggle(3.5);  // one report, 2.5 extra round-trips
+  link.note_delivered();
+  link.note_straggle(1.0);  // on time: no straggle recorded
+  EXPECT_EQ(link.straggled, 1u);
+  EXPECT_EQ(link.delivered, 2u);
+  EXPECT_DOUBLE_EQ(link.extra_rtts, 2.5);
+}
+
+// The fault queries are pure functions of (seed, round, entity): asking
+// in any order, any number of times, gives the same answer.
+
+TEST(Fault, QueriesAreOrderIndependent) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.client_dropout_prob = 0.5;
+  spec.straggler_prob = 0.5;
+  const FaultPlan plan(spec);
+  std::vector<int> forward;
+  std::vector<int> reverse;
+  std::vector<double> mult_fwd;
+  for (index_t k = 0; k < 10; ++k) {
+    for (index_t c = 0; c < 10; ++c) {
+      forward.push_back(plan.client_dropped(k, c) ? 1 : 0);
+      mult_fwd.push_back(plan.straggler_mult(k, c));
+    }
+  }
+  for (index_t k = 9; k >= 0; --k) {
+    for (index_t c = 9; c >= 0; --c) {
+      reverse.push_back(plan.client_dropped(k, c) ? 1 : 0);
+    }
+  }
+  for (std::size_t i = 0; i < forward.size(); ++i) {
+    EXPECT_EQ(forward[i], reverse[forward.size() - 1 - i]);
+  }
+  // Repeat queries are stable too (no hidden state advanced).
+  std::size_t i = 0;
+  for (index_t k = 0; k < 10; ++k) {
+    for (index_t c = 0; c < 10; ++c, ++i) {
+      EXPECT_EQ(plan.client_dropped(k, c) ? 1 : 0, forward[i]);
+      EXPECT_DOUBLE_EQ(plan.straggler_mult(k, c), mult_fwd[i]);
+    }
+  }
+}
+
+// ClusterSim's fault-aware dispatch skips exactly the crashed devices.
+
+TEST(ClusterSim, FaultAwareDispatchSkipsCrashedDevices) {
+  FaultSpec spec;
+  spec.enabled = true;
+  spec.client_crash_round = {-1, 0, 2};  // device 1 dead from round 0,
+                                         // device 2 dead from round 2
+  const FaultPlan plan(spec);
+  const ClusterSim cluster;
+  std::atomic<int> mask{0};
+  cluster.run_devices(3, plan, /*round=*/1,
+                      [&](index_t i) { mask |= 1 << i; });
+  EXPECT_EQ(mask.load(), 0b101);  // device 1 skipped, 0 and 2 ran
+  mask = 0;
+  cluster.run_devices(3, plan, /*round=*/2,
+                      [&](index_t i) { mask |= 1 << i; });
+  EXPECT_EQ(mask.load(), 0b001);  // only device 0 left
 }
 
 }  // namespace
