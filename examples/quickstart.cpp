@@ -15,10 +15,18 @@
 //   ./quickstart --dropout 0.2 --on-fault stale
 // trains the same seeded run under 20% per-round client dropout, reusing
 // decayed stale updates for the casualties, and reports delivery stats.
+//
+// Interrupt & resume (see src/algo/snapshot_config.hpp):
+//   ./quickstart --snapshot-every 10         # durable snapshot every 10 rounds
+//   ^C mid-run, then
+//   ./quickstart --snapshot-every 10 --resume
+// finishes the run from the newest valid snapshot with a bit-identical
+// trajectory (same final model, weights, history, and comm counters).
 #include <iostream>
 
 #include "algo/fault_config.hpp"
 #include "algo/hierminimax.hpp"
+#include "algo/snapshot_config.hpp"
 #include "io/checkpoint.hpp"
 #include "core/flags.hpp"
 #include "data/federated.hpp"
@@ -65,6 +73,15 @@ int main(int argc, char** argv) {
   // Optional fault injection: --dropout/--straggler/--edge-loss/... turn
   // on a deterministic FaultPlan; --on-fault picks the degradation policy.
   algo::apply_fault_flags(flags, opts);
+
+  // Optional crash-safe snapshots: --snapshot-every/--snapshot-dir write
+  // durable snapshots; --resume restarts bit-exactly from the newest one.
+  algo::apply_snapshot_flags(flags, opts);
+  if (opts.snapshot.enabled()) {
+    std::cout << "snapshots: every " << opts.snapshot.every_k_rounds
+              << " rounds -> " << opts.snapshot.dir << "/ (keep "
+              << opts.snapshot.keep << ")\n";
+  }
 
   // 5. Train and report.
   const auto result = algo::train_hierminimax(model, fed, topo, opts);

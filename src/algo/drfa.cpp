@@ -65,10 +65,25 @@ TrainResult train_drfa(const nn::Model& model,
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
   std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
 
-  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
-                       result.w, result.comm, result.history);
+  detail::RunState rs;
+  rs.algo_id = detail::kAlgoDrfa;
+  rs.seed = opts.seed;
+  rs.root = &root;
+  rs.w = &result.w;
+  rs.w_avg = &result.w_avg;
+  rs.aux = &q;
+  rs.aux_avg = &q_avg;
+  rs.comm = &result.comm;
+  rs.stale = &stale;
+  rs.history = &result.history;
+  const index_t k0 = detail::resume_round(opts.resume_from, rs);
 
-  for (index_t k = 0; k < opts.rounds; ++k) {
+  if (k0 == 0) {
+    detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                         result.w, result.comm, result.history);
+  }
+
+  for (index_t k = k0; k < opts.rounds; ++k) {
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
 
     // --- Phase 1: sample m clients ~ q (with replacement), local SGD
@@ -244,6 +259,7 @@ TrainResult train_drfa(const nn::Model& model,
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, result.comm,
                          result.history);
+    detail::snapshot_round_end(opts.snapshot, k, rs);
   }
 
   result.p =

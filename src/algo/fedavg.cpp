@@ -41,10 +41,23 @@ TrainResult train_fedavg(const nn::Model& model,
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_clients);
 
-  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
-                       result.w, result.comm, result.history);
+  detail::RunState rs;
+  rs.algo_id = detail::kAlgoFedAvg;
+  rs.seed = opts.seed;
+  rs.root = &root;
+  rs.w = &result.w;
+  rs.w_avg = &result.w_avg;
+  rs.comm = &result.comm;
+  rs.stale = &stale;
+  rs.history = &result.history;
+  const index_t k0 = detail::resume_round(opts.resume_from, rs);
 
-  for (index_t k = 0; k < opts.rounds; ++k) {
+  if (k0 == 0) {
+    detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                         result.w, result.comm, result.history);
+  }
+
+  for (index_t k = k0; k < opts.rounds; ++k) {
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
     rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
     const auto clients =
@@ -117,6 +130,7 @@ TrainResult train_fedavg(const nn::Model& model,
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, result.comm,
                          result.history);
+    detail::snapshot_round_end(opts.snapshot, k, rs);
   }
   return result;
 }

@@ -74,10 +74,25 @@ TrainResult train_hierminimax(const nn::Model& model,
   // whose every client failed at that block has no fresh checkpoint).
   std::vector<char> edge_has_ckpt(static_cast<std::size_t>(num_edges), 1);
 
-  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
-                       result.w, result.comm, result.history);
+  detail::RunState rs;
+  rs.algo_id = detail::kAlgoHierMinimax;
+  rs.seed = opts.seed;
+  rs.root = &root;
+  rs.w = &result.w;
+  rs.p = &result.p;
+  rs.w_avg = &result.w_avg;
+  rs.p_avg = &result.p_avg;
+  rs.comm = &result.comm;
+  rs.stale = &stale;
+  rs.history = &result.history;
+  const index_t k0 = detail::resume_round(opts.resume_from, rs);
 
-  for (index_t k = 0; k < opts.rounds; ++k) {
+  if (k0 == 0) {
+    detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                         result.w, result.comm, result.history);
+  }
+
+  for (index_t k = k0; k < opts.rounds; ++k) {
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
 
     // --- Phase 1: sample edges by p^(k) and the checkpoint index.
@@ -415,6 +430,7 @@ TrainResult train_hierminimax(const nn::Model& model,
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, result.comm,
                          result.history);
+    detail::snapshot_round_end(opts.snapshot, k, rs);
   }
   return result;
 }

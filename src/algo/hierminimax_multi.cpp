@@ -215,10 +215,23 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
     flat.edge_cloud_fault = result.comm.top_fault;
     return flat;
   };
-  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
-                       result.w, comm_snapshot(), result.history);
+  detail::RunState rs;
+  rs.algo_id = detail::kAlgoHierMinimaxMulti;
+  rs.seed = opts.seed;
+  rs.root = &root;
+  rs.w = &result.w;
+  rs.p = &result.p;
+  rs.multi_comm = &result.comm;
+  rs.stale = &stale;
+  rs.history = &result.history;
+  const index_t k0 = detail::resume_round(opts.resume_from, rs);
 
-  for (index_t k = 0; k < opts.rounds; ++k) {
+  if (k0 == 0) {
+    detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                         result.w, comm_snapshot(), result.history);
+  }
+
+  for (index_t k = k0; k < opts.rounds; ++k) {
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
 
     // --- Phase 1.
@@ -422,6 +435,7 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, comm_snapshot(),
                          result.history);
+    detail::snapshot_round_end(opts.snapshot, k, rs);
   }
   return result;
 }
@@ -491,10 +505,22 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
     flat.edge_cloud_fault = result.comm.top_fault;
     return flat;
   };
-  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
-                       result.w, comm_snapshot(), result.history);
+  detail::RunState rs;
+  rs.algo_id = detail::kAlgoHierFavgMulti;
+  rs.seed = opts.seed;
+  rs.root = &root;
+  rs.w = &result.w;
+  rs.multi_comm = &result.comm;
+  rs.stale = &stale;
+  rs.history = &result.history;
+  const index_t k0 = detail::resume_round(opts.resume_from, rs);
 
-  for (index_t k = 0; k < opts.rounds; ++k) {
+  if (k0 == 0) {
+    detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                         result.w, comm_snapshot(), result.history);
+  }
+
+  for (index_t k = k0; k < opts.rounds; ++k) {
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
     rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
     const auto areas =
@@ -539,6 +565,7 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, comm_snapshot(),
                          result.history);
+    detail::snapshot_round_end(opts.snapshot, k, rs);
   }
   return result;
 }

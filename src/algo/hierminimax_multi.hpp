@@ -44,6 +44,10 @@ struct MultiTrainOptions {
   sim::FaultSpec fault;
   OnFault on_fault = OnFault::kRenormalize;
   scalar_t stale_decay = 0.5;
+
+  // Crash-safe snapshots + bit-exact resume (see TrainOptions).
+  io::SnapshotPolicy snapshot;
+  std::string resume_from;
 };
 
 /// Per-link-level communication meter (level 0 = cloud-area link).

@@ -2,9 +2,11 @@
 // algorithms, so benchmark comparisons are apples-to-apples.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "algo/projection.hpp"
+#include "io/snapshot.hpp"
 #include "metrics/history.hpp"
 #include "sim/comm.hpp"
 #include "sim/fault.hpp"
@@ -63,6 +65,16 @@ struct TrainOptions {
   scalar_t stale_decay = 0.5;    // kReuseStale: per-round-of-age decay of a
                                  // casualty's stale update toward the
                                  // broadcast model, in [0, 1]
+
+  // Crash-safe snapshots (io/snapshot.hpp). When `snapshot.enabled()`,
+  // the trainer writes a durable full-state snapshot after every
+  // `every_k_rounds`-th round. When `resume_from` names a snapshot
+  // directory, training restarts from its newest valid snapshot and the
+  // remaining trajectory is bit-identical to the uninterrupted run
+  // (options and seed must match the original run; mismatches throw
+  // CheckError). An empty/missing directory is a fresh start.
+  io::SnapshotPolicy snapshot;
+  std::string resume_from;
 };
 
 struct TrainResult {

@@ -1,8 +1,11 @@
 #include "algo/trainer_common.hpp"
 
+#include <sstream>
 #include <unordered_map>
+#include <utility>
 
 #include "core/check.hpp"
+#include "core/log.hpp"
 #include "tensor/vecops.hpp"
 
 namespace hm::algo::detail {
@@ -244,6 +247,323 @@ void maybe_record(const nn::Model& model, const data::FederatedDataset& fed,
   for (const scalar_t l : losses) total += l;
   record.global_loss = total / static_cast<scalar_t>(losses.size());
   history.add(std::move(record));
+}
+
+// ——— Snapshot encode/decode ———
+
+namespace {
+
+void encode_stream_state(io::ByteWriter& w, const rng::StreamState& st) {
+  for (const std::uint64_t word : st.s) w.put_u64(word);
+  w.put_u64(st.has_cached_normal ? 1 : 0);
+  w.put_f64(st.cached_normal);
+}
+
+rng::StreamState decode_stream_state(io::ByteReader& r) {
+  rng::StreamState st;
+  for (auto& word : st.s) word = r.u64();
+  const std::uint64_t flag = r.u64();
+  HM_CHECK_MSG(flag <= 1, "rng stream state: bad normal-cache flag " << flag);
+  st.has_cached_normal = flag == 1;
+  st.cached_normal = r.f64();
+  return st;
+}
+
+void encode_link_fault(io::ByteWriter& w, const sim::LinkFaultStats& s) {
+  w.put_u64(s.attempted);
+  w.put_u64(s.delivered);
+  w.put_u64(s.dropped);
+  w.put_u64(s.in_retry);
+  w.put_u64(s.straggled);
+  w.put_f64(s.extra_rtts);
+}
+
+sim::LinkFaultStats decode_link_fault(io::ByteReader& r) {
+  sim::LinkFaultStats s;
+  s.attempted = r.u64();
+  s.delivered = r.u64();
+  s.dropped = r.u64();
+  s.in_retry = r.u64();
+  s.straggled = r.u64();
+  s.extra_rtts = r.f64();
+  return s;
+}
+
+void encode_comm(io::ByteWriter& w, const sim::CommStats& c) {
+  w.put_u64(c.client_edge_rounds);
+  w.put_u64(c.edge_cloud_rounds);
+  w.put_u64(c.client_edge_models_up);
+  w.put_u64(c.client_edge_models_down);
+  w.put_u64(c.edge_cloud_models_up);
+  w.put_u64(c.edge_cloud_models_down);
+  w.put_u64(c.client_edge_scalars);
+  w.put_u64(c.edge_cloud_scalars);
+  w.put_u64(c.client_edge_bytes);
+  w.put_u64(c.edge_cloud_bytes);
+  encode_link_fault(w, c.client_edge_fault);
+  encode_link_fault(w, c.edge_cloud_fault);
+}
+
+sim::CommStats decode_comm(io::ByteReader& r) {
+  sim::CommStats c;
+  c.client_edge_rounds = r.u64();
+  c.edge_cloud_rounds = r.u64();
+  c.client_edge_models_up = r.u64();
+  c.client_edge_models_down = r.u64();
+  c.edge_cloud_models_up = r.u64();
+  c.edge_cloud_models_down = r.u64();
+  c.client_edge_scalars = r.u64();
+  c.edge_cloud_scalars = r.u64();
+  c.client_edge_bytes = r.u64();
+  c.edge_cloud_bytes = r.u64();
+  c.client_edge_fault = decode_link_fault(r);
+  c.edge_cloud_fault = decode_link_fault(r);
+  return c;
+}
+
+void encode_multi_comm(io::ByteWriter& w, const MultiCommStats& c) {
+  w.put_u64(c.levels.size());
+  for (const auto& l : c.levels) {
+    w.put_u64(l.rounds);
+    w.put_u64(l.models_up);
+    w.put_u64(l.models_down);
+  }
+  encode_link_fault(w, c.leaf_fault);
+  encode_link_fault(w, c.top_fault);
+}
+
+MultiCommStats decode_multi_comm(io::ByteReader& r) {
+  MultiCommStats c;
+  const std::uint64_t n = r.u64();
+  HM_CHECK_MSG(n <= 64, "multi comm stats: implausible level count " << n);
+  c.levels.resize(n);
+  for (auto& l : c.levels) {
+    l.rounds = r.u64();
+    l.models_up = r.u64();
+    l.models_down = r.u64();
+  }
+  c.leaf_fault = decode_link_fault(r);
+  c.top_fault = decode_link_fault(r);
+  return c;
+}
+
+std::vector<std::uint8_t> encode_history(
+    const metrics::TrainingHistory& history) {
+  io::ByteWriter w;
+  w.put_u64(history.size());
+  for (const auto& rec : history.records()) {
+    w.put_i64(rec.round);
+    encode_comm(w, rec.comm);
+    w.put_u64(rec.edge_acc.size());
+    for (const scalar_t a : rec.edge_acc) w.put_f64(a);
+    w.put_f64(rec.summary.average);
+    w.put_f64(rec.summary.worst);
+    w.put_f64(rec.summary.best);
+    w.put_f64(rec.summary.variance_pct2);
+    w.put_f64(rec.global_loss);
+  }
+  return w.take();
+}
+
+void decode_history(io::ByteReader& r, metrics::TrainingHistory& history) {
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    metrics::RoundRecord rec;
+    rec.round = static_cast<index_t>(r.i64());
+    rec.comm = decode_comm(r);
+    const std::uint64_t accs = r.u64();
+    HM_CHECK_MSG(accs * 8 <= r.remaining(),
+                 "history record " << i << " declares " << accs
+                                   << " edge accuracies but only "
+                                   << r.remaining() << " bytes remain");
+    rec.edge_acc.resize(accs);
+    for (auto& a : rec.edge_acc) a = r.f64();
+    rec.summary.average = r.f64();
+    rec.summary.worst = r.f64();
+    rec.summary.best = r.f64();
+    rec.summary.variance_pct2 = r.f64();
+    rec.global_loss = r.f64();
+    history.add(std::move(rec));
+  }
+  HM_CHECK_MSG(r.remaining() == 0, "history section has trailing bytes");
+}
+
+/// Is the stale store live for this run? init() sizes last_round; a
+/// default-constructed store (fault-free path) leaves it empty.
+bool stale_live(const StaleStore* stale) {
+  return stale != nullptr && !stale->last_round.empty();
+}
+
+}  // namespace
+
+io::Snapshot make_run_snapshot(const RunState& st, index_t next_round) {
+  HM_CHECK(st.root != nullptr && st.w != nullptr && st.history != nullptr);
+  io::Snapshot s;
+  s.put_u64(kSnapAlgo, st.algo_id);
+  s.put_u64(kSnapSeed, st.seed);
+  s.put_u64(kSnapRound, static_cast<std::uint64_t>(next_round));
+  {
+    io::ByteWriter w;
+    encode_stream_state(w, st.root->state());
+    s.put_bytes(kSnapRng, w.take());
+  }
+  s.put_f64_vec(kSnapW, *st.w);
+  if (st.p) s.put_f64_vec(kSnapP, *st.p);
+  if (st.w_avg) s.put_f64_vec(kSnapWAvg, *st.w_avg);
+  if (st.p_avg) s.put_f64_vec(kSnapPAvg, *st.p_avg);
+  if (st.aux) s.put_f64_vec(kSnapAux, *st.aux);
+  if (st.aux_avg) s.put_f64_vec(kSnapAuxAvg, *st.aux_avg);
+  if (st.comm) {
+    io::ByteWriter w;
+    encode_comm(w, *st.comm);
+    s.put_bytes(kSnapComm, w.take());
+  }
+  if (st.multi_comm) {
+    io::ByteWriter w;
+    encode_multi_comm(w, *st.multi_comm);
+    s.put_bytes(kSnapMultiComm, w.take());
+  }
+  if (stale_live(st.stale)) {
+    s.put_f64_vec_list(kSnapStaleModels, st.stale->models);
+    std::vector<std::int64_t> rounds(st.stale->last_round.begin(),
+                                     st.stale->last_round.end());
+    s.put_i64_vec(kSnapStaleRounds, rounds);
+  }
+  s.put_bytes(kSnapHistory, encode_history(*st.history));
+  return s;
+}
+
+index_t resume_round(const std::string& resume_from, const RunState& st) {
+  if (resume_from.empty()) return 0;
+  HM_CHECK(st.root != nullptr && st.w != nullptr && st.history != nullptr);
+  const auto loaded = io::load_latest_snapshot(resume_from);
+  if (!loaded) {
+    log::info() << "resume: no valid snapshot under '" << resume_from
+                << "' — starting fresh";
+    return 0;
+  }
+  const io::Snapshot& s = loaded->snapshot;
+
+  const std::uint64_t algo = s.get_u64(kSnapAlgo);
+  HM_CHECK_MSG(algo == st.algo_id,
+               "snapshot '" << loaded->path << "' was written by algorithm id "
+                            << algo << ", this run is algorithm id "
+                            << st.algo_id);
+  const std::uint64_t seed = s.get_u64(kSnapSeed);
+  HM_CHECK_MSG(seed == st.seed, "snapshot '"
+                                    << loaded->path << "' used seed " << seed
+                                    << ", this run uses seed " << st.seed
+                                    << " — resume would not be bit-exact");
+  const std::uint64_t next_round = s.get_u64(kSnapRound);
+  HM_CHECK_MSG(next_round >= 1 && next_round <= (1ULL << 40),
+               "snapshot '" << loaded->path << "' has implausible round "
+                            << next_round);
+
+  const auto restore_vec = [&](std::uint32_t tag, std::vector<scalar_t>* dst,
+                               const char* name) {
+    HM_CHECK_MSG((dst != nullptr) == s.has(tag),
+                 "snapshot '" << loaded->path << "' "
+                              << (s.has(tag) ? "has" : "lacks") << " a '"
+                              << name
+                              << "' section but this trainer expects the "
+                                 "opposite — algorithm/options mismatch");
+    if (dst == nullptr) return;
+    std::vector<scalar_t> v = s.get_f64_vec(tag);
+    HM_CHECK_MSG(v.size() == dst->size(),
+                 "snapshot '" << loaded->path << "' section '" << name
+                              << "' has " << v.size() << " values, this run "
+                              << "expects " << dst->size()
+                              << " — model/topology mismatch");
+    *dst = std::move(v);
+  };
+  restore_vec(kSnapW, st.w, "w");
+  restore_vec(kSnapP, st.p, "p");
+  restore_vec(kSnapWAvg, st.w_avg, "w_avg");
+  restore_vec(kSnapPAvg, st.p_avg, "p_avg");
+  restore_vec(kSnapAux, st.aux, "aux");
+  restore_vec(kSnapAuxAvg, st.aux_avg, "aux_avg");
+
+  {
+    const auto& bytes = s.get_bytes(kSnapRng);
+    io::ByteReader r(bytes.data(), bytes.size());
+    st.root->set_state(decode_stream_state(r));
+    HM_CHECK_MSG(r.remaining() == 0, "rng section has trailing bytes");
+  }
+
+  HM_CHECK_MSG((st.comm != nullptr) == s.has(kSnapComm),
+               "snapshot '" << loaded->path
+                            << "' comm-stats section presence mismatch");
+  if (st.comm) {
+    const auto& bytes = s.get_bytes(kSnapComm);
+    io::ByteReader r(bytes.data(), bytes.size());
+    *st.comm = decode_comm(r);
+    HM_CHECK_MSG(r.remaining() == 0, "comm section has trailing bytes");
+  }
+  HM_CHECK_MSG((st.multi_comm != nullptr) == s.has(kSnapMultiComm),
+               "snapshot '" << loaded->path
+                            << "' multi-comm section presence mismatch");
+  if (st.multi_comm) {
+    const auto& bytes = s.get_bytes(kSnapMultiComm);
+    io::ByteReader r(bytes.data(), bytes.size());
+    MultiCommStats mc = decode_multi_comm(r);
+    HM_CHECK_MSG(r.remaining() == 0, "multi-comm section has trailing bytes");
+    HM_CHECK_MSG(mc.levels.size() == st.multi_comm->levels.size(),
+                 "snapshot '" << loaded->path << "' has "
+                              << mc.levels.size()
+                              << " comm levels, this topology has "
+                              << st.multi_comm->levels.size());
+    *st.multi_comm = std::move(mc);
+  }
+
+  HM_CHECK_MSG(stale_live(st.stale) == s.has(kSnapStaleRounds),
+               "snapshot '"
+                   << loaded->path
+                   << "' stale-store presence mismatch — the run's fault "
+                      "policy differs from the snapshotted run");
+  HM_CHECK_MSG(s.has(kSnapStaleModels) == s.has(kSnapStaleRounds),
+               "snapshot '" << loaded->path
+                            << "' has half a stale store (models without "
+                               "rounds or vice versa)");
+  if (stale_live(st.stale)) {
+    auto models = s.get_f64_vec_list(kSnapStaleModels);
+    const auto rounds = s.get_i64_vec(kSnapStaleRounds);
+    HM_CHECK_MSG(models.size() == rounds.size() &&
+                     models.size() == st.stale->last_round.size(),
+                 "snapshot '" << loaded->path << "' stale store covers "
+                              << models.size()
+                              << " participants, this run has "
+                              << st.stale->last_round.size());
+    st.stale->models = std::move(models);
+    st.stale->last_round.assign(rounds.begin(), rounds.end());
+  }
+
+  {
+    HM_CHECK_MSG(st.history->empty(),
+                 "resume_round must run before any history is recorded");
+    const auto& bytes = s.get_bytes(kSnapHistory);
+    io::ByteReader r(bytes.data(), bytes.size());
+    decode_history(r, *st.history);
+  }
+
+  log::info() << "resumed from snapshot '" << loaded->path << "' at round "
+              << next_round
+              << (loaded->rejected.empty()
+                      ? ""
+                      : " (degraded past newer corrupt candidates)");
+  return static_cast<index_t>(next_round);
+}
+
+void snapshot_round_end(const io::SnapshotPolicy& policy, index_t k,
+                        const RunState& st) {
+  if (policy.enabled() && (k + 1) % policy.every_k_rounds == 0) {
+    io::save_snapshot(policy.dir, policy.keep, k + 1,
+                      make_run_snapshot(st, k + 1));
+  }
+  if (policy.crash_after_round >= 0 && k == policy.crash_after_round) {
+    std::ostringstream os;
+    os << "simulated crash after round " << k;
+    throw io::SimulatedCrash(os.str());
+  }
 }
 
 }  // namespace hm::algo::detail

@@ -4,10 +4,13 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "algo/hierminimax_multi.hpp"
 #include "algo/options.hpp"
 #include "data/federated.hpp"
+#include "io/snapshot.hpp"
 #include "nn/model.hpp"
 #include "parallel/thread_pool.hpp"
 #include "rng/sampling.hpp"
@@ -110,5 +113,82 @@ void maybe_record(const nn::Model& model, const data::FederatedDataset& fed,
                   index_t total_rounds, index_t eval_every,
                   const std::vector<scalar_t>& w, const sim::CommStats& comm,
                   metrics::TrainingHistory& history);
+
+// ——— Crash-safe snapshot plumbing (io/snapshot.hpp) ———
+//
+// Every trainer derives all round-k randomness from non-advancing splits
+// of a root generator (root.split(k+1).split(phase)...), so the remaining
+// trajectory after round k is a pure function of the round-boundary
+// state. RunState points at exactly that state; snapshotting it at the
+// end of a round and restoring it before the loop makes the resumed run
+// bit-identical to the uninterrupted one — including under an active
+// FaultPlan, which is itself a pure function of (fault seed, round,
+// entity). Per-round scratch buffers (client/edge/leaf model stores,
+// checkpoint flags, StaleStore::blend) are freshly written before every
+// read and are deliberately NOT part of the snapshot.
+
+// Snapshot section tags (ASCII mnemonics, little-endian FourCC).
+inline constexpr std::uint32_t kSnapAlgo = 0x4f474c41;        // "ALGO"
+inline constexpr std::uint32_t kSnapSeed = 0x44454553;        // "SEED"
+inline constexpr std::uint32_t kSnapRound = 0x444e5552;       // "RUND"
+inline constexpr std::uint32_t kSnapRng = 0x53474e52;         // "RNGS"
+inline constexpr std::uint32_t kSnapW = 0x5f5f5f57;           // "W___"
+inline constexpr std::uint32_t kSnapP = 0x5f5f5f50;           // "P___"
+inline constexpr std::uint32_t kSnapWAvg = 0x47564157;        // "WAVG"
+inline constexpr std::uint32_t kSnapPAvg = 0x47564150;        // "PAVG"
+inline constexpr std::uint32_t kSnapAux = 0x51585541;         // "AUXQ"
+inline constexpr std::uint32_t kSnapAuxAvg = 0x41585541;      // "AUXA"
+inline constexpr std::uint32_t kSnapComm = 0x4d4d4f43;        // "COMM"
+inline constexpr std::uint32_t kSnapMultiComm = 0x4d4f434d;   // "MCOM"
+inline constexpr std::uint32_t kSnapStaleModels = 0x4d4c5453; // "STLM"
+inline constexpr std::uint32_t kSnapStaleRounds = 0x524c5453; // "STLR"
+inline constexpr std::uint32_t kSnapHistory = 0x54534948;     // "HIST"
+
+// Algorithm ids embedded in every snapshot so resuming with the wrong
+// trainer (or comparing λ of a min-only method) fails loudly.
+inline constexpr std::uint64_t kAlgoFedAvg = 1;
+inline constexpr std::uint64_t kAlgoHierFavg = 2;
+inline constexpr std::uint64_t kAlgoDrfa = 3;
+inline constexpr std::uint64_t kAlgoHierMinimax = 4;
+inline constexpr std::uint64_t kAlgoHierMinimaxMulti = 5;
+inline constexpr std::uint64_t kAlgoHierFavgMulti = 6;
+
+/// Borrowed pointers into one trainer's live round-boundary state. Null
+/// pointers mean "this trainer has no such state" (e.g. FedAvg has no λ,
+/// the multi-level trainers keep no running averages); presence in a
+/// snapshot must match, or resume_round throws.
+struct RunState {
+  std::uint64_t algo_id = 0;
+  seed_t seed = 0;
+  rng::Xoshiro256* root = nullptr;            // required
+  std::vector<scalar_t>* w = nullptr;         // required
+  std::vector<scalar_t>* p = nullptr;
+  std::vector<scalar_t>* w_avg = nullptr;
+  std::vector<scalar_t>* p_avg = nullptr;
+  std::vector<scalar_t>* aux = nullptr;       // DRFA per-client q
+  std::vector<scalar_t>* aux_avg = nullptr;   // DRFA running q average
+  sim::CommStats* comm = nullptr;             // flat trainers
+  MultiCommStats* multi_comm = nullptr;       // multi-level trainers
+  StaleStore* stale = nullptr;                // snapshotted iff initialized
+  metrics::TrainingHistory* history = nullptr;
+};
+
+/// Encode the pointed-at state as an io::Snapshot; `next_round` is the
+/// first round index still to run (rounds completed so far).
+io::Snapshot make_run_snapshot(const RunState& st, index_t next_round);
+
+/// Restore state from the newest valid snapshot under `resume_from` and
+/// return the first round index to run; 0 (fresh start, state untouched)
+/// when `resume_from` is empty or holds no valid snapshot. Throws
+/// CheckError when the snapshot belongs to a different algorithm/seed or
+/// its shapes do not match the run's options/topology.
+index_t resume_round(const std::string& resume_from, const RunState& st);
+
+/// End-of-round hook, called as the last statement of round k's loop
+/// body: writes `snapshot.<k+1>` when the policy cadence is due, then
+/// throws io::SimulatedCrash when the crash-replay harness scheduled a
+/// kill after round k.
+void snapshot_round_end(const io::SnapshotPolicy& policy, index_t k,
+                        const RunState& st);
 
 }  // namespace hm::algo::detail

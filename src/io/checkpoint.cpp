@@ -16,6 +16,9 @@ constexpr std::uint32_t kVersion = 1;
 }  // namespace
 
 void save_vector(const std::string& path, const std::vector<scalar_t>& v) {
+  const std::uint64_t payload_bytes =
+      sizeof(kMagic) + sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+      v.size() * sizeof(scalar_t);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   HM_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
   out.write(kMagic, sizeof(kMagic));
@@ -25,7 +28,13 @@ void save_vector(const std::string& path, const std::vector<scalar_t>& v) {
   out.write(reinterpret_cast<const char*>(&length), sizeof(length));
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(scalar_t)));
-  HM_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  // A full disk can surface only at flush time; without this check a
+  // truncated checkpoint would be reported as success.
+  out.flush();
+  HM_CHECK_MSG(out.good(), "write of " << payload_bytes << " bytes to '"
+                                       << path
+                                       << "' failed (disk full or I/O error); "
+                                          "file is likely truncated");
 }
 
 std::vector<scalar_t> load_vector(const std::string& path) {
@@ -42,6 +51,23 @@ std::vector<scalar_t> load_vector(const std::string& path) {
   std::uint64_t length = 0;
   in.read(reinterpret_cast<char*>(&length), sizeof(length));
   HM_CHECK(in.good());
+  // Validate the embedded length against the bytes actually present
+  // BEFORE allocating — a corrupted length field must not trigger a
+  // multi-GB allocation.
+  const std::streamoff payload_start = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::streamoff file_end = in.tellg();
+  in.seekg(payload_start);
+  HM_CHECK_MSG(payload_start >= 0 && file_end >= payload_start,
+               "cannot determine size of '" << path << "'");
+  const std::uint64_t remaining =
+      static_cast<std::uint64_t>(file_end - payload_start);
+  HM_CHECK_MSG(length <= remaining / sizeof(scalar_t) &&
+                   length * sizeof(scalar_t) == remaining,
+               "'" << path << "' declares " << length << " values ("
+                   << length << " * " << sizeof(scalar_t)
+                   << " bytes) but holds " << remaining
+                   << " payload bytes — corrupt or truncated checkpoint");
   std::vector<scalar_t> v(length);
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(length * sizeof(scalar_t)));
@@ -70,7 +96,12 @@ void save_history_csv(const std::string& path,
         << r.summary.worst << ',' << r.summary.variance_pct2 << ','
         << r.global_loss << '\n';
   }
-  HM_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+  out.flush();
+  HM_CHECK_MSG(out.good(),
+               "write of " << history.records().size() << " history rows to '"
+                           << path
+                           << "' failed (disk full or I/O error); file is "
+                              "likely truncated");
 }
 
 }  // namespace hm::io

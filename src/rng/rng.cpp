@@ -102,4 +102,23 @@ std::uint64_t Xoshiro256::uniform_index(std::uint64_t n) {
   return static_cast<std::uint64_t>(m >> 64);
 }
 
+StreamState Xoshiro256::state() const {
+  StreamState st;
+  st.s = s_;
+  st.has_cached_normal = has_cached_normal_;
+  st.cached_normal = cached_normal_;
+  return st;
+}
+
+void Xoshiro256::set_state(const StreamState& state) {
+  // The all-zero state is the one point xoshiro cannot leave; it can only
+  // come from a corrupted snapshot, never from a real stream.
+  HM_CHECK_MSG(state.s[0] != 0 || state.s[1] != 0 || state.s[2] != 0 ||
+                   state.s[3] != 0,
+               "refusing to restore all-zero xoshiro256 state");
+  s_ = state.s;
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 }  // namespace hm::rng

@@ -19,6 +19,16 @@ namespace hm::rng {
 /// Public because seeding and stream splitting reuse it.
 std::uint64_t splitmix64(std::uint64_t& state);
 
+/// Complete serializable state of a Xoshiro256 stream: the 256-bit
+/// xoshiro state plus the Box–Muller normal cache (without which a
+/// restored stream would desynchronize after an odd number of normal()
+/// draws). Used by the snapshot subsystem for bit-exact resume.
+struct StreamState {
+  std::array<std::uint64_t, 4> s{};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// xoshiro256** 1.0 (Blackman & Vigna) — fast, 256-bit state, passes BigCrush.
 /// Satisfies std::uniform_random_bit_generator.
 class Xoshiro256 {
@@ -53,6 +63,11 @@ class Xoshiro256 {
 
   /// Uniform integer in [0, n) without modulo bias (Lemire rejection).
   std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Snapshot of the full generator state; set_state restores it exactly
+  /// (the restored stream produces the identical remaining sequence).
+  StreamState state() const;
+  void set_state(const StreamState& state);
 
  private:
   std::array<std::uint64_t, 4> s_{};

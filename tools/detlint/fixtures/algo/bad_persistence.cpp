@@ -1,0 +1,30 @@
+// Fixture: durable writes outside src/io must fire direct-persistence;
+// a suppressed write must not.
+// detlint-expect: direct-persistence
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+inline void bad_raw_stream(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);  // torn on crash, no checksum
+  out << 1.0;
+}
+
+inline void bad_c_stdio(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f) std::fclose(f);
+}
+
+inline void bad_rename(const std::string& a, const std::string& b) {
+  std::rename(a.c_str(), b.c_str());
+}
+
+inline void ok_suppressed(const std::string& path) {
+  // Debug-only dump, never reloaded. detlint: allow(direct-persistence)
+  std::ofstream out(path);
+  out << "scratch";
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture: src/io is the one place allowed to touch files directly —
+// it implements the crash-safe temp + fsync + rename protocol itself.
+// No detlint-expect lines: this file must lint clean.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fixture {
+
+inline void ok_io_write(const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  std::ofstream out(tmp, std::ios::binary);
+  out << 1.0;
+  out.close();
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+inline void ok_io_prune(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+}
+
+}  // namespace fixture

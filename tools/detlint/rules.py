@@ -160,6 +160,20 @@ RULE_STDOUT = _regex_rule(
 )
 
 
+RULE_PERSISTENCE = _regex_rule(
+    "direct-persistence",
+    "Durable artifacts must go through src/io: its temp-file + fsync + "
+    "atomic-rename protocol with checksums is what makes writes crash-safe "
+    "and loads corruption-tolerant. A stray ofstream/fopen/rename "
+    "elsewhere can leave a torn, unchecksummed file behind a crash.",
+    r"\bofstream\b|\bfopen\s*\(|\bfreopen\s*\(|\brename\s*\(|"
+    r"\bremove\s*\(|\bunlink\s*\(|\bfilesystem\s*::",
+    "direct file persistence outside src/io; route writes through the "
+    "crash-safe io layer (io::atomic_write_file / io::save_*)",
+    exclude=("io",),
+)
+
+
 class _ModelEntryCheckRule(Rule):
     """Every public Model entry point must open with HM_CHECK guards.
 
@@ -229,5 +243,6 @@ ALL_RULES: List[Rule] = [
     _UnorderedIterationRule(),
     RULE_OMP,
     RULE_STDOUT,
+    RULE_PERSISTENCE,
     _ModelEntryCheckRule(),
 ]
