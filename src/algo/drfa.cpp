@@ -63,6 +63,12 @@ TrainResult train_drfa(const nn::Model& model,
       std::vector<scalar_t>(static_cast<std::size_t>(d)));
   std::vector<std::vector<scalar_t>> client_ckpt = client_w;
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  // Loss estimation scores every sampled client at the one shared
+  // checkpoint; a single workspace + one loss_many call lets the model
+  // fuse the whole sweep into stacked evaluation blocks.
+  const std::unique_ptr<nn::Workspace> loss_ws = model.make_workspace();
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
   std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
 
   detail::RunState rs;
@@ -97,34 +103,40 @@ TrainResult train_drfa(const nn::Model& model,
     const auto participating = static_cast<std::uint64_t>(parts.ids.size());
     result.comm.edge_cloud_models_down += participating;
 
-    parallel::parallel_for(
-        pool, 0, static_cast<index_t>(parts.ids.size()),
-        [&](index_t j) {
-          const index_t n = parts.ids[static_cast<std::size_t>(j)];
-          auto& w_local = client_w[static_cast<std::size_t>(n)];
-          tensor::copy(result.w, w_local);
-          LocalSgdConfig cfg;
-          cfg.steps = opts.tau1;
-          cfg.batch_size = opts.batch_size;
-          cfg.eta = opts.eta_w;
-          cfg.w_radius = opts.w_radius;
-          cfg.weight_decay = opts.weight_decay;
-          cfg.prox_mu = opts.prox_mu;
-          cfg.checkpoint_step = c;
-          rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
-                                    .split(static_cast<std::uint64_t>(n));
-          run_local_sgd(model, fed.client_train[static_cast<std::size_t>(n)],
-                        cfg, w_local,
-                        client_ckpt[static_cast<std::size_t>(n)], gen,
-                        scratch[static_cast<std::size_t>(n)]);
-          if (opts.quantize_bits > 0) {
-            rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
-            sim::quantize_payload(w_local, opts.quantize_bits, qgen);
-            sim::quantize_payload(client_ckpt[static_cast<std::size_t>(n)],
-                                  opts.quantize_bits, qgen);
-          }
-        },
-        /*grain=*/1);
+    LocalSgdConfig cfg;
+    cfg.steps = opts.tau1;
+    cfg.batch_size = opts.batch_size;
+    cfg.eta = opts.eta_w;
+    cfg.w_radius = opts.w_radius;
+    cfg.weight_decay = opts.weight_decay;
+    cfg.prox_mu = opts.prox_mu;
+    cfg.checkpoint_step = c;
+    std::vector<LocalSgdJob> jobs;
+    std::vector<rng::Xoshiro256> gens;
+    jobs.reserve(parts.ids.size());
+    gens.reserve(parts.ids.size());
+    for (const index_t n : parts.ids) {
+      auto& w_local = client_w[static_cast<std::size_t>(n)];
+      tensor::copy(result.w, w_local);
+      gens.push_back(round_gen.split(detail::kTagLocal)
+                         .split(static_cast<std::uint64_t>(n)));
+      jobs.push_back({&fed.client_train[static_cast<std::size_t>(n)],
+                      w_local,
+                      nn::VecView(client_ckpt[static_cast<std::size_t>(n)]),
+                      &gens.back(), n});
+    }
+    run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
+                       cluster);
+    if (opts.quantize_bits > 0) {
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const index_t n = parts.ids[j];
+        rng::Xoshiro256 qgen = gens[j].split(detail::kTagQuant);
+        sim::quantize_payload(client_w[static_cast<std::size_t>(n)],
+                              opts.quantize_bits, qgen);
+        sim::quantize_payload(client_ckpt[static_cast<std::size_t>(n)],
+                              opts.quantize_bits, qgen);
+      }
+    }
 
     bool aggregated = true;
     if (!plan.enabled()) {
@@ -209,31 +221,39 @@ TrainResult train_drfa(const nn::Model& model,
         }
       }
       std::vector<scalar_t> losses(loss_clients.size(), 0);
-      parallel::parallel_for(
-          pool, 0, static_cast<index_t>(loss_clients.size()),
-          [&](index_t j) {
-            if (!loss_ok[static_cast<std::size_t>(j)]) return;
-            const index_t n = loss_clients[static_cast<std::size_t>(j)];
-            auto& sc = scratch[static_cast<std::size_t>(n)];
-            sc.ensure(model);
-            const data::Dataset& shard =
-                fed.client_train[static_cast<std::size_t>(n)];
-            rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                      .split(static_cast<std::uint64_t>(n));
-            std::vector<index_t> batch;
-            if (opts.loss_est_batch > 0) {
-              batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-              for (auto& idx : batch) {
-                idx = static_cast<index_t>(gen.uniform_index(
-                    static_cast<std::uint64_t>(shard.size())));
-              }
-            } else {
-              batch = nn::all_indices(shard.size());
-            }
-            losses[static_cast<std::size_t>(j)] =
-                model.loss(checkpoint, shard, batch, *sc.ws);
-          },
-          /*grain=*/1);
+      // Draw every surviving client's estimation batch (per-client RNG
+      // streams, independent of evaluation order), then score them all in
+      // one fused loss_many sweep at the shared checkpoint.
+      std::vector<std::vector<index_t>> batches(loss_clients.size());
+      std::vector<nn::LossJob> jobs;
+      std::vector<std::size_t> job_slot;
+      jobs.reserve(loss_clients.size());
+      job_slot.reserve(loss_clients.size());
+      for (std::size_t j = 0; j < loss_clients.size(); ++j) {
+        if (!loss_ok[j]) continue;
+        const index_t n = loss_clients[j];
+        const data::Dataset& shard =
+            fed.client_train[static_cast<std::size_t>(n)];
+        rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                  .split(static_cast<std::uint64_t>(n));
+        auto& batch = batches[j];
+        if (opts.loss_est_batch > 0) {
+          batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+          for (auto& idx : batch) {
+            idx = static_cast<index_t>(gen.uniform_index(
+                static_cast<std::uint64_t>(shard.size())));
+          }
+        } else {
+          batch = nn::all_indices(shard.size());
+        }
+        jobs.push_back(nn::LossJob{checkpoint, &shard, batch});
+        job_slot.push_back(j);
+      }
+      std::vector<scalar_t> job_losses(jobs.size());
+      model.loss_many(jobs, job_losses, *loss_ws);
+      for (std::size_t q = 0; q < jobs.size(); ++q) {
+        losses[job_slot[q]] = job_losses[q];
+      }
       result.comm.edge_cloud_scalars +=
           static_cast<std::uint64_t>(loss_clients.size());
       result.comm.edge_cloud_rounds += 1;

@@ -38,6 +38,8 @@ TrainResult train_fedavg(const nn::Model& model,
       static_cast<std::size_t>(num_clients),
       std::vector<scalar_t>(static_cast<std::size_t>(d)));
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_clients);
 
@@ -65,30 +67,35 @@ TrainResult train_fedavg(const nn::Model& model,
     result.comm.edge_cloud_models_down +=
         static_cast<std::uint64_t>(clients.size());
 
-    parallel::parallel_for(
-        pool, 0, static_cast<index_t>(clients.size()),
-        [&](index_t j) {
-          const index_t n = clients[static_cast<std::size_t>(j)];
-          auto& w_local = client_w[static_cast<std::size_t>(n)];
-          tensor::copy(result.w, w_local);
-          LocalSgdConfig cfg;
-          cfg.steps = opts.tau1;
-          cfg.batch_size = opts.batch_size;
-          cfg.eta = opts.eta_w;
-          cfg.w_radius = opts.w_radius;
-          cfg.weight_decay = opts.weight_decay;
-          cfg.prox_mu = opts.prox_mu;
-          rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
-                                    .split(static_cast<std::uint64_t>(n));
-          run_local_sgd(
-              model, fed.client_train[static_cast<std::size_t>(n)], cfg,
-              w_local, {}, gen, scratch[static_cast<std::size_t>(n)]);
-          if (opts.quantize_bits > 0) {
-            rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
-            sim::quantize_payload(w_local, opts.quantize_bits, qgen);
-          }
-        },
-        /*grain=*/1);
+    LocalSgdConfig cfg;
+    cfg.steps = opts.tau1;
+    cfg.batch_size = opts.batch_size;
+    cfg.eta = opts.eta_w;
+    cfg.w_radius = opts.w_radius;
+    cfg.weight_decay = opts.weight_decay;
+    cfg.prox_mu = opts.prox_mu;
+    std::vector<LocalSgdJob> jobs;
+    std::vector<rng::Xoshiro256> gens;
+    jobs.reserve(clients.size());
+    gens.reserve(clients.size());
+    for (const index_t n : clients) {
+      auto& w_local = client_w[static_cast<std::size_t>(n)];
+      tensor::copy(result.w, w_local);
+      gens.push_back(round_gen.split(detail::kTagLocal)
+                         .split(static_cast<std::uint64_t>(n)));
+      jobs.push_back({&fed.client_train[static_cast<std::size_t>(n)],
+                      w_local, {}, &gens.back(), n});
+    }
+    run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
+                       cluster);
+    if (opts.quantize_bits > 0) {
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        rng::Xoshiro256 qgen = gens[j].split(detail::kTagQuant);
+        sim::quantize_payload(
+            client_w[static_cast<std::size_t>(clients[j])],
+            opts.quantize_bits, qgen);
+      }
+    }
 
     if (!plan.enabled()) {
       detail::uniform_average(client_w, clients, result.w);

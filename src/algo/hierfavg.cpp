@@ -45,6 +45,8 @@ TrainResult train_hierfavg(const nn::Model& model,
       std::vector<scalar_t>(static_cast<std::size_t>(d)));
   std::vector<ClientScratch> scratch(
       static_cast<std::size_t>(topo.num_clients()));
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_edges);
 
@@ -77,39 +79,46 @@ TrainResult train_hierfavg(const nn::Model& model,
     }
 
     for (index_t t2 = 0; t2 < opts.tau2; ++t2) {
-      const index_t jobs = static_cast<index_t>(edges.size()) * n0;
-      parallel::parallel_for(
-          pool, 0, jobs,
-          [&](index_t job) {
-            const index_t e = edges[static_cast<std::size_t>(job / n0)];
-            const index_t i = job % n0;
-            const index_t client = topo.client_id(e, i);
-            // Crashed hardware computes nothing this round. (Dropped
-            // clients still compute — only their report is lost.)
-            if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
-              return;
-            }
-            auto& w_local = client_w[static_cast<std::size_t>(client)];
-            tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
-            LocalSgdConfig cfg;
-            cfg.steps = opts.tau1;
-            cfg.batch_size = opts.batch_size;
-            cfg.eta = opts.eta_w;
-            cfg.w_radius = opts.w_radius;
-            cfg.weight_decay = opts.weight_decay;
-            cfg.prox_mu = opts.prox_mu;
-            rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
-                                      .split(static_cast<std::uint64_t>(e))
-                                      .split(static_cast<std::uint64_t>(t2))
-                                      .split(static_cast<std::uint64_t>(i));
-            run_local_sgd(model, fed.shard(e, i), cfg, w_local, {}, gen,
-                          scratch[static_cast<std::size_t>(client)]);
-            if (opts.quantize_bits > 0) {
-              rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
-              sim::quantize_payload(w_local, opts.quantize_bits, qgen);
-            }
-          },
-          /*grain=*/1);
+      LocalSgdConfig cfg;
+      cfg.steps = opts.tau1;
+      cfg.batch_size = opts.batch_size;
+      cfg.eta = opts.eta_w;
+      cfg.w_radius = opts.w_radius;
+      cfg.weight_decay = opts.weight_decay;
+      cfg.prox_mu = opts.prox_mu;
+      std::vector<LocalSgdJob> jobs;
+      std::vector<rng::Xoshiro256> gens;
+      const std::size_t max_jobs = edges.size() * static_cast<std::size_t>(n0);
+      jobs.reserve(max_jobs);
+      gens.reserve(max_jobs);
+      for (const index_t e : edges) {
+        for (index_t i = 0; i < n0; ++i) {
+          const index_t client = topo.client_id(e, i);
+          // Crashed hardware computes nothing this round. (Dropped
+          // clients still compute — only their report is lost.)
+          if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
+            continue;
+          }
+          auto& w_local = client_w[static_cast<std::size_t>(client)];
+          tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
+          gens.push_back(round_gen.split(detail::kTagLocal)
+                             .split(static_cast<std::uint64_t>(e))
+                             .split(static_cast<std::uint64_t>(t2))
+                             .split(static_cast<std::uint64_t>(i)));
+          jobs.push_back(
+              {&fed.shard(e, i), w_local, {}, &gens.back(), client});
+        }
+      }
+      run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
+                         cluster);
+      if (opts.quantize_bits > 0) {
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          rng::Xoshiro256 qgen = gens[j].split(detail::kTagQuant);
+          sim::quantize_payload(
+              client_w[static_cast<std::size_t>(jobs[j].scratch_id)],
+              opts.quantize_bits, qgen);
+        }
+      }
       for (const index_t e : edges) {
         if (!plan.enabled()) {
           auto clients = topo.clients_of_edge(e);

@@ -56,16 +56,33 @@ TrainResult train_hierminimax(const nn::Model& model,
   result.w_avg = result.w;
   result.p_avg = result.p;
 
-  // Per-participant buffers, allocated once and reused every round.
+  // Per-participant buffers. Inner vectors start empty and materialize
+  // (zero-filled, like the former eager allocation) on a participant's
+  // first touch via ensure(); with edge sampling most clients never
+  // participate, so the skipped zero-fill traffic is substantial (the
+  // MLP benches allocate ~170 MB/call eagerly, ~35 MB lazily). Once
+  // created a buffer persists, so later rounds see exactly the stale
+  // contents the eager layout would have had — trajectories under faults
+  // and quantization are bit-identical.
   std::vector<std::vector<scalar_t>> client_w(
-      static_cast<std::size_t>(num_clients),
-      std::vector<scalar_t>(static_cast<std::size_t>(d)));
-  std::vector<std::vector<scalar_t>> client_ckpt = client_w;
+      static_cast<std::size_t>(num_clients));
+  std::vector<std::vector<scalar_t>> client_ckpt(
+      static_cast<std::size_t>(num_clients));
   std::vector<std::vector<scalar_t>> edge_w(
-      static_cast<std::size_t>(num_edges),
-      std::vector<scalar_t>(static_cast<std::size_t>(d)));
-  std::vector<std::vector<scalar_t>> edge_ckpt = edge_w;
+      static_cast<std::size_t>(num_edges));
+  std::vector<std::vector<scalar_t>> edge_ckpt(
+      static_cast<std::size_t>(num_edges));
+  const auto ensure = [d](std::vector<scalar_t>& v) -> std::vector<scalar_t>& {
+    if (v.empty()) v.assign(static_cast<std::size_t>(d), 0);
+    return v;
+  };
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  // Phase-2 scores every sampled client's shard at the one shared
+  // checkpoint; a single workspace + one loss_many call lets the model
+  // fuse the whole sweep (stacked eval blocks amortize operand packing).
+  const std::unique_ptr<nn::Workspace> ph2_ws = model.make_workspace();
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
   std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
   std::vector<scalar_t> edge_losses(static_cast<std::size_t>(num_edges));
   detail::StaleStore stale;
@@ -111,53 +128,58 @@ TrainResult train_hierminimax(const nn::Model& model,
 
     // Seed every participating edge's model with the global model.
     for (const index_t e : parts.ids) {
-      tensor::copy(result.w, edge_w[static_cast<std::size_t>(e)]);
+      tensor::copy(result.w, ensure(edge_w[static_cast<std::size_t>(e)]));
     }
 
     // tau2 client-edge aggregation blocks.
     for (index_t t2 = 0; t2 < opts.tau2; ++t2) {
-      const index_t jobs =
-          static_cast<index_t>(parts.ids.size()) * n0;
-      parallel::parallel_for(
-          pool, 0, jobs,
-          [&](index_t job) {
-            const index_t e =
-                parts.ids[static_cast<std::size_t>(job / n0)];
-            const index_t i = job % n0;
-            const index_t client = topo.client_id(e, i);
-            // Crashed hardware computes nothing this round. (Dropped
-            // clients still compute — only their report is lost.)
-            if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
-              return;
-            }
-            auto& w_local = client_w[static_cast<std::size_t>(client)];
-            tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
-            LocalSgdConfig cfg;
-            cfg.steps = opts.tau1;
-            cfg.batch_size = opts.batch_size;
-            cfg.eta = opts.eta_w;
-            cfg.w_radius = opts.w_radius;
-            cfg.weight_decay = opts.weight_decay;
-            cfg.prox_mu = opts.prox_mu;
-            cfg.checkpoint_step = t2 == c2 ? c1 : 0;
-            rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
-                                      .split(static_cast<std::uint64_t>(e))
-                                      .split(static_cast<std::uint64_t>(t2))
-                                      .split(static_cast<std::uint64_t>(i));
-            run_local_sgd(model, fed.shard(e, i), cfg, w_local,
-                          client_ckpt[static_cast<std::size_t>(client)], gen,
-                          scratch[static_cast<std::size_t>(client)]);
-            if (opts.quantize_bits > 0) {
-              rng::Xoshiro256 qgen = gen.split(detail::kTagQuant);
-              sim::quantize_payload(w_local, opts.quantize_bits, qgen);
-              if (t2 == c2) {
-                sim::quantize_payload(
-                    client_ckpt[static_cast<std::size_t>(client)],
-                    opts.quantize_bits, qgen);
-              }
-            }
-          },
-          /*grain=*/1);
+      LocalSgdConfig cfg;
+      cfg.steps = opts.tau1;
+      cfg.batch_size = opts.batch_size;
+      cfg.eta = opts.eta_w;
+      cfg.w_radius = opts.w_radius;
+      cfg.weight_decay = opts.weight_decay;
+      cfg.prox_mu = opts.prox_mu;
+      cfg.checkpoint_step = t2 == c2 ? c1 : 0;
+      std::vector<LocalSgdJob> jobs;
+      std::vector<rng::Xoshiro256> gens;
+      const std::size_t max_jobs =
+          parts.ids.size() * static_cast<std::size_t>(n0);
+      jobs.reserve(max_jobs);
+      gens.reserve(max_jobs);
+      for (const index_t e : parts.ids) {
+        for (index_t i = 0; i < n0; ++i) {
+          const index_t client = topo.client_id(e, i);
+          // Crashed hardware computes nothing this round. (Dropped
+          // clients still compute — only their report is lost.)
+          if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
+            continue;
+          }
+          auto& w_local = ensure(client_w[static_cast<std::size_t>(client)]);
+          tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
+          gens.push_back(round_gen.split(detail::kTagLocal)
+                             .split(static_cast<std::uint64_t>(e))
+                             .split(static_cast<std::uint64_t>(t2))
+                             .split(static_cast<std::uint64_t>(i)));
+          jobs.push_back(
+              {&fed.shard(e, i), w_local,
+               nn::VecView(ensure(client_ckpt[static_cast<std::size_t>(client)])),
+               &gens.back(), client});
+        }
+      }
+      run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
+                         cluster);
+      if (opts.quantize_bits > 0) {
+        for (std::size_t j = 0; j < jobs.size(); ++j) {
+          const auto client = static_cast<std::size_t>(jobs[j].scratch_id);
+          rng::Xoshiro256 qgen = gens[j].split(detail::kTagQuant);
+          sim::quantize_payload(client_w[client], opts.quantize_bits, qgen);
+          if (t2 == c2) {
+            sim::quantize_payload(client_ckpt[client], opts.quantize_bits,
+                                  qgen);
+          }
+        }
+      }
 
       // Client-edge aggregation (and checkpoint aggregation at block c2).
       for (const index_t e : parts.ids) {
@@ -167,7 +189,7 @@ TrainResult train_hierminimax(const nn::Model& model,
                                   edge_w[static_cast<std::size_t>(e)]);
           if (t2 == c2) {
             detail::uniform_average(client_ckpt, clients,
-                                    edge_ckpt[static_cast<std::size_t>(e)]);
+                                    ensure(edge_ckpt[static_cast<std::size_t>(e)]));
           }
           continue;
         }
@@ -199,7 +221,7 @@ TrainResult train_hierminimax(const nn::Model& model,
           } else {
             edge_has_ckpt[static_cast<std::size_t>(e)] = 1;
             detail::uniform_average(client_ckpt, surv,
-                                    edge_ckpt[static_cast<std::size_t>(e)]);
+                                    ensure(edge_ckpt[static_cast<std::size_t>(e)]));
           }
         }
       }
@@ -224,7 +246,7 @@ TrainResult train_hierminimax(const nn::Model& model,
                                    .split(static_cast<std::uint64_t>(e));
         sim::quantize_payload(edge_w[static_cast<std::size_t>(e)],
                               opts.quantize_bits, qgen);
-        sim::quantize_payload(edge_ckpt[static_cast<std::size_t>(e)],
+        sim::quantize_payload(ensure(edge_ckpt[static_cast<std::size_t>(e)]),
                               opts.quantize_bits, qgen);
       }
     }
@@ -354,33 +376,41 @@ TrainResult train_hierminimax(const nn::Model& model,
           }
         }
       }
-      parallel::parallel_for(
-          pool, 0, loss_jobs,
-          [&](index_t job) {
-            if (!client_ok[static_cast<std::size_t>(job)]) return;
-            const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
-            const index_t i = job % n0;
-            const index_t client = topo.client_id(e, i);
-            auto& sc = scratch[static_cast<std::size_t>(client)];
-            sc.ensure(model);
-            const data::Dataset& shard = fed.shard(e, i);
-            rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                      .split(static_cast<std::uint64_t>(e))
-                                      .split(static_cast<std::uint64_t>(i));
-            std::vector<index_t> batch;
-            if (opts.loss_est_batch > 0) {
-              batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-              for (auto& idx : batch) {
-                idx = static_cast<index_t>(gen.uniform_index(
-                    static_cast<std::uint64_t>(shard.size())));
-              }
-            } else {
-              batch = nn::all_indices(shard.size());
-            }
-            client_losses[static_cast<std::size_t>(job)] =
-                model.loss(checkpoint, shard, batch, *sc.ws);
-          },
-          /*grain=*/1);
+      // Draw every surviving job's estimation batch (per-job RNG streams,
+      // so the samples are independent of evaluation order), then score
+      // them all in one fused loss_many sweep at the shared checkpoint.
+      std::vector<std::vector<index_t>> batches(
+          static_cast<std::size_t>(loss_jobs));
+      std::vector<nn::LossJob> jobs;
+      std::vector<index_t> job_slot;  // loss_many index -> client_losses slot
+      jobs.reserve(static_cast<std::size_t>(loss_jobs));
+      job_slot.reserve(static_cast<std::size_t>(loss_jobs));
+      for (index_t job = 0; job < loss_jobs; ++job) {
+        if (!client_ok[static_cast<std::size_t>(job)]) continue;
+        const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
+        const index_t i = job % n0;
+        const data::Dataset& shard = fed.shard(e, i);
+        rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                  .split(static_cast<std::uint64_t>(e))
+                                  .split(static_cast<std::uint64_t>(i));
+        auto& batch = batches[static_cast<std::size_t>(job)];
+        if (opts.loss_est_batch > 0) {
+          batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+          for (auto& idx : batch) {
+            idx = static_cast<index_t>(gen.uniform_index(
+                static_cast<std::uint64_t>(shard.size())));
+          }
+        } else {
+          batch = nn::all_indices(shard.size());
+        }
+        jobs.push_back(nn::LossJob{checkpoint, &shard, batch});
+        job_slot.push_back(job);
+      }
+      std::vector<scalar_t> job_losses(jobs.size());
+      model.loss_many(jobs, job_losses, *ph2_ws);
+      for (std::size_t q = 0; q < jobs.size(); ++q) {
+        client_losses[static_cast<std::size_t>(job_slot[q])] = job_losses[q];
+      }
       for (index_t j = 0; j < static_cast<index_t>(losses_set.size()); ++j) {
         if (!edge_ok[static_cast<std::size_t>(j)]) continue;
         scalar_t f_e = 0;

@@ -38,6 +38,8 @@ struct SubtreeRunner {
   std::vector<std::vector<scalar_t>>* leaf_ckpt = nullptr;
   std::vector<ClientScratch>* scratch = nullptr;
   std::vector<char>* leaf_has_ckpt = nullptr;
+  const sim::ClusterSim* cluster = nullptr;
+  BatchEngineState* bstate = nullptr;
 
   /// Iterations one leaf performs when a node at depth `level` runs one
   /// full child subtree: prod of taus[level .. depth-1]. (A node at depth
@@ -70,15 +72,45 @@ struct SubtreeRunner {
     for (index_t b = 0; b < blocks; ++b) {
       const index_t block_base = base_iter + b * child_iters;
       if (level + 1 == topo.depth()) {
-        // Innermost aggregation: run this node's leaves in parallel.
-        parallel::parallel_for(
-            pool, 0, fanout,
-            [&](index_t c) {
-              auto& cw = child_w[static_cast<std::size_t>(c)];
-              tensor::copy(w, cw);
-              run_leaf(node * fanout + c, cw, block_base);
-            },
-            /*grain=*/1);
+        // Innermost aggregation: run this node's leaves as one device
+        // block (the engine batches them in lockstep when enabled).
+        const index_t steps = opts.taus.back();
+        LocalSgdConfig cfg;
+        cfg.steps = steps;
+        cfg.batch_size = opts.batch_size;
+        cfg.eta = opts.eta_w;
+        cfg.w_radius = opts.w_radius;
+        // Capture when the checkpoint iteration falls inside this block
+        // (shared by all its leaves — they run the same base_iter).
+        const bool capture = checkpoint_iter > block_base &&
+                             checkpoint_iter <= block_base + steps;
+        if (capture) cfg.checkpoint_step = checkpoint_iter - block_base;
+        std::vector<LocalSgdJob> jobs;
+        std::vector<rng::Xoshiro256> gens;
+        jobs.reserve(static_cast<std::size_t>(fanout));
+        gens.reserve(static_cast<std::size_t>(fanout));
+        for (index_t c = 0; c < fanout; ++c) {
+          const index_t leaf = node * fanout + c;
+          auto& cw = child_w[static_cast<std::size_t>(c)];
+          tensor::copy(w, cw);
+          // Crashed hardware computes nothing this round. (Dropped leaves
+          // still compute — only their report is lost.)
+          if (plan && plan->client_crashed(round, leaf)) continue;
+          if (capture) (*leaf_has_ckpt)[static_cast<std::size_t>(leaf)] = 1;
+          gens.push_back(round_gen.split(detail::kTagLocal)
+                             .split(static_cast<std::uint64_t>(leaf))
+                             .split(static_cast<std::uint64_t>(block_base)));
+          jobs.push_back(
+              {&fed.client_train[static_cast<std::size_t>(leaf)], cw,
+               nn::VecView((*leaf_ckpt)[static_cast<std::size_t>(leaf)]),
+               &gens.back(), leaf});
+        }
+        run_local_sgd_jobs(model, cfg, jobs, *scratch, *bstate,
+                           opts.batched, *cluster);
+        for (const LocalSgdJob& job : jobs) {
+          tensor::copy(nn::ConstVecView(job.w),
+                       (*leaf_w)[static_cast<std::size_t>(job.scratch_id)]);
+        }
       } else {
         for (index_t c = 0; c < fanout; ++c) {
           auto& cw = child_w[static_cast<std::size_t>(c)];
@@ -191,6 +223,12 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
   std::vector<std::vector<scalar_t>> leaf_ckpt = leaf_w;
   std::vector<ClientScratch> scratch(
       static_cast<std::size_t>(topo.num_leaves()));
+  // Loss estimation scores every sampled leaf at the one shared
+  // checkpoint; a single workspace + one loss_many call lets the model
+  // fuse the whole sweep into stacked evaluation blocks.
+  const std::unique_ptr<nn::Workspace> loss_ws = model.make_workspace();
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
   std::vector<char> leaf_has_ckpt(
       static_cast<std::size_t>(topo.num_leaves()), 0);
   std::vector<std::vector<scalar_t>> area_w(
@@ -247,7 +285,8 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
     SubtreeRunner runner{model,   fed,     topo,    opts,
                          pool,    round_gen, checkpoint_iter,
                          &result.comm, &plan, k,
-                         &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt};
+                         &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt,
+                         &cluster, &bstate};
 
     auto& top = result.comm.levels[0];
     for (const index_t area : parts.ids) {
@@ -377,33 +416,41 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
           }
         }
       }
-      parallel::parallel_for(
-          pool, 0, loss_jobs,
-          [&](index_t job) {
-            if (!leaf_ok[static_cast<std::size_t>(job)]) return;
-            const index_t area =
-                loss_areas[static_cast<std::size_t>(job / lpa)];
-            const index_t leaf = topo.first_leaf_of(1, area) + job % lpa;
-            auto& sc = scratch[static_cast<std::size_t>(leaf)];
-            sc.ensure(model);
-            const data::Dataset& shard =
-                fed.client_train[static_cast<std::size_t>(leaf)];
-            rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                      .split(static_cast<std::uint64_t>(leaf));
-            std::vector<index_t> batch;
-            if (opts.loss_est_batch > 0) {
-              batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-              for (auto& idx : batch) {
-                idx = static_cast<index_t>(gen.uniform_index(
-                    static_cast<std::uint64_t>(shard.size())));
-              }
-            } else {
-              batch = nn::all_indices(shard.size());
-            }
-            leaf_losses[static_cast<std::size_t>(job)] =
-                model.loss(checkpoint, shard, batch, *sc.ws);
-          },
-          /*grain=*/1);
+      // Draw every surviving leaf's estimation batch (per-leaf RNG
+      // streams, independent of evaluation order), then score them all in
+      // one fused loss_many sweep at the shared checkpoint.
+      std::vector<std::vector<index_t>> batches(
+          static_cast<std::size_t>(loss_jobs));
+      std::vector<nn::LossJob> jobs;
+      std::vector<index_t> job_slot;
+      jobs.reserve(static_cast<std::size_t>(loss_jobs));
+      job_slot.reserve(static_cast<std::size_t>(loss_jobs));
+      for (index_t job = 0; job < loss_jobs; ++job) {
+        if (!leaf_ok[static_cast<std::size_t>(job)]) continue;
+        const index_t area = loss_areas[static_cast<std::size_t>(job / lpa)];
+        const index_t leaf = topo.first_leaf_of(1, area) + job % lpa;
+        const data::Dataset& shard =
+            fed.client_train[static_cast<std::size_t>(leaf)];
+        rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
+                                  .split(static_cast<std::uint64_t>(leaf));
+        auto& batch = batches[static_cast<std::size_t>(job)];
+        if (opts.loss_est_batch > 0) {
+          batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
+          for (auto& idx : batch) {
+            idx = static_cast<index_t>(gen.uniform_index(
+                static_cast<std::uint64_t>(shard.size())));
+          }
+        } else {
+          batch = nn::all_indices(shard.size());
+        }
+        jobs.push_back(nn::LossJob{checkpoint, &shard, batch});
+        job_slot.push_back(job);
+      }
+      std::vector<scalar_t> job_losses(jobs.size());
+      model.loss_many(jobs, job_losses, *loss_ws);
+      for (std::size_t q = 0; q < jobs.size(); ++q) {
+        leaf_losses[static_cast<std::size_t>(job_slot[q])] = job_losses[q];
+      }
       for (index_t j = 0; j < static_cast<index_t>(loss_areas.size()); ++j) {
         if (!area_ok[static_cast<std::size_t>(j)]) continue;
         scalar_t f = 0;
@@ -485,6 +532,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
   std::vector<std::vector<scalar_t>> leaf_ckpt = leaf_w;  // unused capture
   std::vector<ClientScratch> scratch(
       static_cast<std::size_t>(topo.num_leaves()));
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
   std::vector<char> leaf_has_ckpt(
       static_cast<std::size_t>(topo.num_leaves()), 0);
   std::vector<std::vector<scalar_t>> area_w(
@@ -529,7 +578,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
     SubtreeRunner runner{model, fed,       topo,
                          opts,  pool,      round_gen,
                          /*checkpoint_iter=*/0, &result.comm, &plan, k,
-                         &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt};
+                         &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt,
+                         &cluster, &bstate};
     auto& top = result.comm.levels[0];
     for (const index_t area : areas) {
       auto& aw = area_w[static_cast<std::size_t>(area)];

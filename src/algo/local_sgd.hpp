@@ -5,6 +5,7 @@
 
 #include "data/dataset.hpp"
 #include "nn/model.hpp"
+#include "sim/cluster.hpp"
 
 namespace hm::algo {
 
@@ -42,5 +43,43 @@ void run_local_sgd(const nn::Model& model, const data::Dataset& shard,
                    const LocalSgdConfig& config, nn::VecView w,
                    nn::VecView checkpoint, rng::Xoshiro256& gen,
                    ClientScratch& scratch);
+
+/// One client of a parallel local-SGD block: the per-call arguments of
+/// run_local_sgd, prepared by the trainer. `gen` must stay valid for the
+/// whole run and is left in the same post-run state as the per-client
+/// path. `scratch_id` slots into the trainer's ClientScratch vector and
+/// must be distinct across the jobs of one run (grad buffers alias
+/// otherwise).
+struct LocalSgdJob {
+  const data::Dataset* shard = nullptr;
+  nn::VecView w;
+  nn::VecView checkpoint;  // empty unless this job captures
+  rng::Xoshiro256* gen = nullptr;
+  index_t scratch_id = 0;
+};
+
+/// Reusable state of the batched execution path, owned by the trainer so
+/// panel/workspace allocations amortize across rounds.
+struct BatchEngineState {
+  std::unique_ptr<nn::BatchWorkspace> ws;
+  std::vector<index_t> batches;        // flat [jobs x batch_size] indices
+  std::vector<nn::BatchClientRef> refs;
+};
+
+/// Run one local-SGD block for every job (all sharing `config`).
+///
+/// batched=false — the 0-ULP oracle: one device task per job on the
+/// cluster scheduler (sim::ClusterSim::run_devices).
+///
+/// batched=true — all jobs advance in lockstep: per step, every job's
+/// mini-batch is drawn from its own gen (same per-stream draw order as
+/// the oracle), one Model::loss_and_grad_batch call fuses the gradient
+/// work across clients, and the SGD updates run as one device region.
+/// Results are bit-identical to the oracle, job by job.
+void run_local_sgd_jobs(const nn::Model& model, const LocalSgdConfig& config,
+                        std::span<const LocalSgdJob> jobs,
+                        std::vector<ClientScratch>& scratch,
+                        BatchEngineState& batch_state, bool batched,
+                        const sim::ClusterSim& cluster);
 
 }  // namespace hm::algo

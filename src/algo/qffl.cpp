@@ -42,6 +42,8 @@ TrainResult train_qffl(const nn::Model& model,
       std::vector<scalar_t>(static_cast<std::size_t>(d)));
   std::vector<scalar_t> client_loss(static_cast<std::size_t>(num_clients), 0);
   std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
+  const sim::ClusterSim cluster(pool);
+  BatchEngineState bstate;
 
   detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
                        result.w, result.comm, result.history);
@@ -54,31 +56,38 @@ TrainResult train_qffl(const nn::Model& model,
     result.comm.edge_cloud_models_down +=
         static_cast<std::uint64_t>(clients.size());
 
-    parallel::parallel_for(
-        pool, 0, static_cast<index_t>(clients.size()),
-        [&](index_t j) {
+    // F_k at the broadcast model (full shard — exact, cheap here).
+    cluster.run_devices(
+        static_cast<index_t>(clients.size()), [&](index_t j) {
           const index_t n = clients[static_cast<std::size_t>(j)];
           const data::Dataset& shard =
               fed.client_train[static_cast<std::size_t>(n)];
           auto& sc = scratch[static_cast<std::size_t>(n)];
           sc.ensure(model);
-          // F_k at the broadcast model (full shard — exact, cheap here).
           client_loss[static_cast<std::size_t>(n)] = model.loss(
               result.w, shard, nn::all_indices(shard.size()), *sc.ws);
-          auto& w_local = client_w[static_cast<std::size_t>(n)];
-          tensor::copy(result.w, w_local);
-          LocalSgdConfig cfg;
-          cfg.steps = opts.tau1;
-          cfg.batch_size = opts.batch_size;
-          cfg.eta = opts.eta_w;
-          cfg.w_radius = opts.w_radius;
-          cfg.weight_decay = opts.weight_decay;
-          cfg.prox_mu = opts.prox_mu;
-          rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
-                                    .split(static_cast<std::uint64_t>(n));
-          run_local_sgd(model, shard, cfg, w_local, {}, gen, sc);
-        },
-        /*grain=*/1);
+        });
+    LocalSgdConfig cfg;
+    cfg.steps = opts.tau1;
+    cfg.batch_size = opts.batch_size;
+    cfg.eta = opts.eta_w;
+    cfg.w_radius = opts.w_radius;
+    cfg.weight_decay = opts.weight_decay;
+    cfg.prox_mu = opts.prox_mu;
+    std::vector<LocalSgdJob> jobs;
+    std::vector<rng::Xoshiro256> gens;
+    jobs.reserve(clients.size());
+    gens.reserve(clients.size());
+    for (const index_t n : clients) {
+      auto& w_local = client_w[static_cast<std::size_t>(n)];
+      tensor::copy(result.w, w_local);
+      gens.push_back(round_gen.split(detail::kTagLocal)
+                         .split(static_cast<std::uint64_t>(n)));
+      jobs.push_back({&fed.client_train[static_cast<std::size_t>(n)],
+                      w_local, {}, &gens.back(), n});
+    }
+    run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
+                       cluster);
 
     // Aggregate the q-FedAvg update. Delta w_k = L (w - w_bar_k).
     std::vector<scalar_t> update(static_cast<std::size_t>(d), 0);

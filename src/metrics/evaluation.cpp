@@ -97,14 +97,24 @@ scalar_t edge_loss(const nn::Model& model, nn::ConstVecView w,
                    const data::FederatedDataset& fed, index_t edge,
                    nn::Workspace& ws) {
   HM_CHECK(0 <= edge && edge < fed.num_edges());
+  // All shards score at the same w, so one loss_many call fuses them into
+  // a single stacked sweep (per shard the value is bit-identical to a
+  // standalone loss() call over all_indices).
+  const auto n = static_cast<std::size_t>(fed.clients_per_edge);
+  std::vector<std::vector<index_t>> batches(n);
+  std::vector<nn::LossJob> jobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const data::Dataset& shard = fed.shard(edge, static_cast<index_t>(i));
+    batches[i] = nn::all_indices(shard.size());
+    jobs[i] = nn::LossJob{w, &shard, batches[i]};
+  }
+  std::vector<scalar_t> losses(n);
+  model.loss_many(jobs, losses, ws);
   scalar_t total = 0;
   index_t samples = 0;
-  for (index_t i = 0; i < fed.clients_per_edge; ++i) {
-    const data::Dataset& shard = fed.shard(edge, i);
-    const auto batch = nn::all_indices(shard.size());
-    total += model.loss(w, shard, batch, ws) *
-             static_cast<scalar_t>(shard.size());
-    samples += shard.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    total += losses[i] * static_cast<scalar_t>(jobs[i].data->size());
+    samples += jobs[i].data->size();
   }
   return total / static_cast<scalar_t>(samples);
 }

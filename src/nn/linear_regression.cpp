@@ -1,6 +1,7 @@
 #include "nn/linear_regression.hpp"
 
 #include "core/check.hpp"
+#include "tensor/gemm.hpp"
 #include "tensor/vecops.hpp"
 
 namespace hm::nn {
@@ -9,6 +10,11 @@ namespace {
 
 struct LrWorkspace final : Workspace {
   std::vector<scalar_t> scores;
+};
+
+struct LrBatchWorkspace final : BatchWorkspace {
+  tensor::Matrix xb;      // gathered batch rows of the current client
+  tensor::Matrix scores;  // batch x classes
 };
 
 inline ConstVecView weight_row(ConstVecView w, index_t dim, index_t c) {
@@ -74,6 +80,67 @@ scalar_t LinearRegression::loss_and_grad(ConstVecView w,
     }
   }
   return total * inv_m;
+}
+
+std::unique_ptr<BatchWorkspace> LinearRegression::make_batch_workspace()
+    const {
+  return std::make_unique<LrBatchWorkspace>();
+}
+
+void LinearRegression::loss_and_grad_batch(
+    std::span<const BatchClientRef> clients, std::span<scalar_t> losses,
+    BatchWorkspace& ws) const {
+  HM_CHECK(losses.empty() || losses.size() == clients.size());
+  auto& scratch = static_cast<LrBatchWorkspace&>(ws);
+  for (std::size_t g = 0; g < clients.size(); ++g) {
+    const BatchClientRef& cl = clients[g];
+    const data::Dataset& d = *cl.data;
+    HM_CHECK(static_cast<index_t>(cl.w.size()) == num_params());
+    HM_CHECK(static_cast<index_t>(cl.grad.size()) == num_params());
+    HM_CHECK(!cl.batch.empty());
+    HM_CHECK(d.dim() == dim_ && d.num_classes == classes_);
+    const auto m = static_cast<index_t>(cl.batch.size());
+
+    // Scores per gathered row with the oracle's exact reductions: the
+    // same per-class dot and single bias addition as compute_scores
+    // (gathered rows are bitwise dataset rows).
+    scratch.xb.resize_for_overwrite(m, dim_);
+    for (index_t r = 0; r < m; ++r) {
+      tensor::copy(d.x.row(cl.batch[static_cast<std::size_t>(r)]),
+                   scratch.xb.row(r));
+    }
+    scratch.scores.resize_for_overwrite(m, classes_);
+    for (index_t r = 0; r < m; ++r) {
+      VecView row = scratch.scores.row(r);
+      for (index_t c = 0; c < classes_; ++c) {
+        row[static_cast<std::size_t>(c)] =
+            tensor::dot(weight_row(cl.w, dim_, c), scratch.xb.row(r)) +
+            cl.w[static_cast<std::size_t>(classes_ * dim_ + c)];
+      }
+    }
+
+    tensor::set_zero(cl.grad);
+    const scalar_t inv_m = scalar_t{1} / static_cast<scalar_t>(m);
+    scalar_t total = 0;
+    for (index_t r = 0; r < m; ++r) {
+      const index_t i = cl.batch[static_cast<std::size_t>(r)];
+      ConstVecView x = d.x.row(i);
+      const index_t label = d.y[static_cast<std::size_t>(i)];
+      ConstVecView scores = scratch.scores.row(r);
+      for (index_t c = 0; c < classes_; ++c) {
+        const scalar_t residual =
+            scores[static_cast<std::size_t>(c)] - (c == label ? 1 : 0);
+        total += scalar_t{0.5} * residual * residual;
+        const scalar_t coeff = residual * inv_m;
+        if (coeff == 0) continue;
+        tensor::axpy(coeff, x,
+                     cl.grad.subspan(static_cast<std::size_t>(c * dim_),
+                                     static_cast<std::size_t>(dim_)));
+        cl.grad[static_cast<std::size_t>(classes_ * dim_ + c)] += coeff;
+      }
+    }
+    if (!losses.empty()) losses[g] = total * inv_m;
+  }
 }
 
 scalar_t LinearRegression::loss(ConstVecView w, const data::Dataset& d,

@@ -31,6 +31,13 @@ class LinearRegression final : public Model {
                std::span<const index_t> batch, std::span<index_t> out,
                Workspace& ws) const override;
 
+  /// Batched path: per client, one dot_nt sweep computes every score row;
+  /// bit-identical per client to loss_and_grad (see SoftmaxRegression).
+  std::unique_ptr<BatchWorkspace> make_batch_workspace() const override;
+  void loss_and_grad_batch(std::span<const BatchClientRef> clients,
+                           std::span<scalar_t> losses,
+                           BatchWorkspace& ws) const override;
+
  private:
   index_t dim_;
   index_t classes_;

@@ -41,9 +41,19 @@ class Mlp final : public Model {
                          Workspace& ws) const override;
   scalar_t loss(ConstVecView w, const data::Dataset& d,
                 std::span<const index_t> batch, Workspace& ws) const override;
+  void loss_many(std::span<const LossJob> jobs, std::span<scalar_t> losses,
+                 Workspace& ws) const override;
   void predict(ConstVecView w, const data::Dataset& d,
                std::span<const index_t> batch, std::span<index_t> out,
                Workspace& ws) const override;
+
+  /// Batched path: all clients' forward/backward GEMMs are issued as one
+  /// gemm_batch per layer over stacked activation panels (clients share
+  /// each parallel region), bit-identical per client to loss_and_grad.
+  std::unique_ptr<BatchWorkspace> make_batch_workspace() const override;
+  void loss_and_grad_batch(std::span<const BatchClientRef> clients,
+                           std::span<scalar_t> losses,
+                           BatchWorkspace& ws) const override;
 
  private:
   std::vector<index_t> dims_;

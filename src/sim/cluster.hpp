@@ -4,6 +4,7 @@
 // streams, not from scheduling order.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 
 #include "parallel/parallel_for.hpp"
@@ -18,11 +19,24 @@ class ClusterSim {
 
   parallel::ThreadPool& pool() const { return *pool_; }
 
+  /// Devices per scheduled task. grain=0 picks a size-aware default:
+  /// enough tasks to keep every worker busy with work-stealing headroom
+  /// (~4 tasks per worker), but no finer — device jobs are coarse (a whole
+  /// local-SGD run), so oversplitting only buys queue traffic. Explicit
+  /// grain wins; jobs are independent, so grain never affects results.
+  index_t device_grain(index_t count, index_t grain) const {
+    if (grain > 0) return grain;
+    const auto workers = static_cast<index_t>(pool_->num_threads());
+    return std::max(index_t{1}, count / std::max(index_t{1}, workers * 4));
+  }
+
   /// Run `job(i)` for i in [0, count) across the pool; each i is one
   /// simulated device doing local work. Blocks until all jobs finish and
   /// rethrows the first job exception.
-  void run_devices(index_t count, const std::function<void(index_t)>& job) const {
-    parallel::parallel_for(*pool_, 0, count, job, /*grain=*/1);
+  void run_devices(index_t count, const std::function<void(index_t)>& job,
+                   index_t grain = 0) const {
+    parallel::parallel_for(*pool_, 0, count, job,
+                           device_grain(count, grain));
   }
 
   /// Fault-aware variant: devices that `plan` marks as crashed at `round`
@@ -30,9 +44,10 @@ class ClusterSim {
   /// straggling devices still compute — their failures happen at report
   /// time and are the algorithm layer's concern.
   void run_devices(index_t count, const FaultPlan& plan, index_t round,
-                   const std::function<void(index_t)>& job) const {
+                   const std::function<void(index_t)>& job,
+                   index_t grain = 0) const {
     if (!plan.enabled()) {
-      run_devices(count, job);
+      run_devices(count, job, grain);
       return;
     }
     parallel::parallel_for(
@@ -41,7 +56,7 @@ class ClusterSim {
           if (plan.client_crashed(round, i)) return;
           job(i);
         },
-        /*grain=*/1);
+        device_grain(count, grain));
   }
 
  private:

@@ -1,341 +1,43 @@
-// Cache-blocked, register-tiled GEMM. All variants share one micro-kernel
-// that accumulates C(i, j) over the reduction index p in strictly
-// increasing order into a register tile, so every output element is
-// computed with exactly the naive-loop rounding sequence regardless of
-// tiling, operand layout, ISA vector width, or how row bands are assigned
-// to threads.
-//
-// Operand layout strategy (perf only — numerics are identical on every
-// path):
-//  - gemm / gemm_tn read op(B) straight from B with its row stride; the
-//    inner kNR columns are contiguous either way, so packing would only
-//    add traffic.
-//  - gemm_nt needs op(B)(p, j) = B(j, p), whose columns are strided in
-//    memory; B is repacked once per call into kNR-wide k-major panels
-//    reused across all row bands.
-//  - gemm_nt with few rows (m <= kSwapRows, n >> m) computes the
-//    transposed product C^T = B * A^T instead, packing the small A side,
-//    and transposes the result back. FP multiply is commutative, so each
-//    element still sees its exact reduction sequence.
+// Public GEMM entry points. The cache-blocked, register-tiled machinery
+// lives in kernels_impl.inc, compiled once per SIMD variant with a
+// per-ISA micro-tile shape (see simd.hpp); these wrappers forward to the
+// table selected at startup. Shape validation happens inside the kernels
+// themselves, so the forwards add nothing but an indirect call. The
+// per-element reduction order is tile-shape-independent, so every variant
+// is bit-identical (tests/test_tensor.cpp enforces 0 ULP).
 #include "tensor/gemm.hpp"
 
-#include <vector>
-
-#include "parallel/parallel_for.hpp"
-#include "tensor/vecops.hpp"
+#include "tensor/simd.hpp"
 
 namespace hm::tensor {
 
-namespace {
-
-/// Micro-tile height (rows of C per register tile).
-constexpr index_t kMR = 8;
-/// Micro-tile width (columns of C per register tile / packed panel width).
-/// 8x6 doubles fill the SSE2 register file without spilling the
-/// accumulators; wider tiles fall off a cliff.
-constexpr index_t kNR = 6;
-/// Rows of C per parallel row band; one band is one scheduler chunk.
-constexpr index_t kMC = 64;
-/// Flop threshold (2*m*n*k) below which the whole multiply runs serially;
-/// spawning a parallel region for tiny batches costs more than the math.
-constexpr index_t kParallelFlops = 1 << 18;
-/// gemm_nt row-count bound for the transposed-compute path.
-constexpr index_t kSwapRows = 16;
-
-/// How the micro-kernel walks op(B): `data` points at the first strip,
-/// strip s starts at data + s*strip_stride, and row p of a strip is at
-/// p*row_stride. Covers both packed panels (row_stride kNR) and direct
-/// access into B (row_stride ldb).
-struct BDesc {
-  const scalar_t* data;
-  index_t row_stride;
-  index_t strip_stride;
-};
-
-void check_output(ConstMatView c, index_t rows, index_t cols) {
-  HM_CHECK_MSG(c.rows() == rows && c.cols() == cols,
-               "gemm output shape (" << c.rows() << "x" << c.cols()
-                                     << ") != (" << rows << "x" << cols << ")");
-}
-
-void apply_beta(MatView c, scalar_t beta) {
-  if (beta == 0) {
-    set_zero(c.flat());
-  } else if (beta != 1) {
-    scale(beta, c.flat());
-  }
-}
-
-/// Pack columns of B^T (logical K x N, stored as B(N x K) row-major) into
-/// kNR-wide k-major panels: dst[s][p*kNR + jj] = B(s*kNR + jj, p). The
-/// padding columns of the last panel are zero-filled (the exact-width
-/// micro-kernels never read them; the fill just keeps the panel fully
-/// initialized). Writes are contiguous; reads advance kNR parallel
-/// sequential streams, one per source row.
-void pack_bt(const scalar_t* HM_RESTRICT b, index_t ldb, index_t K, index_t N,
-             std::vector<scalar_t>& packed) {
-  HM_ASSERT_MSG(K >= 0 && N >= 0 && ldb >= K,
-                "pack_bt K=" << K << " N=" << N << " ldb=" << ldb);
-  const index_t strips = (N + kNR - 1) / kNR;
-  packed.resize(static_cast<std::size_t>(strips * K * kNR));
-  for (index_t s = 0; s < strips; ++s) {
-    const index_t j0 = s * kNR;
-    const index_t w = std::min(kNR, N - j0);
-    scalar_t* HM_RESTRICT panel = packed.data() + s * K * kNR;
-    const scalar_t* HM_RESTRICT src = b + j0 * ldb;
-    for (index_t p = 0; p < K; ++p) {
-      scalar_t* HM_RESTRICT out = panel + p * kNR;
-      for (index_t jj = 0; jj < w; ++jj) out[jj] = src[jj * ldb + p];
-      for (index_t jj = w; jj < kNR; ++jj) out[jj] = 0;
-    }
-  }
-}
-
-/// MR x NRW register tile: acc(ii, jj) = sum_p opA(i0+ii, p) * opB(p, jj)
-/// with p strictly increasing, then C (+)= acc. opA element (i, p) lives
-/// at a[i*a_rs + p*a_cs], which covers both A (rs=lda, cs=1) and A^T
-/// (rs=1, cs=lda) without packing A. NRW is the exact tile width: tail
-/// strips dispatch to narrower instantiations, so the kernel never reads
-/// past the operand and never spends flops on padding columns. Store
-/// overwrites C instead of accumulating: K is never split, so each output
-/// element belongs to exactly one micro-tile and a beta==0 multiply needs
-/// no zero-fill pass (storing acc and adding acc to zero are the same
-/// value, so numerics are unchanged).
-template <int MR, int NRW, bool Store>
-void micro_kernel(index_t K, const scalar_t* HM_RESTRICT a, index_t a_rs,
-                  index_t a_cs, const scalar_t* HM_RESTRICT b, index_t b_rs,
-                  scalar_t* HM_RESTRICT c, index_t ldc) {
-  scalar_t acc[MR][NRW] = {};
-  for (index_t p = 0; p < K; ++p) {
-    const scalar_t* HM_RESTRICT brow = b + p * b_rs;
-    for (int ii = 0; ii < MR; ++ii) {
-      const scalar_t av = a[ii * a_rs + p * a_cs];
-      for (int jj = 0; jj < NRW; ++jj) acc[ii][jj] += av * brow[jj];
-    }
-  }
-  for (int ii = 0; ii < MR; ++ii) {
-    scalar_t* HM_RESTRICT crow = c + ii * ldc;
-    for (int jj = 0; jj < NRW; ++jj) {
-      if constexpr (Store) {
-        crow[jj] = acc[ii][jj];
-      } else {
-        crow[jj] += acc[ii][jj];
-      }
-    }
-  }
-}
-
-template <int NRW, bool Store>
-void micro_rows(index_t rows, index_t K, const scalar_t* a, index_t a_rs,
-                index_t a_cs, const scalar_t* b, index_t b_rs, scalar_t* c,
-                index_t ldc) {
-  switch (rows) {
-    case 8: micro_kernel<8, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 7: micro_kernel<7, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 6: micro_kernel<6, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 5: micro_kernel<5, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 4: micro_kernel<4, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 3: micro_kernel<3, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 2: micro_kernel<2, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    default: micro_kernel<1, NRW, Store>(K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-  }
-}
-
-template <bool Store>
-void micro_tile(index_t rows, index_t ncols, index_t K, const scalar_t* a,
-                index_t a_rs, index_t a_cs, const scalar_t* b, index_t b_rs,
-                scalar_t* c, index_t ldc) {
-  switch (ncols) {
-    case 6: micro_rows<6, Store>(rows, K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 5: micro_rows<5, Store>(rows, K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 4: micro_rows<4, Store>(rows, K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 3: micro_rows<3, Store>(rows, K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    case 2: micro_rows<2, Store>(rows, K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-    default: micro_rows<1, Store>(rows, K, a, a_rs, a_cs, b, b_rs, c, ldc); break;
-  }
-}
-
-/// op(B) size (in doubles) under which the whole operand is treated as
-/// cache-resident and the loop nest puts row blocks outside (256 KiB).
-constexpr index_t kBResidentDoubles = 32 * 1024;
-
-/// One band of rows [i0, i1). Loop-nest order is a pure traffic decision
-/// (per-element math is unaffected): normally strips are outer so each
-/// K x kNR strip of op(B) stays hot while the band's rows of opA stream;
-/// but when all of op(B) fits in cache (small N*K — the batch-sized and
-/// small-K multiplies), row blocks go outer so opA and C are each
-/// touched exactly once instead of once per strip.
-template <bool Store>
-void run_band(index_t i0, index_t i1, index_t N, index_t K, const scalar_t* a,
-              index_t a_rs, index_t a_cs, const BDesc& bd, scalar_t* c,
-              index_t ldc) {
-  const index_t strips = (N + kNR - 1) / kNR;
-  auto tile = [&](index_t i, index_t rows, index_t s) {
-    const scalar_t* bs = bd.data + s * bd.strip_stride;
-    const index_t j0 = s * kNR;
-    // Tile invariants: an off-by-one here is a silent out-of-bounds read
-    // in the micro-kernel, so pin them down in sanitizer/debug builds.
-    HM_ASSERT_MSG(rows > 0 && rows <= kMR && j0 < N,
-                  "tile rows=" << rows << " j0=" << j0 << " N=" << N);
-    micro_tile<Store>(rows, std::min(kNR, N - j0), K, a + i * a_rs, a_rs,
-                      a_cs, bs, bd.row_stride, c + i * ldc + j0, ldc);
-  };
-  if (N * K <= kBResidentDoubles) {
-    for (index_t i = i0; i < i1; i += kMR) {
-      const index_t rows = std::min(kMR, i1 - i);
-      for (index_t s = 0; s < strips; ++s) tile(i, rows, s);
-    }
-  } else {
-    for (index_t s = 0; s < strips; ++s) {
-      for (index_t i = i0; i < i1; i += kMR) {
-        tile(i, std::min(kMR, i1 - i), s);
-      }
-    }
-  }
-}
-
-/// C(M x N) (+)= opA(M x K) * opB(K x N); `accumulate` selects += vs
-/// overwrite. Row bands are independent (disjoint writes) and each
-/// element's reduction order is fixed, so the parallel split cannot
-/// change results. The caller must handle K == 0 (no-op here).
-void compute(index_t M, index_t N, index_t K, const scalar_t* a, index_t a_rs,
-             index_t a_cs, const BDesc& bd, scalar_t* c, index_t ldc,
-             bool accumulate) {
-  if (M == 0 || N == 0 || K == 0) return;
-  const index_t bands = (M + kMC - 1) / kMC;
-  auto band = [&](index_t bi) {
-    HM_ASSERT_BOUNDS(bi, bands);
-    const index_t i0 = bi * kMC;
-    const index_t i1 = std::min(M, i0 + kMC);
-    HM_ASSERT(i0 < i1 && i1 <= M);
-    if (accumulate) {
-      run_band<false>(i0, i1, N, K, a, a_rs, a_cs, bd, c, ldc);
-    } else {
-      run_band<true>(i0, i1, N, K, a, a_rs, a_cs, bd, c, ldc);
-    }
-  };
-  if (bands > 1 && 2 * M * N * K >= kParallelFlops) {
-    parallel::parallel_for(0, bands, band, /*grain=*/1);
-  } else {
-    for (index_t bi = 0; bi < bands; ++bi) band(bi);
-  }
-}
-
-/// Per-thread scratch buffers, reused across calls so the steady state
-/// performs no allocation. Workers run nested gemms serially on their own
-/// thread, so the buffers are never shared.
-std::vector<scalar_t>& pack_scratch() {
-  thread_local std::vector<scalar_t> buf;
-  return buf;
-}
-
-std::vector<scalar_t>& ct_scratch() {
-  thread_local std::vector<scalar_t> buf;
-  return buf;
-}
-
-}  // namespace
-
 void gemm(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
-  const index_t m = a.rows(), k = a.cols(), n = b.cols();
-  HM_CHECK_MSG(b.rows() == k, "gemm inner dims " << k << " vs " << b.rows());
-  check_output(c, m, n);
-  if (k == 0) {
-    apply_beta(c, beta);
-    return;
-  }
-  if (beta != 0 && beta != 1) scale(beta, c.flat());
-  const BDesc bd{b.flat().data(), /*row_stride=*/n, /*strip_stride=*/kNR};
-  compute(m, n, k, a.flat().data(), /*a_rs=*/k, /*a_cs=*/1, bd,
-          c.flat().data(), n, /*accumulate=*/beta != 0);
+  detail::active_kernel_table().gemm(a, b, c, beta);
 }
 
 void gemm_nt(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
-  const index_t m = a.rows(), k = a.cols(), n = b.rows();
-  HM_CHECK_MSG(b.cols() == k, "gemm_nt inner dims " << k << " vs " << b.cols());
-  check_output(c, m, n);
-  if (m == 0 || n == 0 || k == 0) {
-    apply_beta(c, beta);
-    return;
-  }
-  auto& packed = pack_scratch();
-  if (m <= kSwapRows && n >= 4 * m) {
-    // Few rows: packing B^T (k*n elements) would dwarf the math. Compute
-    // Ct(n x m) = B * A^T with the small A side packed, then fold the
-    // transpose into C. Same per-element rounding sequence (see header).
-    auto& ct = ct_scratch();
-    ct.resize(static_cast<std::size_t>(n * m));
-    pack_bt(a.flat().data(), k, k, m, packed);
-    const BDesc bd{packed.data(), kNR, k * kNR};
-    compute(n, m, k, b.flat().data(), /*a_rs=*/k, /*a_cs=*/1, bd, ct.data(),
-            m, /*accumulate=*/false);
-    if (beta != 0 && beta != 1) scale(beta, c.flat());
-    scalar_t* HM_RESTRICT cd = c.flat().data();
-    for (index_t i = 0; i < m; ++i) {
-      scalar_t* HM_RESTRICT crow = cd + i * n;
-      const scalar_t* HM_RESTRICT ccol = ct.data() + i;
-      if (beta == 0) {
-        for (index_t j = 0; j < n; ++j) crow[j] = ccol[j * m];
-      } else {
-        for (index_t j = 0; j < n; ++j) crow[j] += ccol[j * m];
-      }
-    }
-    return;
-  }
-  if (beta != 0 && beta != 1) scale(beta, c.flat());
-  pack_bt(b.flat().data(), k, k, n, packed);
-  const BDesc bd{packed.data(), kNR, k * kNR};
-  compute(m, n, k, a.flat().data(), /*a_rs=*/k, /*a_cs=*/1, bd,
-          c.flat().data(), n, /*accumulate=*/beta != 0);
+  detail::active_kernel_table().gemm_nt(a, b, c, beta);
 }
 
 void gemm_tn(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
-  const index_t m = a.rows(), k = a.cols(), n = b.cols();
-  HM_CHECK_MSG(b.rows() == m, "gemm_tn inner dims " << m << " vs " << b.rows());
-  check_output(c, k, n);
-  if (m == 0) {
-    apply_beta(c, beta);
-    return;
-  }
-  if (beta != 0 && beta != 1) scale(beta, c.flat());
-  const BDesc bd{b.flat().data(), /*row_stride=*/n, /*strip_stride=*/kNR};
-  // opA(l, p) = A(p, l): row stride 1, column stride k.
-  compute(k, n, m, a.flat().data(), /*a_rs=*/1, /*a_cs=*/k, bd,
-          c.flat().data(), n, /*accumulate=*/beta != 0);
+  detail::active_kernel_table().gemm_tn(a, b, c, beta);
 }
 
 void gemv(ConstMatView a, ConstVecView x, VecView y, scalar_t beta) {
-  const index_t m = a.rows(), k = a.cols();
-  HM_CHECK(static_cast<index_t>(x.size()) == k);
-  HM_CHECK(static_cast<index_t>(y.size()) == m);
-  auto rows = [&](index_t i0, index_t i1) {
-    index_t i = i0;
-    for (; i + 2 <= i1; i += 2) {
-      scalar_t r0, r1;
-      dot2(x, a.row(i), a.row(i + 1), r0, r1);
-      auto& y0 = y[static_cast<std::size_t>(i)];
-      auto& y1 = y[static_cast<std::size_t>(i + 1)];
-      // beta == 0 overwrites without reading y (which may be uninitialized).
-      y0 = beta == 0 ? r0 : beta * y0 + r0;
-      y1 = beta == 0 ? r1 : beta * y1 + r1;
-    }
-    if (i < i1) {
-      auto& yi = y[static_cast<std::size_t>(i)];
-      const scalar_t r = dot(a.row(i), x);
-      yi = beta == 0 ? r : beta * yi + r;
-    }
-  };
-  // Blocks of whole row pairs keep the dot2 pairing (and therefore the
-  // pairing-independent per-row dot order) aligned across block counts.
-  const index_t pairs = (m + 1) / 2;
-  if (2 * m * k >= kParallelFlops && pairs > 1) {
-    parallel::parallel_for(
-        0, pairs,
-        [&](index_t pr) { rows(2 * pr, std::min(m, 2 * pr + 2)); },
-        /*grain=*/16);
-  } else {
-    rows(0, m);
-  }
+  detail::active_kernel_table().gemv(a, x, y, beta);
+}
+
+void gemm_batch(GemmKind kind, std::span<const GemmGroup> groups,
+                scalar_t beta) {
+  detail::active_kernel_table().gemm_batch(kind, groups, beta);
+}
+
+void dot_nt(ConstMatView a, ConstMatView b, MatView c) {
+  detail::active_kernel_table().dot_nt(a, b, c);
+}
+
+void gemm_nt_fma(ConstMatView a, ConstMatView b, MatView c, scalar_t beta) {
+  detail::active_kernel_table().gemm_nt_fma(a, b, c, beta);
 }
 
 }  // namespace hm::tensor

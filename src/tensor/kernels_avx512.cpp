@@ -1,0 +1,12 @@
+// AVX-512 kernel variant: same source as the generic build (see
+// kernels_impl.inc), compiled with -mavx512f and 512-bit preferred
+// vector width so the 8-double vec_t lane groups become single zmm
+// operations. 8x16 register tile = 16 zmm accumulators (two per row) +
+// 2 panel vectors, half the 32-register file left for operands (shape
+// picked empirically: ~1.4x over 8x8 on the Fig. 3/4 GEMM sizes).
+#define HM_KERNEL_NS avx512_kernels
+#define HM_KERNEL_TABLE kernel_table_avx512
+#define HM_KERNEL_MR 8
+#define HM_KERNEL_NR 16
+#define HM_KERNEL_VW 8
+#include "tensor/kernels_impl.inc"

@@ -1,0 +1,11 @@
+// Baseline kernel variant: compiled with the project-wide target (x86-64
+// SSE2 or whatever the platform default is). Tile shape matches the
+// original single-variant kernels, so this table IS the historical
+// behavior — and, per the determinism contract, the other variants are
+// bit-identical to it.
+#define HM_KERNEL_NS generic_kernels
+#define HM_KERNEL_TABLE kernel_table_generic
+#define HM_KERNEL_MR 8
+#define HM_KERNEL_NR 6
+#define HM_KERNEL_VW 2
+#include "tensor/kernels_impl.inc"

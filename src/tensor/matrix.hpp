@@ -98,6 +98,18 @@ class Matrix {
     data_.assign(static_cast<std::size_t>(rows * cols), fill);
   }
 
+  /// Reshape for a full overwrite: reuses the existing allocation and
+  /// skips the fill, so repeated calls at a steady shape cost nothing.
+  /// Contents are unspecified — only for outputs every element of which
+  /// is written before being read (gemm with beta == 0, row gathers).
+  void resize_for_overwrite(index_t rows, index_t cols) {
+    HM_CHECK(rows >= 0 && cols >= 0);
+    rows_ = rows;
+    cols_ = cols;
+    const auto n = static_cast<std::size_t>(rows * cols);
+    if (data_.size() < n) data_.resize(n);
+  }
+
   index_t rows() const { return rows_; }
   index_t cols() const { return cols_; }
   index_t size() const { return rows_ * cols_; }
@@ -126,8 +138,15 @@ class Matrix {
                         static_cast<std::size_t>(cols_));
   }
 
-  VecView flat() { return VecView(data_); }
-  ConstVecView flat() const { return ConstVecView(data_); }
+  // Span exactly rows*cols: the backing vector may be larger after a
+  // shrinking resize_for_overwrite.
+  VecView flat() {
+    return VecView(data_.data(), static_cast<std::size_t>(rows_ * cols_));
+  }
+  ConstVecView flat() const {
+    return ConstVecView(data_.data(),
+                        static_cast<std::size_t>(rows_ * cols_));
+  }
 
   void fill(scalar_t value) { data_.assign(data_.size(), value); }
 

@@ -1,0 +1,108 @@
+// SIMD level detection and table selection (see simd.hpp).
+#include "tensor/simd.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace hm::tensor {
+
+namespace {
+
+bool cpu_supports(SimdLevel level) {
+  if (level == SimdLevel::kGeneric) return true;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return true;
+    case SimdLevel::kAvx2:
+      // Both x86 variants also need the FMA bit: the explicitly-fused
+      // gemm_nt_fma kernel compiles to vfmadd there (-mfma on the TU).
+      // Every AVX2-capable CPU ships FMA3, so this never demotes in
+      // practice; it just keeps detection honest.
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case SimdLevel::kAvx512:
+      // The kernels are compiled with -mavx512f -mavx512vl -mavx512dq
+      // -mavx512bw (the skylake-avx512 common subset) plus -mfma.
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512vl") &&
+             __builtin_cpu_supports("avx512dq") &&
+             __builtin_cpu_supports("avx512bw") &&
+             __builtin_cpu_supports("fma");
+  }
+  return false;
+#else
+  return false;
+#endif
+}
+
+SimdLevel best_supported() {
+  if (cpu_supports(SimdLevel::kAvx512)) return SimdLevel::kAvx512;
+  if (cpu_supports(SimdLevel::kAvx2)) return SimdLevel::kAvx2;
+  return SimdLevel::kGeneric;
+}
+
+SimdLevel resolve_level() {
+  const char* req = std::getenv("HM_SIMD");
+  if (req != nullptr) {
+    // An unrecognized value falls through to detection; a recognized but
+    // unsupported one clamps to the best the CPU can run (tests compare
+    // active_simd_level() against what they forced and skip on mismatch).
+    SimdLevel want = best_supported();
+    bool known = true;
+    if (std::strcmp(req, "generic") == 0) {
+      want = SimdLevel::kGeneric;
+    } else if (std::strcmp(req, "avx2") == 0) {
+      want = SimdLevel::kAvx2;
+    } else if (std::strcmp(req, "avx512") == 0) {
+      want = SimdLevel::kAvx512;
+    } else {
+      known = false;
+    }
+    if (known && cpu_supports(want)) return want;
+  }
+  return best_supported();
+}
+
+}  // namespace
+
+SimdLevel active_simd_level() {
+  static const SimdLevel level = resolve_level();
+  return level;
+}
+
+bool simd_level_supported(SimdLevel level) { return cpu_supports(level); }
+
+const char* simd_level_name(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return "generic";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+namespace detail {
+
+const KernelTable& kernel_table(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kGeneric:
+      return kernel_table_generic();
+    case SimdLevel::kAvx2:
+      return kernel_table_avx2();
+    case SimdLevel::kAvx512:
+      return kernel_table_avx512();
+  }
+  return kernel_table_generic();
+}
+
+const KernelTable& active_kernel_table() {
+  static const KernelTable& table = kernel_table(active_simd_level());
+  return table;
+}
+
+}  // namespace detail
+
+}  // namespace hm::tensor

@@ -1,141 +1,48 @@
-// Unroll-by-8 kernels with a fixed lane-reduction order (see vecops.hpp
-// for the determinism contract). The multi-accumulator reductions break
-// the FP-add latency chain that a strict sequential sum would serialize
-// on, while keeping results independent of ISA vector width and thread
-// count: the 8 lanes are named source-level accumulators, so the compiler
-// may vectorize them (2 lanes per SSE register, 4 per AVX, 8 per AVX-512)
-// without changing which elements meet in which addition.
+// Public BLAS-1 entry points. The arithmetic lives in kernels_impl.inc,
+// compiled once per SIMD variant (see simd.hpp); these wrappers forward
+// to the table selected at startup. Argument validation happens inside
+// the kernels themselves, so the forwards add nothing but an indirect
+// call. Order-insensitive helpers (copy, set_zero, max, argmax) have no
+// variant-dependent codegen worth dispatching and stay here.
 #include "tensor/vecops.hpp"
 
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/simd.hpp"
+
 namespace hm::tensor {
 
-namespace {
-
-/// Fixed pairwise combine of the 8 lanes: ((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7)).
-inline scalar_t reduce_lanes(const scalar_t a[kLanes]) {
-  return ((a[0] + a[1]) + (a[2] + a[3])) + ((a[4] + a[5]) + (a[6] + a[7]));
-}
-
-}  // namespace
-
 void axpy(scalar_t alpha, ConstVecView x, VecView y) {
-  HM_CHECK(x.size() == y.size());
-  const std::size_t n = x.size();
-  const scalar_t* HM_RESTRICT px = x.data();
-  scalar_t* HM_RESTRICT py = y.data();
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) py[i + j] += alpha * px[i + j];
-  }
-  for (; i < n; ++i) py[i] += alpha * px[i];
+  detail::active_kernel_table().axpy(alpha, x, y);
 }
 
 void axpby(scalar_t alpha, ConstVecView x, scalar_t beta, VecView y) {
-  HM_CHECK(x.size() == y.size());
-  const std::size_t n = x.size();
-  const scalar_t* HM_RESTRICT px = x.data();
-  scalar_t* HM_RESTRICT py = y.data();
-  if (beta == 0) {
-    for (std::size_t i = 0; i < n; ++i) py[i] = alpha * px[i];
-    return;
-  }
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) {
-      py[i + j] = alpha * px[i + j] + beta * py[i + j];
-    }
-  }
-  for (; i < n; ++i) py[i] = alpha * px[i] + beta * py[i];
+  detail::active_kernel_table().axpby(alpha, x, beta, y);
 }
 
 void axpy2(scalar_t a0, ConstVecView x0, scalar_t a1, ConstVecView x1,
            VecView y) {
-  HM_CHECK(x0.size() == y.size() && x1.size() == y.size());
-  const std::size_t n = y.size();
-  const scalar_t* HM_RESTRICT p0 = x0.data();
-  const scalar_t* HM_RESTRICT p1 = x1.data();
-  scalar_t* HM_RESTRICT py = y.data();
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) {
-      py[i + j] = (py[i + j] + a0 * p0[i + j]) + a1 * p1[i + j];
-    }
-  }
-  for (; i < n; ++i) py[i] = (py[i] + a0 * p0[i]) + a1 * p1[i];
+  detail::active_kernel_table().axpy2(a0, x0, a1, x1, y);
 }
 
 void scale(scalar_t alpha, VecView x) {
-  scalar_t* HM_RESTRICT p = x.data();
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) p[i] *= alpha;
+  detail::active_kernel_table().scale(alpha, x);
 }
 
 scalar_t dot(ConstVecView x, ConstVecView y) {
-  HM_CHECK(x.size() == y.size());
-  const std::size_t n = x.size();
-  const scalar_t* HM_RESTRICT px = x.data();
-  const scalar_t* HM_RESTRICT py = y.data();
-  scalar_t acc[kLanes] = {};
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) acc[j] += px[i + j] * py[i + j];
-  }
-  HM_ASSERT(n - i < kLanes);  // tail shorter than one lane block
-  for (std::size_t j = 0; i + j < n; ++j) acc[j] += px[i + j] * py[i + j];
-  return reduce_lanes(acc);
+  return detail::active_kernel_table().dot(x, y);
 }
 
 void dot2(ConstVecView x, ConstVecView y0, ConstVecView y1, scalar_t& r0,
           scalar_t& r1) {
-  HM_CHECK(x.size() == y0.size() && x.size() == y1.size());
-  const std::size_t n = x.size();
-  const scalar_t* HM_RESTRICT px = x.data();
-  const scalar_t* HM_RESTRICT p0 = y0.data();
-  const scalar_t* HM_RESTRICT p1 = y1.data();
-  scalar_t acc0[kLanes] = {};
-  scalar_t acc1[kLanes] = {};
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) {
-      const scalar_t xv = px[i + j];
-      acc0[j] += xv * p0[i + j];
-      acc1[j] += xv * p1[i + j];
-    }
-  }
-  HM_ASSERT(n - i < kLanes);
-  for (std::size_t j = 0; i + j < n; ++j) {
-    const scalar_t xv = px[i + j];
-    acc0[j] += xv * p0[i + j];
-    acc1[j] += xv * p1[i + j];
-  }
-  r0 = reduce_lanes(acc0);
-  r1 = reduce_lanes(acc1);
+  detail::active_kernel_table().dot2(x, y0, y1, r0, r1);
 }
 
 scalar_t nrm2(ConstVecView x) { return std::sqrt(dot(x, x)); }
 
 scalar_t dist2(ConstVecView x, ConstVecView y) {
-  HM_CHECK(x.size() == y.size());
-  const std::size_t n = x.size();
-  const scalar_t* HM_RESTRICT px = x.data();
-  const scalar_t* HM_RESTRICT py = y.data();
-  scalar_t acc[kLanes] = {};
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) {
-      const scalar_t d = px[i + j] - py[i + j];
-      acc[j] += d * d;
-    }
-  }
-  HM_ASSERT(n - i < kLanes);
-  for (std::size_t j = 0; i + j < n; ++j) {
-    const scalar_t d = px[i + j] - py[i + j];
-    acc[j] += d * d;
-  }
-  return std::sqrt(reduce_lanes(acc));
+  return detail::active_kernel_table().dist2(x, y);
 }
 
 void copy(ConstVecView x, VecView y) {
@@ -145,18 +52,7 @@ void copy(ConstVecView x, VecView y) {
 
 void set_zero(VecView x) { std::fill(x.begin(), x.end(), scalar_t{0}); }
 
-scalar_t sum(ConstVecView x) {
-  const std::size_t n = x.size();
-  const scalar_t* HM_RESTRICT p = x.data();
-  scalar_t acc[kLanes] = {};
-  std::size_t i = 0;
-  for (; i + kLanes <= n; i += kLanes) {
-    for (std::size_t j = 0; j < kLanes; ++j) acc[j] += p[i + j];
-  }
-  HM_ASSERT(n - i < kLanes);
-  for (std::size_t j = 0; i + j < n; ++j) acc[j] += p[i + j];
-  return reduce_lanes(acc);
-}
+scalar_t sum(ConstVecView x) { return detail::active_kernel_table().sum(x); }
 
 scalar_t max(ConstVecView x) {
   HM_CHECK(!x.empty());

@@ -1,0 +1,377 @@
+// Bit-exactness suite for the batched multi-client engine. Two layers of
+// oracle comparison, both at 0 ULP:
+//
+//  1. Model layer: loss_and_grad_batch against per-client loss_and_grad
+//     for every model with a fused override (softmax regression, linear
+//     regression, MLP) plus the base-class fallback, over ragged batch
+//     sizes including 1-sample tails.
+//  2. Trainer layer: every trainer run twice at a fixed seed — batched
+//     engine vs the per-client oracle — comparing weights, duals,
+//     running averages, comm counters (via the history TSV) bitwise.
+//     Quantization and fault injection ride along because both consume
+//     RNG state *after* local SGD, so they only match if the batched
+//     engine leaves every per-client stream in the oracle's post-run
+//     state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algo/drfa.hpp"
+#include "algo/fedavg.hpp"
+#include "algo/hierfavg.hpp"
+#include "algo/hierminimax.hpp"
+#include "algo/hierminimax_multi.hpp"
+#include "algo/qffl.hpp"
+#include "nn/linear_regression.hpp"
+#include "nn/mlp.hpp"
+#include "nn/softmax_regression.hpp"
+#include "sim/topology.hpp"
+#include "test_util.hpp"
+
+namespace hm::algo {
+namespace {
+
+using testing_util::heterogeneous_task;
+using testing_util::iid_task;
+
+std::uint64_t bits(scalar_t x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+void expect_bitwise(const std::vector<scalar_t>& oracle,
+                    const std::vector<scalar_t>& batched,
+                    const std::string& label) {
+  ASSERT_EQ(oracle.size(), batched.size()) << label;
+  for (std::size_t i = 0; i < oracle.size(); ++i) {
+    ASSERT_EQ(bits(oracle[i]), bits(batched[i]))
+        << label << "[" << i << "]: " << oracle[i] << " vs " << batched[i];
+  }
+}
+
+// ------------------------------------------------------------- model layer
+
+/// Runs `model.loss_and_grad_batch` over every client of `fed` with
+/// ragged per-client batches (sizes cycle through 1, 3, 8, full shard)
+/// and per-client parameter vectors, then checks losses and gradients
+/// bitwise against sequential loss_and_grad calls.
+void check_model_batch_oracle(const nn::Model& model,
+                              const data::FederatedDataset& fed,
+                              const std::string& label) {
+  const auto d = static_cast<std::size_t>(model.num_params());
+  const auto num_clients = static_cast<std::size_t>(fed.num_clients());
+
+  // Distinct parameters per client so a cross-client mixup cannot cancel.
+  std::vector<std::vector<scalar_t>> w(num_clients,
+                                       std::vector<scalar_t>(d));
+  for (std::size_t n = 0; n < num_clients; ++n) {
+    rng::Xoshiro256 gen(1000 + n);
+    model.init_params(w[n], gen);
+  }
+
+  // Ragged batches, including the 1-sample tail shape.
+  std::vector<std::vector<index_t>> batches(num_clients);
+  rng::Xoshiro256 pick(42);
+  for (std::size_t n = 0; n < num_clients; ++n) {
+    const auto& shard = fed.client_train[n];
+    const index_t sizes[] = {1, 3, 8, shard.size()};
+    const index_t m = sizes[n % 4];
+    for (index_t i = 0; i < m; ++i) {
+      batches[n].push_back(static_cast<index_t>(
+          pick.uniform_index(static_cast<std::uint64_t>(shard.size()))));
+    }
+  }
+
+  // Oracle: one client at a time.
+  std::vector<std::vector<scalar_t>> grad_oracle(
+      num_clients, std::vector<scalar_t>(d, 0));
+  std::vector<scalar_t> loss_oracle(num_clients, 0);
+  auto ws = model.make_workspace();
+  for (std::size_t n = 0; n < num_clients; ++n) {
+    loss_oracle[n] =
+        model.loss_and_grad(w[n], fed.client_train[n], batches[n],
+                            nn::VecView(grad_oracle[n]), *ws);
+  }
+
+  // Batched: one fused call.
+  std::vector<std::vector<scalar_t>> grad_batch(
+      num_clients, std::vector<scalar_t>(d, 0));
+  std::vector<scalar_t> loss_batch(num_clients, 0);
+  std::vector<nn::BatchClientRef> refs;
+  refs.reserve(num_clients);
+  for (std::size_t n = 0; n < num_clients; ++n) {
+    refs.push_back({nn::ConstVecView(w[n]), &fed.client_train[n],
+                    batches[n], nn::VecView(grad_batch[n])});
+  }
+  auto bws = model.make_batch_workspace();
+  model.loss_and_grad_batch(refs, loss_batch, *bws);
+
+  expect_bitwise(loss_oracle, loss_batch, label + " loss");
+  for (std::size_t n = 0; n < num_clients; ++n) {
+    expect_bitwise(grad_oracle[n], grad_batch[n],
+                   label + " grad client " + std::to_string(n));
+  }
+
+  // Empty loss span is allowed: gradients must still be bit-identical.
+  for (auto& g : grad_batch) std::fill(g.begin(), g.end(), scalar_t{0});
+  model.loss_and_grad_batch(refs, {}, *bws);
+  for (std::size_t n = 0; n < num_clients; ++n) {
+    expect_bitwise(grad_oracle[n], grad_batch[n],
+                   label + " grad (no losses) client " + std::to_string(n));
+  }
+}
+
+TEST(BatchedModel, SoftmaxRegressionMatchesOracle) {
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  check_model_batch_oracle(model, fed, "softmax");
+}
+
+TEST(BatchedModel, LinearRegressionMatchesOracle) {
+  const auto fed = heterogeneous_task();
+  const nn::LinearRegression model(fed.dim(), fed.num_classes());
+  check_model_batch_oracle(model, fed, "linreg");
+}
+
+TEST(BatchedModel, MlpMatchesOracle) {
+  const auto fed = heterogeneous_task();
+  const nn::Mlp model({fed.dim(), 16, 8, fed.num_classes()});
+  check_model_batch_oracle(model, fed, "mlp");
+}
+
+TEST(BatchedModel, MlpSingleClientAndSingleSample) {
+  // Degenerate shapes: one client, one sample — exercises the smallest
+  // stacked panel the batched GEMM ever sees.
+  const auto fed = iid_task();
+  const nn::Mlp model({fed.dim(), 8, fed.num_classes()});
+  const auto d = static_cast<std::size_t>(model.num_params());
+  std::vector<scalar_t> w(d);
+  rng::Xoshiro256 gen(7);
+  model.init_params(w, gen);
+  const std::vector<index_t> batch = {3};
+  std::vector<scalar_t> g_oracle(d, 0), g_batch(d, 0);
+  auto ws = model.make_workspace();
+  const scalar_t l_oracle = model.loss_and_grad(
+      w, fed.client_train[0], batch, nn::VecView(g_oracle), *ws);
+  std::vector<nn::BatchClientRef> refs = {
+      {nn::ConstVecView(w), &fed.client_train[0], batch,
+       nn::VecView(g_batch)}};
+  std::vector<scalar_t> l_batch(1, 0);
+  auto bws = model.make_batch_workspace();
+  model.loss_and_grad_batch(refs, l_batch, *bws);
+  EXPECT_EQ(bits(l_oracle), bits(l_batch[0]));
+  expect_bitwise(g_oracle, g_batch, "mlp 1x1");
+}
+
+// ----------------------------------------------------------- trainer layer
+
+/// Reduces a trainer result to exact-comparable form: every scalar the
+/// run produced, plus the full history TSV (which folds in comm
+/// counters and evaluation records).
+struct Reduced {
+  std::vector<scalar_t> w, p, w_avg, p_avg;
+  std::string tsv;
+};
+
+Reduced reduce(const TrainResult& r) {
+  Reduced out{r.w, r.p, r.w_avg, r.p_avg, {}};
+  std::ostringstream os;
+  r.history.write_tsv(os, "run");
+  out.tsv = os.str();
+  return out;
+}
+
+Reduced reduce(const MultiTrainResult& r) {
+  Reduced out{r.w, r.p, {}, {}, {}};
+  std::ostringstream os;
+  r.history.write_tsv(os, "run");
+  out.tsv = os.str();
+  return out;
+}
+
+void expect_same_run(const Reduced& oracle, const Reduced& batched,
+                     const std::string& label) {
+  expect_bitwise(oracle.w, batched.w, label + " w");
+  expect_bitwise(oracle.p, batched.p, label + " p");
+  expect_bitwise(oracle.w_avg, batched.w_avg, label + " w_avg");
+  expect_bitwise(oracle.p_avg, batched.p_avg, label + " p_avg");
+  EXPECT_EQ(oracle.tsv, batched.tsv) << label << " history";
+}
+
+TrainOptions engine_opts(index_t rounds = 6) {
+  TrainOptions o;
+  o.rounds = rounds;
+  o.tau1 = 3;
+  o.tau2 = 2;
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eta_p = 0.02;
+  o.eval_every = 3;
+  o.seed = 5;
+  return o;
+}
+
+template <typename Run>
+void check_trainer(Run&& run, TrainOptions opts, const std::string& label) {
+  opts.batched = false;
+  const Reduced oracle = reduce(run(opts));
+  opts.batched = true;
+  const Reduced batched = reduce(run(opts));
+  expect_same_run(oracle, batched, label);
+}
+
+TEST(BatchedTrainers, FedAvgSoftmax) {
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts();
+  opts.sampled_clients = 5;  // odd partial participation
+  check_trainer([&](const TrainOptions& o) { return train_fedavg(model, fed, o); },
+                opts, "fedavg");
+}
+
+TEST(BatchedTrainers, FedAvgMlp) {
+  const auto fed = heterogeneous_task();
+  const nn::Mlp model({fed.dim(), 16, fed.num_classes()});
+  check_trainer([&](const TrainOptions& o) { return train_fedavg(model, fed, o); },
+                engine_opts(4), "fedavg-mlp");
+}
+
+TEST(BatchedTrainers, FedAvgWithProxAndDecay) {
+  const auto fed = iid_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts(4);
+  opts.prox_mu = 0.5;
+  opts.weight_decay = 0.01;
+  check_trainer([&](const TrainOptions& o) { return train_fedavg(model, fed, o); },
+                opts, "fedavg-prox");
+}
+
+TEST(BatchedTrainers, FedAvgWithQuantization) {
+  // Quantization draws from gen.split(kTagQuant) *after* local SGD, so
+  // this only matches if the batched engine advances each client stream
+  // exactly as the oracle does.
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts(4);
+  opts.quantize_bits = 8;
+  check_trainer([&](const TrainOptions& o) { return train_fedavg(model, fed, o); },
+                opts, "fedavg-quant");
+}
+
+TEST(BatchedTrainers, Qffl) {
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  check_trainer(
+      [&](const TrainOptions& o) { return train_qffl(model, fed, o, 1.0); },
+      engine_opts(), "qffl");
+}
+
+TEST(BatchedTrainers, Drfa) {
+  const auto fed = heterogeneous_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts();
+  opts.sampled_clients = 5;
+  check_trainer([&](const TrainOptions& o) { return train_drfa(model, fed, o); },
+                opts, "drfa");
+}
+
+TEST(BatchedTrainers, HierFavg) {
+  const auto fed = heterogeneous_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts();
+  opts.sampled_edges = 3;
+  check_trainer(
+      [&](const TrainOptions& o) { return train_hierfavg(model, fed, topo, o); },
+      opts, "hierfavg");
+}
+
+TEST(BatchedTrainers, HierFavgWithFaults) {
+  // Crashed clients are excluded from the job list before any compute;
+  // the surviving jobs' RNG streams and results must be untouched.
+  const auto fed = heterogeneous_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts();
+  opts.fault.enabled = true;
+  opts.fault.edge_crash_round = {-1, 2};
+  opts.fault.client_crash_round = {-1, -1, 3};
+  opts.fault.client_dropout_prob = 0.15;
+  check_trainer(
+      [&](const TrainOptions& o) { return train_hierfavg(model, fed, topo, o); },
+      opts, "hierfavg-fault");
+}
+
+TEST(BatchedTrainers, HierMinimax) {
+  const auto fed = heterogeneous_task();
+  const sim::HierTopology topo(fed.num_edges(), fed.clients_per_edge);
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = engine_opts();
+  opts.quantize_bits = 6;  // checkpoint + w share one qgen sequence
+  check_trainer(
+      [&](const TrainOptions& o) {
+        return train_hierminimax(model, fed, topo, o);
+      },
+      opts, "hierminimax");
+}
+
+MultiTrainOptions multi_engine_opts(std::vector<index_t> taus,
+                                    index_t rounds = 4) {
+  MultiTrainOptions o;
+  o.rounds = rounds;
+  o.taus = std::move(taus);
+  o.batch_size = 4;
+  o.eta_w = 0.1;
+  o.eta_p = 0.01;
+  o.eval_every = 2;
+  o.seed = 5;
+  return o;
+}
+
+TEST(BatchedTrainers, HierMinimaxMultiDepthTwo) {
+  const auto fed = heterogeneous_task();
+  const sim::MultiTopology topo({fed.num_edges(), fed.clients_per_edge});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = multi_engine_opts({2, 3});
+  opts.batched = false;
+  const Reduced oracle =
+      reduce(train_hierminimax_multi(model, fed, topo, opts));
+  opts.batched = true;
+  const Reduced batched =
+      reduce(train_hierminimax_multi(model, fed, topo, opts));
+  expect_same_run(oracle, batched, "multi-d2");
+}
+
+TEST(BatchedTrainers, HierMinimaxMultiDepthThreeMlp) {
+  const auto fed = heterogeneous_task(4, 4);  // 16 leaves -> {4, 2, 2} tree
+  const sim::MultiTopology topo({4, 2, 2});
+  const nn::Mlp model({fed.dim(), 12, fed.num_classes()});
+  auto opts = multi_engine_opts({2, 2, 2}, 3);
+  opts.batched = false;
+  const Reduced oracle =
+      reduce(train_hierminimax_multi(model, fed, topo, opts));
+  opts.batched = true;
+  const Reduced batched =
+      reduce(train_hierminimax_multi(model, fed, topo, opts));
+  expect_same_run(oracle, batched, "multi-d3-mlp");
+}
+
+TEST(BatchedTrainers, HierFavgMulti) {
+  const auto fed = heterogeneous_task();
+  const sim::MultiTopology topo({fed.num_edges(), fed.clients_per_edge});
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  auto opts = multi_engine_opts({2, 2});
+  opts.batched = false;
+  const Reduced oracle = reduce(train_hierfavg_multi(model, fed, topo, opts));
+  opts.batched = true;
+  const Reduced batched = reduce(train_hierfavg_multi(model, fed, topo, opts));
+  expect_same_run(oracle, batched, "hierfavg-multi");
+}
+
+}  // namespace
+}  // namespace hm::algo

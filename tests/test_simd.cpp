@@ -1,0 +1,332 @@
+// Cross-variant equivalence suite for the runtime SIMD dispatch layer.
+//
+// The determinism contract promises that every dispatched variant
+// (generic / AVX2 / AVX-512) of every kernel is bit-identical: the
+// rounding sequence is fixed at the source level and kernels_impl.inc is
+// merely recompiled with wider register tiles. This suite enforces the
+// promise at 0 ULP by calling each entry of detail::kernel_table(level)
+// for every CPU-supported level against the generic baseline, over shape
+// sweeps chosen to hit the register-tile interiors AND every tail case
+// (sub-MR row tails, sub-NR column tails, sub-vector k tails, empty and
+// singleton operands).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "rng/rng.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/simd.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::tensor {
+namespace {
+
+std::uint64_t bits(scalar_t x) {
+  std::uint64_t u = 0;
+  std::memcpy(&u, &x, sizeof(u));
+  return u;
+}
+
+/// Deterministic ill-conditioned-ish fill: mixed signs and magnitudes so
+/// a reassociated reduction cannot round the same by accident.
+std::vector<scalar_t> fill(std::size_t n, std::uint64_t seed) {
+  rng::Xoshiro256 gen(seed);
+  std::vector<scalar_t> v(n);
+  for (auto& x : v) {
+    const scalar_t u = 2 * static_cast<scalar_t>(gen.uniform()) - 1;
+    const int mag = static_cast<int>(gen.uniform_index(13)) - 6;
+    x = std::ldexp(u, mag);
+  }
+  return v;
+}
+
+std::vector<SimdLevel> supported_levels() {
+  std::vector<SimdLevel> out;
+  for (int l = 0; l < kNumSimdLevels; ++l) {
+    const auto level = static_cast<SimdLevel>(l);
+    if (simd_level_supported(level)) out.push_back(level);
+  }
+  return out;
+}
+
+void expect_vec_eq(const std::vector<scalar_t>& want,
+                   const std::vector<scalar_t>& got,
+                   const std::string& label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(bits(want[i]), bits(got[i]))
+        << label << "[" << i << "]: " << want[i] << " vs " << got[i];
+  }
+}
+
+// Vector lengths hitting every unroll/tail combination for the widest
+// variant (AVX-512 uses 8-lane vectors, unrolled pairs -> period 16).
+const index_t kVecLens[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 64, 257};
+
+TEST(SimdDispatch, ActiveLevelIsSupported) {
+  EXPECT_TRUE(simd_level_supported(active_simd_level()));
+  EXPECT_TRUE(simd_level_supported(SimdLevel::kGeneric));
+  EXPECT_STREQ(simd_level_name(SimdLevel::kGeneric), "generic");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(simd_level_name(SimdLevel::kAvx512), "avx512");
+}
+
+TEST(SimdDispatch, ElementwiseKernelsBitIdentical) {
+  const auto& base = detail::kernel_table(SimdLevel::kGeneric);
+  for (const SimdLevel level : supported_levels()) {
+    const auto& kt = detail::kernel_table(level);
+    const std::string tag = simd_level_name(level);
+    for (const index_t n : kVecLens) {
+      const auto sz = static_cast<std::size_t>(n);
+      const auto x = fill(sz, 11 + sz);
+      const auto z = fill(sz, 23 + sz);
+      const scalar_t alpha = 0.7301, beta = -1.25;
+
+      auto want = fill(sz, 37 + sz), got = want;
+      base.axpy(alpha, x, want);
+      kt.axpy(alpha, x, got);
+      expect_vec_eq(want, got, tag + " axpy n=" + std::to_string(n));
+
+      want = fill(sz, 41 + sz), got = want;
+      base.axpby(alpha, x, beta, want);
+      kt.axpby(alpha, x, beta, got);
+      expect_vec_eq(want, got, tag + " axpby n=" + std::to_string(n));
+
+      want = fill(sz, 43 + sz), got = want;
+      base.axpy2(alpha, x, beta, z, want);
+      kt.axpy2(alpha, x, beta, z, got);
+      expect_vec_eq(want, got, tag + " axpy2 n=" + std::to_string(n));
+
+      want = fill(sz, 47 + sz), got = want;
+      base.scale(beta, want);
+      kt.scale(beta, got);
+      expect_vec_eq(want, got, tag + " scale n=" + std::to_string(n));
+    }
+  }
+}
+
+TEST(SimdDispatch, ReductionKernelsBitIdentical) {
+  const auto& base = detail::kernel_table(SimdLevel::kGeneric);
+  for (const SimdLevel level : supported_levels()) {
+    const auto& kt = detail::kernel_table(level);
+    const std::string tag = simd_level_name(level);
+    for (const index_t n : kVecLens) {
+      const auto sz = static_cast<std::size_t>(n);
+      const auto x = fill(sz, 53 + sz);
+      const auto y = fill(sz, 59 + sz);
+      const auto z = fill(sz, 61 + sz);
+      const std::string at = " n=" + std::to_string(n);
+
+      EXPECT_EQ(bits(base.dot(x, y)), bits(kt.dot(x, y)))
+          << tag << " dot" << at;
+      EXPECT_EQ(bits(base.sum(x)), bits(kt.sum(x))) << tag << " sum" << at;
+      EXPECT_EQ(bits(base.dist2(x, y)), bits(kt.dist2(x, y)))
+          << tag << " dist2" << at;
+
+      scalar_t w0 = 0, w1 = 0, g0 = 0, g1 = 0;
+      base.dot2(x, y, z, w0, w1);
+      kt.dot2(x, y, z, g0, g1);
+      EXPECT_EQ(bits(w0), bits(g0)) << tag << " dot2.0" << at;
+      EXPECT_EQ(bits(w1), bits(g1)) << tag << " dot2.1" << at;
+    }
+  }
+}
+
+// GEMM shapes: interiors and tails of every register tile in play
+// (generic 8x6, AVX2 4x8, AVX-512 8x16), plus degenerate edges. Chosen
+// so m % MR, n % NR, and k % VW are nonzero somewhere for every variant.
+struct GemmShape {
+  index_t m, n, k;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1},  {1, 1, 7},   {2, 3, 5},    {3, 17, 9},  {5, 16, 8},
+    {8, 6, 12}, {9, 7, 13},  {16, 16, 16}, {17, 33, 5}, {23, 19, 31},
+    {4, 8, 64}, {33, 47, 3}, {64, 10, 11}, {1, 48, 24},
+};
+
+TEST(SimdDispatch, GemmVariantsBitIdentical) {
+  const auto& base = detail::kernel_table(SimdLevel::kGeneric);
+  for (const SimdLevel level : supported_levels()) {
+    const auto& kt = detail::kernel_table(level);
+    const std::string tag = simd_level_name(level);
+    for (const auto& s : kGemmShapes) {
+      const auto mm = static_cast<std::size_t>(s.m);
+      const auto nn = static_cast<std::size_t>(s.n);
+      const auto kk = static_cast<std::size_t>(s.k);
+      const std::string at = " m=" + std::to_string(s.m) +
+                             " n=" + std::to_string(s.n) +
+                             " k=" + std::to_string(s.k);
+      const auto a = fill(mm * kk, 67 + mm + nn);
+      const auto b = fill(kk * nn, 71 + mm + nn);
+      const auto bt = fill(nn * kk, 73 + mm + nn);
+      const auto at_mat = fill(mm * kk, 79 + mm + nn);
+      const auto bn = fill(mm * nn, 83 + mm + nn);
+
+      for (const scalar_t beta : {scalar_t{0}, scalar_t{0.5}}) {
+        auto want = fill(mm * nn, 89 + mm), got = want;
+        base.gemm(ConstMatView(a.data(), s.m, s.k),
+                  ConstMatView(b.data(), s.k, s.n),
+                  MatView(want.data(), s.m, s.n), beta);
+        kt.gemm(ConstMatView(a.data(), s.m, s.k),
+                ConstMatView(b.data(), s.k, s.n),
+                MatView(got.data(), s.m, s.n), beta);
+        expect_vec_eq(want, got, tag + " gemm" + at);
+
+        want = fill(mm * nn, 97 + mm), got = want;
+        base.gemm_nt(ConstMatView(a.data(), s.m, s.k),
+                     ConstMatView(bt.data(), s.n, s.k),
+                     MatView(want.data(), s.m, s.n), beta);
+        kt.gemm_nt(ConstMatView(a.data(), s.m, s.k),
+                   ConstMatView(bt.data(), s.n, s.k),
+                   MatView(got.data(), s.m, s.n), beta);
+        expect_vec_eq(want, got, tag + " gemm_nt" + at);
+
+        want = fill(kk * nn, 101 + mm), got = want;
+        base.gemm_tn(ConstMatView(at_mat.data(), s.m, s.k),
+                     ConstMatView(bn.data(), s.m, s.n),
+                     MatView(want.data(), s.k, s.n), beta);
+        kt.gemm_tn(ConstMatView(at_mat.data(), s.m, s.k),
+                   ConstMatView(bn.data(), s.m, s.n),
+                   MatView(got.data(), s.k, s.n), beta);
+        expect_vec_eq(want, got, tag + " gemm_tn" + at);
+      }
+
+      auto ywant = fill(mm, 103 + mm), ygot = ywant;
+      const auto xv = fill(kk, 107 + kk);
+      base.gemv(ConstMatView(a.data(), s.m, s.k), xv, ywant, 0.25);
+      kt.gemv(ConstMatView(a.data(), s.m, s.k), xv, ygot, 0.25);
+      expect_vec_eq(ywant, ygot, tag + " gemv" + at);
+
+      auto cwant = fill(mm * nn, 109 + mm), cgot = cwant;
+      base.dot_nt(ConstMatView(a.data(), s.m, s.k),
+                  ConstMatView(bt.data(), s.n, s.k),
+                  MatView(cwant.data(), s.m, s.n));
+      kt.dot_nt(ConstMatView(a.data(), s.m, s.k),
+                ConstMatView(bt.data(), s.n, s.k),
+                MatView(cgot.data(), s.m, s.n));
+      expect_vec_eq(cwant, cgot, tag + " dot_nt" + at);
+    }
+  }
+}
+
+TEST(SimdDispatch, GemmNtFmaBitIdenticalAcrossVariantsAndMatchesNaiveFma) {
+  // The explicitly-fused family has its own contract: every variant must
+  // agree at 0 ULP, and all of them must equal the naive triple loop
+  // whose accumulator update is a correctly-rounded fused multiply-add
+  // (acc = fma(a, b, acc), k strictly increasing). It is a different
+  // rounding sequence than gemm_nt, so it gets its own reference rather
+  // than a cross-check against the unfused kernels.
+  const auto& base = detail::kernel_table(SimdLevel::kGeneric);
+  for (const SimdLevel level : supported_levels()) {
+    const auto& kt = detail::kernel_table(level);
+    const std::string tag = simd_level_name(level);
+    for (const auto& s : kGemmShapes) {
+      const auto mm = static_cast<std::size_t>(s.m);
+      const auto nn = static_cast<std::size_t>(s.n);
+      const auto kk = static_cast<std::size_t>(s.k);
+      const std::string at = " m=" + std::to_string(s.m) +
+                             " n=" + std::to_string(s.n) +
+                             " k=" + std::to_string(s.k);
+      const auto a = fill(mm * kk, 137 + mm + nn);
+      const auto bt = fill(nn * kk, 139 + mm + nn);
+      for (const scalar_t beta : {scalar_t{0}, scalar_t{0.5}}) {
+        const auto c0 = fill(mm * nn, 149 + mm);
+        auto want = c0, got = c0, naive = c0;
+        base.gemm_nt_fma(ConstMatView(a.data(), s.m, s.k),
+                         ConstMatView(bt.data(), s.n, s.k),
+                         MatView(want.data(), s.m, s.n), beta);
+        kt.gemm_nt_fma(ConstMatView(a.data(), s.m, s.k),
+                       ConstMatView(bt.data(), s.n, s.k),
+                       MatView(got.data(), s.m, s.n), beta);
+        expect_vec_eq(want, got, tag + " gemm_nt_fma" + at);
+
+        for (index_t i = 0; i < s.m; ++i) {
+          for (index_t j = 0; j < s.n; ++j) {
+            scalar_t acc = 0;
+            for (index_t p = 0; p < s.k; ++p) {
+              acc = std::fma(a[static_cast<std::size_t>(i * s.k + p)],
+                             bt[static_cast<std::size_t>(j * s.k + p)], acc);
+            }
+            auto& c = naive[static_cast<std::size_t>(i * s.n + j)];
+            c = beta == 0 ? acc : beta * c + acc;
+          }
+        }
+        expect_vec_eq(naive, got, tag + " gemm_nt_fma vs naive fma" + at);
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, GemmBatchMatchesSingleCallsEveryVariant) {
+  // Ragged multi-group batch (the clients x layers schedule): each group
+  // must match its own single-call result bitwise, per variant, and
+  // every variant must agree with generic.
+  const GemmShape shapes[] = {{1, 6, 12}, {9, 6, 12}, {17, 6, 12},
+                              {3, 16, 5}, {8, 16, 5}};
+  for (const SimdLevel level : supported_levels()) {
+    const auto& kt = detail::kernel_table(level);
+    const std::string tag = simd_level_name(level);
+    const GemmKind kinds[] = {GemmKind::kNN, GemmKind::kNT, GemmKind::kTN};
+    for (const GemmKind kind : kinds) {
+      std::vector<std::vector<scalar_t>> as, bs, singles, batched;
+      std::vector<GemmGroup> groups;
+      for (std::size_t g = 0; g < std::size(shapes); ++g) {
+        const auto& s = shapes[g];
+        const auto mm = static_cast<std::size_t>(s.m);
+        const auto nn = static_cast<std::size_t>(s.n);
+        const auto kk = static_cast<std::size_t>(s.k);
+        as.push_back(fill(mm * kk, 113 + g));
+        const std::size_t bsz = kind == GemmKind::kNT ? nn * kk : kk * nn;
+        const std::size_t csz = kind == GemmKind::kTN ? kk * nn : mm * nn;
+        bs.push_back(kind == GemmKind::kTN ? fill(mm * nn, 127 + g)
+                                           : fill(bsz, 127 + g));
+        singles.push_back(fill(csz, 131 + g));
+        batched.push_back(singles.back());
+      }
+      for (std::size_t g = 0; g < std::size(shapes); ++g) {
+        const auto& s = shapes[g];
+        const ConstMatView a(as[g].data(), s.m, s.k);
+        if (kind == GemmKind::kNN) {
+          const ConstMatView b(bs[g].data(), s.k, s.n);
+          kt.gemm(a, b, MatView(singles[g].data(), s.m, s.n), 0.5);
+          groups.push_back({a, b, MatView(batched[g].data(), s.m, s.n)});
+        } else if (kind == GemmKind::kNT) {
+          const ConstMatView b(bs[g].data(), s.n, s.k);
+          kt.gemm_nt(a, b, MatView(singles[g].data(), s.m, s.n), 0.5);
+          groups.push_back({a, b, MatView(batched[g].data(), s.m, s.n)});
+        } else {
+          const ConstMatView b(bs[g].data(), s.m, s.n);
+          kt.gemm_tn(a, b, MatView(singles[g].data(), s.k, s.n), 0.5);
+          groups.push_back({a, b, MatView(batched[g].data(), s.k, s.n)});
+        }
+      }
+      kt.gemm_batch(kind, groups, 0.5);
+      for (std::size_t g = 0; g < std::size(shapes); ++g) {
+        expect_vec_eq(singles[g], batched[g],
+                      tag + " gemm_batch kind=" +
+                          std::to_string(static_cast<int>(kind)) +
+                          " group=" + std::to_string(g));
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, PublicEntryPointsUseActiveTable) {
+  // The public wrappers must agree bitwise with the active table (they
+  // ARE the active table; this guards against a wrapper bypassing
+  // dispatch and silently pinning one variant).
+  const auto& kt = detail::active_kernel_table();
+  const auto x = fill(257, 5), y = fill(257, 6);
+  EXPECT_EQ(bits(dot(x, y)), bits(kt.dot(x, y)));
+  auto a = fill(257, 7), b = a;
+  axpy(0.5, x, a);
+  kt.axpy(0.5, x, b);
+  expect_vec_eq(a, b, "public axpy");
+}
+
+}  // namespace
+}  // namespace hm::tensor

@@ -1,0 +1,18 @@
+// Fixture: ISA-specific SIMD outside src/tensor must fire — the
+// intrinsics header, the vector type, and the intrinsic call each count.
+// detlint-expect: raw-simd-outside-tensor
+#include <immintrin.h>
+
+namespace fixture {
+
+inline double bad_hand_vectorized_sum(const double* x, long n) {
+  __m256d acc = _mm256_setzero_pd();
+  for (long i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+}
+
+}  // namespace fixture

@@ -1,0 +1,19 @@
+// Fixture: src/tensor is the one place ISA-specific SIMD is legal (the
+// dispatch layer lives there and every variant is oracle-checked), so
+// the same tokens that fire elsewhere must stay silent here. No
+// detlint-expect lines: this file must lint clean.
+#include <immintrin.h>
+
+namespace fixture {
+
+inline double allowed_kernel_sum(const double* x, long n) {
+  __m256d acc = _mm256_setzero_pd();
+  for (long i = 0; i + 4 <= n; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  alignas(32) double lanes[4];
+  _mm256_storeu_pd(lanes, acc);
+  return ((lanes[0] + lanes[1]) + (lanes[2] + lanes[3]));
+}
+
+}  // namespace fixture

@@ -88,6 +88,22 @@ RULE_FLOAT_IN_KERNEL = _regex_rule(
 )
 
 
+RULE_RAW_SIMD = _regex_rule(
+    "raw-simd-outside-tensor",
+    "ISA-specific SIMD (intrinsics headers, _mm* calls, __m128/256/512 "
+    "vector types, ia32 builtins) is confined to src/tensor: the runtime "
+    "dispatch layer there is the one place allowed to know about vector "
+    "widths, and every variant it builds is bit-compared against the "
+    "generic kernels (tests/test_simd.cpp). An intrinsic anywhere else "
+    "forks the rounding/width behavior per build flag with no oracle.",
+    r"\b\w*intrin\.h\b|\barm_neon\.h\b|\b_mm\d*_\w+\s*\(|"
+    r"\b__m(?:128|256|512)[di]?\b|\b__builtin_ia32_\w+",
+    "raw SIMD intrinsic outside src/tensor; call the tensor kernels and "
+    "let runtime dispatch pick the ISA",
+    exclude=("tensor",),
+)
+
+
 class _UnorderedIterationRule(Rule):
     """Iteration over std::unordered_{map,set} in deterministic modules.
 
@@ -240,6 +256,7 @@ ALL_RULES: List[Rule] = [
     RULE_WALL_CLOCK,
     RULE_UNORDERED_ACCUM,
     RULE_FLOAT_IN_KERNEL,
+    RULE_RAW_SIMD,
     _UnorderedIterationRule(),
     RULE_OMP,
     RULE_STDOUT,
