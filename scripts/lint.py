@@ -1,22 +1,34 @@
 #!/usr/bin/env python3
 """Determinism / convention lint for the HierMinimax sources.
 
-Walks a C++ source tree (default: the repo's src/) and rejects known
-nondeterminism sources and convention violations — the machine-checked
-half of the repo's bit-exact reproducibility guarantee.  Registered with
-ctest as `determinism_lint`; the rule engine and fixtures live in
+Lints the C++ source tree (default: the repo's src/) with the detlint
+token-stream rule engine and the whole-project analyses (include-graph
+layering, cross-file contracts) — the machine-checked half of the repo's
+bit-exact reproducibility guarantee.  Registered with ctest as
+`determinism_lint`; the engine, rules, and fixtures live in
 tools/detlint/.
 
 Usage:
-  scripts/lint.py                 # lint src/
-  scripts/lint.py --root DIR      # lint another tree
-  scripts/lint.py --selftest      # run the lint's own fixture tests
-  scripts/lint.py --list-rules    # print every rule with its rationale
+  scripts/lint.py                       # full project lint (baseline-aware)
+  scripts/lint.py --json                # machine-readable findings on stdout
+  scripts/lint.py --changed-since REF   # per-file rules only on files that
+                                        # changed vs. the git ref (project
+                                        # analyses always run — they are
+                                        # global by nature and cheap)
+  scripts/lint.py --no-baseline         # ignore tools/detlint/baseline.json
+  scripts/lint.py --write-baseline      # accept current findings as baseline
+  scripts/lint.py --selftest            # lexer + fixture + project selftests
+  scripts/lint.py --selftest-cli        # exit-code / JSON contract selftest
+  scripts/lint.py --list-rules          # print every rule with its rationale
 
-Exit codes: 0 clean, 1 findings (or selftest failures), 2 usage error.
+Exit codes (a contract, asserted by the determinism_lint_exitcodes
+ctest): 0 clean, 1 findings (or selftest failures), 2 usage or internal
+error (bad flag, missing directory, unresolvable git ref, bad baseline).
 """
 
 import argparse
+import json
+import subprocess
 import sys
 import textwrap
 from pathlib import Path
@@ -24,46 +36,217 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT))
 
-from tools.detlint import ALL_RULES, run_lint, run_selftest  # noqa: E402
+from tools.detlint import (  # noqa: E402
+    ALL_PROJECT_RULES, ALL_RULES, Baseline, Project, findings_to_json,
+    run_lint, run_selftest, write_baseline,
+)
+from tools.detlint.engine import iter_source_files  # noqa: E402
 
 FIXTURES = REPO_ROOT / "tools" / "detlint" / "fixtures"
+FIXTURES_PROJECT = REPO_ROOT / "tools" / "detlint" / "fixtures_project"
+DEFAULT_BASELINE = REPO_ROOT / "tools" / "detlint" / "baseline.json"
+
+EXIT_CLEAN, EXIT_FINDINGS, EXIT_ERROR = 0, 1, 2
+
+
+def changed_files(project_root: Path, ref: str):
+    """Repo paths changed vs. `ref` (committed, staged, unstaged) plus
+    untracked files. Raises CalledProcessError on a bad ref."""
+    diff = subprocess.run(
+        ["git", "-C", str(project_root), "diff", "--name-only", ref, "--"],
+        check=True, capture_output=True, text=True)
+    untracked = subprocess.run(
+        ["git", "-C", str(project_root), "ls-files", "--others",
+         "--exclude-standard"],
+        check=True, capture_output=True, text=True)
+    names = set(diff.stdout.splitlines()) | set(untracked.stdout.splitlines())
+    return sorted(project_root / n for n in names if n)
+
+
+def cmd_lint(args) -> int:
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"lint: not a directory: {root}", file=sys.stderr)
+        return EXIT_ERROR
+    project_root = args.project_root.resolve()
+    project = Project(project_root, root)
+
+    files = None
+    if args.changed_since is not None:
+        try:
+            changed = changed_files(project_root, args.changed_since)
+        except (subprocess.CalledProcessError, FileNotFoundError) as e:
+            detail = getattr(e, "stderr", "") or str(e)
+            print(f"lint: cannot diff against '{args.changed_since}': "
+                  f"{detail.strip()}", file=sys.stderr)
+            return EXIT_ERROR
+        lintable = set(iter_source_files(root))
+        files = [p for p in changed if p in lintable]
+
+    findings = run_lint(root, ALL_RULES, files=files, project=project,
+                        project_rules=ALL_PROJECT_RULES)
+
+    baseline = Baseline()
+    baseline_path = args.baseline if args.baseline else DEFAULT_BASELINE
+    if not args.no_baseline and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as e:
+            print(f"lint: bad baseline {baseline_path}: {e}", file=sys.stderr)
+            return EXIT_ERROR
+
+    if args.write_baseline:
+        write_baseline(baseline_path, findings, keep=baseline)
+        print(f"detlint: wrote {len(findings)} finding(s) to "
+              f"{baseline_path} — fill in the rationale fields")
+        return EXIT_CLEAN
+
+    surviving, baselined, stale = baseline.apply(findings)
+    # Diff-aware runs see only a slice of the per-file findings, so a
+    # baseline entry "missing" there proves nothing — suppress the
+    # stale report to keep fast PR runs quiet; the full run (CI) owns it.
+    if files is not None:
+        stale = []
+
+    if args.json:
+        print(findings_to_json(surviving, root=str(root),
+                               baselined=baselined, stale_baseline=stale))
+    else:
+        for f in surviving:
+            print(f.render())
+        for f in baselined:
+            print(f"{f.render()} [baselined]")
+        for e in stale:
+            print(f"stale baseline entry (fixed? remove it): "
+                  f"{e['path']}: [{e['rule']}] {e['message']}",
+                  file=sys.stderr)
+        n = len(surviving)
+        scope = (f"{len(files)} changed file(s)" if files is not None
+                 else str(root))
+        print(f"detlint: {n} finding{'s' if n != 1 else ''} in {scope}"
+              + (f" ({len(baselined)} baselined)" if baselined else ""))
+    return EXIT_FINDINGS if surviving else EXIT_CLEAN
+
+
+def cmd_selftest() -> int:
+    errors = run_selftest(FIXTURES, ALL_RULES,
+                          project_rules=ALL_PROJECT_RULES,
+                          fixtures_project_root=FIXTURES_PROJECT)
+    for e in errors:
+        print(f"selftest: {e}", file=sys.stderr)
+    n_fixtures = len(list(FIXTURES.rglob("*.*"))) \
+        + len(list(FIXTURES_PROJECT.rglob("*.*")))
+    print(f"detlint selftest: {'FAIL' if errors else 'OK'} "
+          f"({n_fixtures} fixture files)")
+    return EXIT_FINDINGS if errors else EXIT_CLEAN
+
+
+def cmd_selftest_cli() -> int:
+    """Assert the exit-code and JSON contracts by invoking this script
+    the way CI and ctest do (real subprocesses, real exit codes)."""
+    me = Path(__file__).resolve()
+
+    def run(*extra):
+        return subprocess.run([sys.executable, str(me), *extra],
+                              capture_output=True, text=True)
+
+    failures = []
+
+    def expect(label, proc, code):
+        if proc.returncode != code:
+            failures.append(
+                f"{label}: exit {proc.returncode}, want {code}\n"
+                f"  stdout: {proc.stdout.strip()[:300]}\n"
+                f"  stderr: {proc.stderr.strip()[:300]}")
+
+    clean = FIXTURES_PROJECT / "clean"
+    dirty = FIXTURES_PROJECT / "upward_include"
+    expect("clean project -> 0",
+           run("--project-root", str(clean), "--root", str(clean / "src"),
+               "--no-baseline"), EXIT_CLEAN)
+    expect("findings -> 1",
+           run("--project-root", str(dirty), "--root", str(dirty / "src"),
+               "--no-baseline"), EXIT_FINDINGS)
+    expect("missing root -> 2",
+           run("--root", str(REPO_ROOT / "no-such-dir")), EXIT_ERROR)
+    expect("unknown flag -> 2 (argparse usage error)",
+           run("--definitely-not-a-flag"), EXIT_ERROR)
+    expect("bad git ref -> 2",
+           run("--changed-since", "no-such-ref-detlint"), EXIT_ERROR)
+
+    proc = run("--project-root", str(dirty), "--root", str(dirty / "src"),
+               "--no-baseline", "--json")
+    expect("findings --json -> 1", proc, EXIT_FINDINGS)
+    try:
+        doc = json.loads(proc.stdout)
+        if doc.get("tool") != "detlint" or not doc.get("findings"):
+            failures.append("--json: missing tool tag or findings array")
+        want = {"path", "line", "rule", "message"}
+        if doc.get("findings") and set(doc["findings"][0]) != want:
+            failures.append(
+                f"--json: finding keys {sorted(doc['findings'][0])}, "
+                f"want {sorted(want)}")
+    except json.JSONDecodeError as e:
+        failures.append(f"--json output is not valid JSON: {e}")
+
+    for f in failures:
+        print(f"selftest-cli: {f}", file=sys.stderr)
+    print(f"detlint exit-code contract: {'FAIL' if failures else 'OK'} "
+          f"(6 scenarios)")
+    return EXIT_FINDINGS if failures else EXIT_CLEAN
+
+
+def cmd_list_rules() -> int:
+    for rule in ALL_RULES:
+        print(rule.name)
+        print(textwrap.indent(textwrap.fill(rule.description, 74), "    "))
+    for rule in ALL_PROJECT_RULES:
+        names = ", ".join(rule.finding_names)
+        print(f"{names}  (whole-project)")
+        print(textwrap.indent(textwrap.fill(rule.description, 74), "    "))
+    return EXIT_CLEAN
 
 
 def main(argv):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--root", type=Path, default=REPO_ROOT / "src",
-                    help="source tree to lint (default: %(default)s)")
+                    help="C++ tree the per-file rules walk "
+                         "(default: %(default)s)")
+    ap.add_argument("--project-root", type=Path, default=REPO_ROOT,
+                    help="project root anchoring cross-file contract "
+                         "artifacts — tests/, README.md, DESIGN.md "
+                         "(default: %(default)s)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit machine-readable findings as JSON on stdout")
+    ap.add_argument("--changed-since", metavar="REF",
+                    help="run per-file rules only on files changed vs. the "
+                         "git ref (fast PR mode; whole-project analyses "
+                         "still run)")
+    ap.add_argument("--baseline", type=Path,
+                    help=f"baseline file (default: {DEFAULT_BASELINE})")
+    ap.add_argument("--no-baseline", action="store_true",
+                    help="report every finding, ignoring the baseline")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="write current findings to the baseline file and "
+                         "exit 0 (rationales of surviving entries are kept)")
     ap.add_argument("--selftest", action="store_true",
-                    help="lint the fixture tree and verify each fixture "
-                         "triggers exactly its declared rules")
+                    help="run the lexer unit tests and lint the fixture "
+                         "trees, verifying each fixture triggers exactly "
+                         "its declared rules")
+    ap.add_argument("--selftest-cli", action="store_true",
+                    help="verify the exit-code and --json contracts via "
+                         "real subprocess invocations")
     ap.add_argument("--list-rules", action="store_true",
                     help="print every rule name and rationale, then exit")
     args = ap.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
-            print(rule.name)
-            print(textwrap.indent(textwrap.fill(rule.description, 74), "    "))
-        return 0
-
+        return cmd_list_rules()
     if args.selftest:
-        errors = run_selftest(FIXTURES, ALL_RULES)
-        for e in errors:
-            print(f"selftest: {e}", file=sys.stderr)
-        print(f"detlint selftest: {'FAIL' if errors else 'OK'} "
-              f"({len(list(FIXTURES.rglob('*.*')))} fixtures)")
-        return 1 if errors else 0
-
-    root = args.root.resolve()
-    if not root.is_dir():
-        print(f"lint: not a directory: {root}", file=sys.stderr)
-        return 2
-    findings = run_lint(root, ALL_RULES)
-    for f in findings:
-        print(f.render())
-    n = len(findings)
-    print(f"detlint: {n} finding{'s' if n != 1 else ''} in {root}")
-    return 1 if findings else 0
+        return cmd_selftest()
+    if args.selftest_cli:
+        return cmd_selftest_cli()
+    return cmd_lint(args)
 
 
 if __name__ == "__main__":

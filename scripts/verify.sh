@@ -77,9 +77,16 @@ elif ! command -v python3 >/dev/null 2>&1; then
   echo "verify: rerun with --skip-lint to bypass" >&2
   exit 1
 else
-  note "lint: determinism lint + selftest"
+  note "lint: selftest + exit-code contract + baseline-aware scan"
   python3 scripts/lint.py --selftest
+  python3 scripts/lint.py --selftest-cli
   python3 scripts/lint.py
+  # JSON smoke: the CI gate consumes --json; keep the schema honest here.
+  python3 scripts/lint.py --json | python3 -c '
+import json, sys
+doc = json.load(sys.stdin)
+assert doc["tool"] == "detlint" and doc["schema_version"] == 2, doc
+print("lint: --json ok:", doc["counts"])'
 fi
 
 if [[ "$SKIP_TSAN" == 1 ]]; then

@@ -1,0 +1,97 @@
+"""detlint baseline: a checked-in ledger of accepted findings.
+
+The baseline exists so a *new rule* can land without a flag-day: known
+pre-existing findings go into tools/detlint/baseline.json (each with a
+rationale) and the rule immediately gates every *new* violation. The
+contract, enforced by CI's blocking `detlint --json` step:
+
+  * a finding not covered by the baseline fails the run — fixing it or
+    baselining it (with a rationale) must happen in the same PR;
+  * a baseline entry that no longer matches anything is reported as
+    stale (warning, not failure) so the ledger shrinks as debt is paid.
+
+Entries match on (path, rule, message) — never on line numbers, which
+churn with every unrelated edit above the finding.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from .engine import Finding
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    path: str
+    rule: str
+    message: str
+    rationale: str = ""
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.rule, self.message)
+
+    def to_json(self) -> dict:
+        return {"path": self.path, "rule": self.rule,
+                "message": self.message, "rationale": self.rationale}
+
+
+class Baseline:
+    def __init__(self, entries: Sequence[BaselineEntry] = (),
+                 selftest_expect_stale: Optional[int] = None):
+        self.entries = list(entries)
+        self.selftest_expect_stale = selftest_expect_stale
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            raise ValueError(
+                f"{path}: expected a baseline object with \"version\": 1")
+        entries = []
+        for raw in doc.get("entries", []):
+            entries.append(BaselineEntry(
+                path=raw["path"], rule=raw["rule"], message=raw["message"],
+                rationale=raw.get("rationale", "")))
+        return cls(entries, doc.get("selftest_expect_stale"))
+
+    def apply(self, findings: Sequence[Finding]):
+        """Split findings into (surviving, baselined) and report stale
+        entries (as JSON-ready dicts) that matched nothing."""
+        by_key = {e.key(): e for e in self.entries}
+        surviving: List[Finding] = []
+        baselined: List[Finding] = []
+        used = set()
+        for f in findings:
+            key = (f.path, f.rule, f.message)
+            if key in by_key:
+                baselined.append(f)
+                used.add(key)
+            else:
+                surviving.append(f)
+        stale = [e.to_json() for e in self.entries if e.key() not in used]
+        return surviving, baselined, stale
+
+
+def write_baseline(path: Path, findings: Sequence[Finding],
+                   keep: Optional[Baseline] = None) -> None:
+    """Serialize current findings as the new baseline, preserving the
+    rationale of any entry that is still live."""
+    rationales = {}
+    if keep is not None:
+        rationales = {e.key(): e.rationale for e in keep.entries}
+    entries = []
+    seen = set()
+    for f in findings:
+        key = (f.path, f.rule, f.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(BaselineEntry(
+            f.path, f.rule, f.message,
+            rationales.get(key, "TODO: justify or fix")).to_json())
+    doc = {"version": 1, "entries": entries}
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

@@ -1,0 +1,214 @@
+"""Cross-file contract checks.
+
+These are the invariants that span translation units — the ones a
+per-file linter structurally cannot see:
+
+  * kernel-table-unpinned: every function pointer in
+    src/tensor/simd.hpp's KernelTable must be exercised by the 0-ULP
+    SIMD equivalence suite (tests/test_simd.cpp). A dispatched kernel
+    nobody bit-compares is a silent per-ISA determinism fork.
+  * trainer-not-in-resume-matrix: every `train_*` entry point declared
+    in src/algo must appear in the kill-and-resume matrix
+    (tests/test_snapshot.cpp). A trainer outside the matrix can corrupt
+    state across a crash without any test noticing.
+  * undocumented-flag: every CLI flag read through hm::Flags in src/
+    must be documented (as `--name`) in README.md or DESIGN.md. Flags
+    only discoverable by reading the source rot instantly.
+
+Each finding anchors at the source line that created the obligation
+(the table field, the trainer declaration, the flag read), so inline
+`detlint: allow(...)` markers and the baseline both apply naturally.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .engine import Finding, Project, ProjectRule, SourceFile
+from .lexer import Token, string_value
+
+KERNEL_TABLE_HEADER = "tensor/simd.hpp"
+KERNEL_PIN_SUITE = "tests/test_simd.cpp"
+TRAINER_MATRIX_SUITE = "tests/test_snapshot.cpp"
+DOC_FILES = ("README.md", "DESIGN.md")
+
+
+def _kernel_table_fields(src: SourceFile) -> List[Tuple[str, int]]:
+    """(field name, line) of each function pointer declared inside
+    `struct KernelTable { ... }` — fields have the shape
+    `ret (*name)(args...);` so the name is the identifier between
+    `(*` and `)`."""
+    ts = src.code_tokens
+    fields: List[Tuple[str, int]] = []
+    for i, t in enumerate(ts):
+        if not (t.kind == "ident" and t.text == "KernelTable"
+                and i > 0 and ts[i - 1].kind == "ident"
+                and ts[i - 1].text == "struct"):
+            continue
+        j = i + 1
+        while j < len(ts) and not (ts[j].kind == "punct"
+                                   and ts[j].text in ("{", ";")):
+            j += 1
+        if j >= len(ts) or ts[j].text != "{":
+            continue  # forward declaration
+        depth = 0
+        for k in range(j, len(ts)):
+            tk = ts[k]
+            if tk.kind == "punct" and tk.text == "{":
+                depth += 1
+            elif tk.kind == "punct" and tk.text == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif (tk.kind == "punct" and tk.text == "("
+                  and k + 2 < len(ts)
+                  and ts[k + 1].kind == "punct" and ts[k + 1].text == "*"
+                  and ts[k + 2].kind == "ident"
+                  and k + 3 < len(ts)
+                  and ts[k + 3].kind == "punct" and ts[k + 3].text == ")"):
+                fields.append((ts[k + 2].text, ts[k + 2].line))
+    return fields
+
+
+def _member_calls(src: SourceFile) -> Set[str]:
+    """Identifiers invoked as `.name(` anywhere in the file."""
+    ts = src.code_tokens
+    out: Set[str] = set()
+    for i, t in enumerate(ts):
+        if (t.kind == "punct" and t.text == "."
+                and i + 2 < len(ts)
+                and ts[i + 1].kind == "ident"
+                and ts[i + 2].kind == "punct" and ts[i + 2].text == "("):
+            out.add(ts[i + 1].text)
+    return out
+
+
+def _check_kernel_pins(project: Project) -> Iterable[Finding]:
+    header = project.src_file(KERNEL_TABLE_HEADER)
+    if header is None:
+        return
+    fields = _kernel_table_fields(header)
+    if not fields:
+        return
+    suite = project.aux_file(KERNEL_PIN_SUITE)
+    pinned = _member_calls(suite) if suite is not None else set()
+    for name, line in fields:
+        if name not in pinned:
+            yield Finding(
+                header.rel, line, "kernel-table-unpinned",
+                f"KernelTable entry '{name}' is not exercised by the 0-ULP "
+                f"equivalence suite ({KERNEL_PIN_SUITE}); every dispatched "
+                f"kernel must be bit-compared across SIMD variants")
+
+
+RULE_KERNEL_PINS = ProjectRule(
+    "kernel-table-unpinned",
+    "Every KernelTable function pointer (src/tensor/simd.hpp) must be "
+    "called by tests/test_simd.cpp, the suite that bit-compares all SIMD "
+    "variants at 0 ULP. An unpinned entry could silently diverge per ISA.",
+    _check_kernel_pins,
+)
+
+
+def _trainer_declarations(src: SourceFile) -> Dict[str, int]:
+    """`train_*` function names declared in an algo header, with the
+    line of their first declaration."""
+    ts = src.code_tokens
+    out: Dict[str, int] = {}
+    for i, t in enumerate(ts):
+        if (t.kind == "ident" and t.text.startswith("train_")
+                and i + 1 < len(ts)
+                and ts[i + 1].kind == "punct" and ts[i + 1].text == "("):
+            out.setdefault(t.text, t.line)
+    return out
+
+
+def _check_trainer_matrix(project: Project) -> Iterable[Finding]:
+    suite = project.aux_file(TRAINER_MATRIX_SUITE)
+    covered: Set[str] = set()
+    if suite is not None:
+        covered = {t.text for t in suite.code_tokens
+                   if t.kind == "ident" and t.text.startswith("train_")}
+    for src in project.src_files():
+        if not src.in_dir("algo") or not src.rel.endswith(".hpp"):
+            continue
+        for name, line in sorted(_trainer_declarations(src).items()):
+            if name not in covered:
+                yield Finding(
+                    src.rel, line, "trainer-not-in-resume-matrix",
+                    f"trainer '{name}' is not exercised by the "
+                    f"kill-and-resume matrix ({TRAINER_MATRIX_SUITE}); "
+                    f"snapshot/resume must be proven bit-exact for every "
+                    f"trainer (or the gap baselined with a rationale)")
+
+
+RULE_TRAINER_MATRIX = ProjectRule(
+    "trainer-not-in-resume-matrix",
+    "Every train_* entry point declared under src/algo must appear in "
+    "tests/test_snapshot.cpp's kill-and-resume matrix, which proves "
+    "crash/resume is bit-exact per trainer.",
+    _check_trainer_matrix,
+)
+
+
+_FLAG_READERS = {"get_string", "get_int", "get_double", "get_bool", "has"}
+_FLAG_NAME_RE = re.compile(r"[A-Za-z][\w-]*$")
+
+
+def _flag_reads(src: SourceFile) -> Iterable[Tuple[str, int]]:
+    """(flag name, line) for each `<expr>.get_*("name", ...)` or
+    `<expr>.has("name")` read of an hm::Flags object. The string-literal
+    first argument is what distinguishes a Flags read from unrelated
+    has()/get() members (snapshot sections, containers) — those pass
+    tags or keys, not quoted flag names."""
+    ts = src.code_tokens
+    for i, t in enumerate(ts):
+        if not (t.kind == "ident" and t.text in _FLAG_READERS
+                and i >= 1 and ts[i - 1].kind == "punct"
+                and ts[i - 1].text == "."
+                and i + 2 < len(ts)
+                and ts[i + 1].kind == "punct" and ts[i + 1].text == "("
+                and ts[i + 2].kind == "string"):
+            continue
+        name = string_value(ts[i + 2])
+        if _FLAG_NAME_RE.fullmatch(name):
+            yield name, t.line
+
+
+def _documented_flags(project: Project) -> Set[str]:
+    docs: Set[str] = set()
+    for rel in DOC_FILES:
+        text = project.read_text(rel)
+        if text is None:
+            continue
+        docs.update(m.group(1)
+                    for m in re.finditer(r"--([A-Za-z][\w-]*)", text))
+    return docs
+
+
+def _check_flag_docs(project: Project) -> Iterable[Finding]:
+    documented = _documented_flags(project)
+    for src in project.src_files():
+        for name, line in _flag_reads(src):
+            if name not in documented:
+                yield Finding(
+                    src.rel, line, "undocumented-flag",
+                    f"CLI flag '--{name}' is read here but documented in "
+                    f"neither README.md nor DESIGN.md")
+
+
+RULE_FLAG_DOCS = ProjectRule(
+    "undocumented-flag",
+    "Every CLI flag read via hm::Flags in src/ must appear as --name in "
+    "README.md or DESIGN.md; flags discoverable only from the source are "
+    "dead weight to users.",
+    _check_flag_docs,
+)
+
+
+ALL_PROJECT_RULES: List[ProjectRule] = [
+    RULE_KERNEL_PINS,
+    RULE_TRAINER_MATRIX,
+    RULE_FLAG_DOCS,
+]

@@ -1,20 +1,28 @@
-"""detlint engine: file walking, C++ comment/string stripping, suppression
-handling, and the selftest harness.
+"""detlint engine: token-stream source model, suppression scoping, file
+walking, project context for whole-project rules, and the selftest
+harnesses (lexer unit tests, per-file fixtures, mini-project fixtures).
 
-The stripper is deliberately small: it understands //, /* */, character
-and string literals, and raw strings R"delim(...)delim" — enough to keep
-rules from firing on prose like "rand" in a comment.  Stripped regions
-are replaced with spaces so line numbers and column positions survive.
+v2 replaces the comment-stripped regex lines of the original engine with
+the real lexer in lexer.py: rules receive token streams (per file and
+per line), so identifier matching is exact, raw strings and line
+continuations cannot desynchronize line numbers, and structural rules
+(brace matching, template-argument skipping) stop being regex
+approximations.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import re
 from pathlib import Path
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
-CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h"}
+from .lexer import Token, tokenize
+
+# .inc is walked too: kernels_impl.inc is real compiled code (textually
+# included by the per-ISA kernel TUs) and must obey the same rules.
+CXX_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".hxx", ".h", ".inc"}
 
 SUPPRESS_RE = re.compile(r"detlint:\s*allow\(\s*([\w.,\- ]+?)\s*\)")
 
@@ -31,38 +39,61 @@ class Finding:
     def render(self) -> str:
         return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
 
+    def to_json(self) -> dict:
+        return {"path": self.path, "line": self.line, "rule": self.rule,
+                "message": self.message}
+
 
 class SourceFile:
-    """A parsed C++ source file as seen by rules.
+    """A lexed C++ source file as seen by rules.
 
-    `raw_lines` is the file verbatim (used for suppression comments and
-    pragma checks); `code_lines` has comments and string/char literal
-    contents blanked out, so regex rules match only real code.
+    `tokens` is the full stream including comments; `code_tokens` drops
+    comments (what most rules walk). `code_by_line` indexes code tokens
+    by physical line for line-local matching.
     """
 
-    def __init__(self, root: Path, path: Path):
+    def __init__(self, root: Path, path: Path, text: Optional[str] = None):
         self.abs_path = path
         self.rel = path.relative_to(root).as_posix()
-        text = path.read_text(encoding="utf-8", errors="replace")
+        if text is None:
+            text = path.read_text(encoding="utf-8", errors="replace")
+        self.text = text
         self.raw_lines = text.splitlines()
-        self.code_lines = strip_comments_and_strings(text).splitlines()
-        # Pad in case the file ends without newline asymmetrically.
-        while len(self.code_lines) < len(self.raw_lines):
-            self.code_lines.append("")
+        self.tokens: List[Token] = tokenize(text)
+        self.code_tokens: List[Token] = [
+            t for t in self.tokens if t.kind != "comment"
+        ]
+        self.code_by_line: Dict[int, List[Token]] = {}
+        for t in self.code_tokens:
+            self.code_by_line.setdefault(t.line, []).append(t)
         self._suppressed = self._collect_suppressions()
 
-    def _collect_suppressions(self) -> dict:
-        """Map line number -> set of rule names allowed on that line."""
-        allowed = {}
-        for i, line in enumerate(self.raw_lines, start=1):
-            m = SUPPRESS_RE.search(line)
-            if not m:
+    def _collect_suppressions(self) -> Dict[int, Set[str]]:
+        """Map line number -> rule names allowed on that line.
+
+        Scoping is deliberately tight (one marker, one line):
+          * a *trailing* marker — a comment on a line that also carries
+            code — covers only its own line;
+          * a *whole-line* comment marker covers only the line directly
+            below it (stacking another comment in between breaks the
+            link on purpose: the marker must sit on the finding).
+        """
+        allowed: Dict[int, Set[str]] = {}
+        for tok in self.tokens:
+            if tok.kind != "comment":
                 continue
-            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-            # A marker covers its own line and the line below, so both
-            # trailing comments and whole-line comments above work.
-            allowed.setdefault(i, set()).update(rules)
-            allowed.setdefault(i + 1, set()).update(rules)
+            for offset, comment_line in enumerate(tok.text.split("\n")):
+                m = SUPPRESS_RE.search(comment_line)
+                if not m:
+                    continue
+                rules = {r.strip() for r in m.group(1).split(",")
+                         if r.strip()}
+                marker_line = tok.line + offset
+                if self.code_by_line.get(marker_line):
+                    target = marker_line          # trailing marker
+                else:
+                    target = marker_line + 1      # whole-line comment
+                allowed.setdefault(target, set()).update(rules)
         return allowed
 
     def is_suppressed(self, line: int, rule: str) -> bool:
@@ -75,100 +106,12 @@ class SourceFile:
             self.rel == p or self.rel.startswith(p + "/") for p in prefixes
         )
 
-
-def strip_comments_and_strings(text: str) -> str:
-    """Blank out comment bodies and string/char literal contents.
-
-    Newlines are preserved everywhere so line numbers are stable; the
-    delimiters themselves ("", '', //) are blanked too — rules never need
-    them and keeping them would let `"//"` confuse later states.
-    """
-    out = []
-    i, n = 0, len(text)
-    NORMAL, LINE_COMMENT, BLOCK_COMMENT, STRING, CHAR, RAW = range(6)
-    state = NORMAL
-    raw_terminator = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == NORMAL:
-            if c == "/" and nxt == "/":
-                state = LINE_COMMENT
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = BLOCK_COMMENT
-                out.append("  ")
-                i += 2
-            elif c == '"':
-                # Raw string?  Look back for R / u8R / LR / uR / UR. The
-                # prefix must not be the tail of a longer identifier
-                # (`MY_STR_R"..."` is an ordinary literal, not a raw one),
-                # so require a non-identifier char — or start of file —
-                # immediately before it.
-                m = re.search(r'(?:\A|[^0-9A-Za-z_])(?:u8|[uUL])?R$',
-                              text[max(0, i - 4):i])
-                if m:
-                    m2 = re.match(r'"([^\s()\\]{0,16})\(', text[i:])
-                    if m2:
-                        raw_terminator = ")" + m2.group(1) + '"'
-                        state = RAW
-                        out.append(" " * (len(m2.group(0))))
-                        i += len(m2.group(0))
-                        continue
-                state = STRING
-                out.append(" ")
-                i += 1
-            elif c == "'":
-                state = CHAR
-                out.append(" ")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == LINE_COMMENT:
-            if c == "\n":
-                state = NORMAL
-                out.append(c)
-            elif c == "\\" and nxt == "\n":
-                out.append(" \n")
-                i += 1
-            else:
-                out.append(" ")
-            i += 1
-        elif state == BLOCK_COMMENT:
-            if c == "*" and nxt == "/":
-                state = NORMAL
-                out.append("  ")
-                i += 2
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-        elif state in (STRING, CHAR):
-            quote = '"' if state == STRING else "'"
-            if c == "\\":
-                out.append("  " if nxt != "\n" else " \n")
-                i += 2
-            elif c == quote:
-                state = NORMAL
-                out.append(" ")
-                i += 1
-            elif c == "\n":  # unterminated; bail to NORMAL to stay sane
-                state = NORMAL
-                out.append(c)
-                i += 1
-            else:
-                out.append(" ")
-                i += 1
-        else:  # RAW
-            if text.startswith(raw_terminator, i):
-                state = NORMAL
-                out.append(" " * len(raw_terminator))
-                i += len(raw_terminator)
-            else:
-                out.append(c if c == "\n" else " ")
-                i += 1
-    return "".join(out)
+    def module(self) -> Optional[str]:
+        """Top-level directory under the lint root ("tensor", "algo", ...),
+        or None for files sitting directly in the root."""
+        if "/" not in self.rel:
+            return None
+        return self.rel.split("/", 1)[0]
 
 
 class Rule:
@@ -186,6 +129,77 @@ class Rule:
         ]
 
 
+class ProjectRule:
+    """A named whole-project analysis (include graph, cross-file
+    contracts). Receives a Project, yields findings anchored at the
+    source line that owns the obligation; inline suppressions on that
+    line apply exactly as for per-file rules."""
+
+    def __init__(self, name: str, description: str,
+                 check: Callable[["Project"], Iterable[Finding]],
+                 finding_names: Optional[Sequence[str]] = None):
+        self.name = name
+        self.description = description
+        self._check = check
+        # Rule names this analysis may emit (an analysis like `layering`
+        # fans out into several finding kinds); used by the selftest's
+        # known-rule set and --list-rules.
+        self.finding_names = list(finding_names) if finding_names else [name]
+
+    def apply(self, project: "Project") -> List[Finding]:
+        out = []
+        for fi in self._check(project):
+            src = project.src_file(fi.path)
+            if src is not None and src.is_suppressed(fi.line, fi.rule):
+                continue
+            out.append(fi)
+        return out
+
+
+class Project:
+    """Filesystem context for whole-project rules.
+
+    `src_root` is the C++ tree the per-file rules walk (normally
+    <root>/src); `root` is the project root that anchors the cross-file
+    contract artifacts (tests/, README.md, DESIGN.md). Files are lexed
+    lazily and cached — several project rules share the same anchors.
+    """
+
+    def __init__(self, root: Path, src_root: Optional[Path] = None):
+        self.root = root
+        self.src_root = src_root if src_root is not None else root / "src"
+        self._cache: Dict[Path, Optional[SourceFile]] = {}
+
+    def src_files(self) -> List[SourceFile]:
+        return [f for f in (self.src_file_at(p)
+                            for p in iter_source_files(self.src_root))
+                if f is not None]
+
+    def src_file_at(self, path: Path) -> Optional[SourceFile]:
+        return self._load(path, self.src_root)
+
+    def src_file(self, rel: str) -> Optional[SourceFile]:
+        return self._load(self.src_root / rel, self.src_root)
+
+    def aux_file(self, rel: str) -> Optional[SourceFile]:
+        """Lex a file outside the lint root (e.g. tests/test_simd.cpp),
+        relative to the project root. None if absent."""
+        return self._load(self.root / rel, self.root)
+
+    def read_text(self, rel: str) -> Optional[str]:
+        path = self.root / rel
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8", errors="replace")
+
+    def _load(self, path: Path, root: Path) -> Optional[SourceFile]:
+        key = path.resolve()
+        if key not in self._cache:
+            self._cache[key] = (SourceFile(root, path)
+                                if path.is_file() else None)
+        return self._cache[key]
+
+
 def iter_source_files(root: Path) -> Iterable[Path]:
     for path in sorted(root.rglob("*")):
         if path.is_file() and path.suffix in CXX_SUFFIXES:
@@ -193,45 +207,165 @@ def iter_source_files(root: Path) -> Iterable[Path]:
 
 
 def run_lint(root: Path, rules: Sequence[Rule],
-             files: Optional[Sequence[Path]] = None) -> List[Finding]:
-    """Lint every C++ file under `root` (or the explicit file list)."""
+             files: Optional[Sequence[Path]] = None,
+             project: Optional[Project] = None,
+             project_rules: Sequence[ProjectRule] = ()) -> List[Finding]:
+    """Lint every C++ file under `root` (or the explicit file list) with
+    the per-file rules, then run the whole-project rules if a Project is
+    given. `files` narrows only the per-file pass (diff-aware mode):
+    project analyses are global by nature and always see everything."""
     findings: List[Finding] = []
     paths = list(files) if files is not None else list(iter_source_files(root))
     for path in paths:
-        src = SourceFile(root, path)
+        src = (project.src_file_at(path) if project is not None
+               else SourceFile(root, path))
+        if src is None:
+            continue
         for rule in rules:
             findings.extend(rule.apply(src))
+    if project is not None:
+        for prule in project_rules:
+            findings.extend(prule.apply(project))
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 
 
+def findings_to_json(findings: Sequence[Finding], *, root: str,
+                     baselined: Sequence[Finding] = (),
+                     stale_baseline: Sequence[dict] = ()) -> str:
+    doc = {
+        "tool": "detlint",
+        "schema_version": 2,
+        "root": root,
+        "findings": [f.to_json() for f in findings],
+        "baselined": [f.to_json() for f in baselined],
+        "stale_baseline": list(stale_baseline),
+        "counts": {
+            "findings": len(findings),
+            "baselined": len(baselined),
+            "stale_baseline": len(stale_baseline),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=False)
+
+
 # ---------------------------------------------------------------------------
-# Selftest: fixtures under tools/detlint/fixtures/ mirror the src/ layout
-# (rules scoped to src/algo etc. see the same relative paths).  Each
-# fixture declares the rules it must trigger with `// detlint-expect:
-# rule` header lines; a fixture with no expectations must lint clean.
+# Selftest.
+#
+# Three tiers, all driven from run_selftest():
+#   1. lexer unit tests (selftest_lexer.py) — raw strings, prefixes,
+#      digit separators, splices, recovery; line numbers must survive.
+#   2. per-file fixtures under fixtures/: each declares the rules it
+#      must trigger with `// detlint-expect: rule` headers; `rule@N`
+#      pins the finding to absolute line N, `rule@+N` to N lines below
+#      the expectation comment itself. A fixture with no expectations
+#      must lint clean.
+#   3. mini-project fixtures under fixtures_project/<case>/: a full
+#      project lint (per-file rules over <case>/src plus every project
+#      rule) whose findings must exactly satisfy the detlint-expect
+#      declarations collected from the case's C++ files. A case may ship
+#      a baseline.json to prove the baseline workflow end to end.
 
-EXPECT_RE = re.compile(r"//\s*detlint-expect:\s*([\w\-]+)")
+EXPECT_RE = re.compile(r"//\s*detlint-expect:\s*([\w\-]+)(@\+?\d+)?")
 
 
-def run_selftest(fixtures_root: Path, rules: Sequence[Rule]) -> List[str]:
+@dataclasses.dataclass
+class _Expectation:
+    rel: str
+    rule: str
+    line: Optional[int]  # None = anywhere in this file
+
+    def claims(self, f: Finding) -> bool:
+        return (f.path == self.rel and f.rule == self.rule
+                and (self.line is None or f.line == self.line))
+
+    def render(self) -> str:
+        where = f" at line {self.line}" if self.line is not None else ""
+        return f"[{self.rule}]{where}"
+
+
+def _collect_expectations(root: Path, path: Path) -> List[_Expectation]:
+    rel = path.relative_to(root).as_posix()
+    out: List[_Expectation] = []
+    text = path.read_text(encoding="utf-8", errors="replace")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for m in EXPECT_RE.finditer(line):
+            rule, anchor = m.group(1), m.group(2)
+            if anchor is None:
+                out.append(_Expectation(rel, rule, None))
+            elif anchor.startswith("@+"):
+                out.append(_Expectation(rel, rule, lineno + int(anchor[2:])))
+            else:
+                out.append(_Expectation(rel, rule, int(anchor[1:])))
+    return out
+
+
+def _match_expectations(rel_label: str, expected: List[_Expectation],
+                        findings: List[Finding], known_rules: Set[str],
+                        errors: List[str]) -> None:
+    unknown = {e.rule for e in expected} - known_rules
+    if unknown:
+        errors.append(f"{rel_label}: expects unknown rule(s) {sorted(unknown)}")
+        return
+    for e in expected:
+        if not any(e.claims(f) for f in findings):
+            errors.append(
+                f"{rel_label}: expected {e.render()} in {e.rel}, "
+                f"it did not fire")
+    for f in findings:
+        if not any(e.claims(f) for e in expected):
+            errors.append(
+                f"{rel_label}: unexpected finding {f.render()}")
+
+
+def run_selftest(fixtures_root: Path, rules: Sequence[Rule],
+                 project_rules: Sequence[ProjectRule] = (),
+                 fixtures_project_root: Optional[Path] = None) -> List[str]:
     """Returns a list of selftest failure messages (empty = pass)."""
-    errors: List[str] = []
+    from . import baseline as baseline_mod
+    from . import selftest_lexer
+
+    errors: List[str] = list(selftest_lexer.run())
+
+    known = {r.name for r in rules}
+    for pr in project_rules:
+        known.update(pr.finding_names)
+
+    # Tier 2: per-file fixtures.
     fixture_files = list(iter_source_files(fixtures_root))
     if not fixture_files:
-        return [f"no fixture files found under {fixtures_root}"]
+        errors.append(f"no fixture files found under {fixtures_root}")
     for path in fixture_files:
         rel = path.relative_to(fixtures_root).as_posix()
-        expected = set(EXPECT_RE.findall(path.read_text(encoding="utf-8")))
-        unknown = expected - {r.name for r in rules}
-        if unknown:
-            errors.append(f"{rel}: expects unknown rule(s) {sorted(unknown)}")
-            continue
-        got = {f.rule for f in run_lint(fixtures_root, rules, files=[path])}
-        missing = expected - got
-        surplus = got - expected
-        for rule in sorted(missing):
-            errors.append(f"{rel}: expected [{rule}] to fire, it did not")
-        for rule in sorted(surplus):
-            errors.append(f"{rel}: [{rule}] fired unexpectedly")
+        expected = _collect_expectations(fixtures_root, path)
+        findings = run_lint(fixtures_root, rules, files=[path])
+        _match_expectations(rel, expected, findings, known, errors)
+
+    # Tier 3: mini-project fixtures.
+    if fixtures_project_root is not None and fixtures_project_root.is_dir():
+        for case_dir in sorted(p for p in fixtures_project_root.iterdir()
+                               if p.is_dir()):
+            case = case_dir.name
+            src_root = case_dir / "src"
+            if not src_root.is_dir():
+                errors.append(f"{case}: mini-project has no src/ tree")
+                continue
+            project = Project(case_dir, src_root)
+            findings = run_lint(src_root, rules, project=project,
+                                project_rules=project_rules)
+            expected: List[_Expectation] = []
+            for path in iter_source_files(src_root):
+                expected.extend(_collect_expectations(src_root, path))
+            baseline_path = case_dir / "baseline.json"
+            if baseline_path.is_file():
+                baseline = baseline_mod.Baseline.load(baseline_path)
+                findings, baselined, stale = baseline.apply(findings)
+                want_stale = baseline.selftest_expect_stale
+                if want_stale is not None and len(stale) != want_stale:
+                    errors.append(
+                        f"{case}: expected {want_stale} stale baseline "
+                        f"entr{'y' if want_stale == 1 else 'ies'}, "
+                        f"got {len(stale)}")
+            _match_expectations(case, expected, findings, known, errors)
+
     return errors

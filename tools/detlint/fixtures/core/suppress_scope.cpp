@@ -1,0 +1,19 @@
+// Fixture: suppression scoping is one marker, one line.
+//   * a trailing marker covers ONLY its own line — not the next one;
+//   * a whole-line comment marker covers ONLY the line directly below.
+// The unsuppressed calls are pinned to exact lines (rule@+N) so a
+// regression back to "a marker also covers the next line" fails loudly.
+// detlint-expect: banned-c-random@+7
+// detlint-expect: banned-c-random@+10
+#include <cstdlib>
+
+namespace fixture {
+
+inline int covered_trailing() { return std::rand(); }  // detlint: allow(banned-c-random) — scoping fixture
+inline int line_after_trailing_marker() { return std::rand(); }
+
+// detlint: allow(banned-c-random) — whole-line marker covers the next line only
+inline int covered_by_whole_line() { return std::rand(); }
+inline int two_lines_below_whole_line() { return std::rand(); }
+
+}  // namespace fixture

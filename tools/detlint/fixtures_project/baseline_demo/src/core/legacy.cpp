@@ -1,0 +1,9 @@
+// Mini-project fixture (baseline_demo): a real banned-c-random finding
+// that the case's baseline.json accepts with a rationale. The selftest
+// asserts zero surviving findings AND exactly one stale baseline entry
+// (the second entry in baseline.json matches nothing by design).
+#include <cstdlib>
+
+int legacy_roll() {
+  return std::rand() % 6;
+}

@@ -1,0 +1,8 @@
+// Mini-project fixture (clean): layer-0 header with no dependencies.
+// The whole case must produce zero findings — it is also the "exit 0"
+// scenario of the CLI exit-code selftest.
+#pragma once
+
+namespace fixture {
+using scalar_t = double;
+}  // namespace fixture

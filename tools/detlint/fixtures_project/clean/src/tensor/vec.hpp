@@ -1,0 +1,9 @@
+// Mini-project fixture (clean): a layer-1 module including layer 0 —
+// a legal downward edge in the layering DAG.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace fixture {
+inline scalar_t twice(scalar_t x) { return x + x; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Mini-project fixture (cycle): the other half of the sim <-> metrics
+// module cycle; see sim/a.hpp. This include is the witness edge the
+// layering-cycle finding anchors on.
+// detlint-expect: layering-cycle@+2
+#pragma once
+#include "sim/a.hpp"
+
+namespace fixture {
+inline int b_value() { return 2; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Mini-project fixture (cycle): sim and metrics sit in the same layer,
+// so each edge is individually legal — but together they form a module
+// cycle, which the whole-graph check must reject. The finding anchors
+// at the witness edge in the alphabetically smallest module (metrics).
+#pragma once
+#include "metrics/b.hpp"
+
+namespace fixture {
+inline int a_value() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Mini-project fixture (undocumented_flag): two flag reads, of which the
+// case README.md documents only --documented-flag. The --mystery-flag
+// read must be flagged at its own line.
+#include <string>
+
+struct Flags {
+  int get_int(const std::string&, int) const { return 0; }
+  double get_double(const std::string&, double) const { return 0.0; }
+};
+
+int configure(const Flags& flags) {
+  int n = flags.get_int("documented-flag", 4);
+  // detlint-expect: undocumented-flag@+1
+  double d = flags.get_double("mystery-flag", 0.5);
+  return n + static_cast<int>(d);
+}

@@ -1,0 +1,14 @@
+// Mini-project fixture (unpinned_kernel): a KernelTable with two
+// dispatched entries, of which tests/test_simd.cpp bit-pins only axpy.
+// The gemv field must be flagged as unpinned, at its own line.
+#pragma once
+
+namespace fixture {
+
+struct KernelTable {
+  void (*axpy)(double, const double*, double*);
+  // detlint-expect: kernel-table-unpinned@+1
+  void (*gemv)(const double*, const double*, double*);
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Mini-project fixture: the 0-ULP pin suite for unpinned_kernel. Only
+// axpy is exercised; gemv is deliberately absent so the contract check
+// has something to catch.
+#include "tensor/simd.hpp"
+
+int main() {
+  fixture::KernelTable t{};
+  double x = 1.0, y = 2.0;
+  if (t.axpy) t.axpy(0.5, &x, &y);
+  return 0;
+}

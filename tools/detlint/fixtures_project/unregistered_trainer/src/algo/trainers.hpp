@@ -1,0 +1,12 @@
+// Mini-project fixture (unregistered_trainer): two trainer entry points,
+// of which tests/test_snapshot.cpp exercises only train_alpha in the
+// kill-and-resume matrix. train_beta must be flagged at its own line.
+#pragma once
+
+namespace fixture {
+
+int train_alpha(int rounds);
+// detlint-expect: trainer-not-in-resume-matrix@+1
+int train_beta(int rounds);
+
+}  // namespace fixture

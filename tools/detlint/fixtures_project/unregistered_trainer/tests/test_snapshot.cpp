@@ -1,0 +1,8 @@
+// Mini-project fixture: the kill-and-resume matrix for
+// unregistered_trainer. Only train_alpha appears; train_beta is
+// deliberately missing so the contract check has something to catch.
+#include "algo/trainers.hpp"
+
+int main() {
+  return fixture::train_alpha(3) == fixture::train_alpha(3) ? 0 : 1;
+}

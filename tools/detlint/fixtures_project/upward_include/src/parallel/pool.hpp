@@ -1,0 +1,7 @@
+// Mini-project fixture (upward_include): the layer-2 header that the
+// tensor module below it illegally reaches up to.
+#pragma once
+
+namespace fixture {
+struct Pool {};
+}  // namespace fixture

@@ -1,0 +1,9 @@
+// Mini-project fixture: tensor (layer 1) including parallel (layer 2)
+// is an upward edge — the layering check must flag the include line.
+// detlint-expect: layering-upward-include@+2
+#pragma once
+#include "parallel/pool.hpp"
+
+namespace fixture {
+inline Pool* no_pool() { return nullptr; }
+}  // namespace fixture

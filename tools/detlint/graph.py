@@ -1,0 +1,181 @@
+"""Include-graph extraction and layering-DAG enforcement.
+
+The repo's modules form a declared layering (DESIGN.md §12):
+
+    layer 0   core
+    layer 1   rng, tensor
+    layer 2   parallel, nn, data
+    layer 3   sim, io, metrics
+    layer 4   algo
+
+A module may include its own layer and anything below; an include of a
+*higher* layer is an upward edge and fails the lint (that boundary is
+what lets layers be swapped out independently — e.g. ROADMAP item 1's
+transport backend slots in below algo without touching trainers). Edges
+inside one layer are allowed individually but must stay acyclic: the
+module graph as a whole is checked for cycles, so two layer-3 modules
+cannot quietly grow a mutual dependency either.
+
+Project-local includes are recognized by their quoted, module-qualified
+form (`#include "sim/fault.hpp"` — the repo's only include style);
+system includes in angle brackets are outside the layering.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .engine import Finding, Project, ProjectRule, SourceFile
+
+# The declared layering. Order inside a layer is irrelevant.
+LAYERS: List[List[str]] = [
+    ["core"],
+    ["rng", "tensor"],
+    ["parallel", "nn", "data"],
+    ["sim", "io", "metrics"],
+    ["algo"],
+]
+
+LAYER_OF: Dict[str, int] = {
+    mod: i for i, layer in enumerate(LAYERS) for mod in layer
+}
+
+
+class IncludeEdge:
+    """One project-local include directive: from_file (src-relative)
+    includes to_path (src-relative) at `line`."""
+
+    def __init__(self, from_file: str, from_module: str,
+                 to_path: str, to_module: str, line: int):
+        self.from_file = from_file
+        self.from_module = from_module
+        self.to_path = to_path
+        self.to_module = to_module
+        self.line = line
+
+
+def local_includes(src: SourceFile) -> Iterable[Tuple[str, int]]:
+    """Yield (included path, line) for each quoted project-local include
+    whose path starts with a known or plausible module directory."""
+    ts = src.code_tokens
+    for i, t in enumerate(ts):
+        if t.kind != "pp" or t.text != "include":
+            continue
+        if i + 1 >= len(ts):
+            continue
+        operand = ts[i + 1]
+        if operand.kind == "string":
+            path = operand.text.strip('"')
+            if "/" in path:
+                yield path, t.line
+
+
+def build_include_graph(project: Project) -> List[IncludeEdge]:
+    edges: List[IncludeEdge] = []
+    for src in project.src_files():
+        mod = src.module()
+        if mod is None:
+            continue
+        for path, line in local_includes(src):
+            to_module = path.split("/", 1)[0]
+            edges.append(IncludeEdge(src.rel, mod, path, to_module, line))
+    return edges
+
+
+def module_graph(edges: List[IncludeEdge]) -> Dict[str, Dict[str, IncludeEdge]]:
+    """Collapse file-level edges to module level; keeps one witness edge
+    (the first in walk order) per module pair, self-edges dropped."""
+    graph: Dict[str, Dict[str, IncludeEdge]] = {}
+    for e in edges:
+        if e.from_module == e.to_module:
+            continue
+        graph.setdefault(e.from_module, {})
+        if e.to_module not in graph[e.from_module]:
+            graph[e.from_module][e.to_module] = e
+    return graph
+
+
+def find_cycles(graph: Dict[str, Dict[str, IncludeEdge]]) -> List[List[str]]:
+    """All elementary cycles in the module graph, each normalized to
+    start at its alphabetically smallest module. Deterministic order."""
+    cycles: List[List[str]] = []
+    seen = set()
+
+    def dfs(start: str, node: str, path: List[str], on_path: set):
+        for succ in sorted(graph.get(node, {})):
+            if succ == start:
+                # Normalize: rotate so the smallest module leads.
+                k = path.index(min(path))
+                cyc = path[k:] + path[:k]
+                key = tuple(cyc)
+                if key not in seen:
+                    seen.add(key)
+                    cycles.append(cyc)
+            elif succ > start and succ not in on_path:
+                on_path.add(succ)
+                dfs(start, succ, path + [succ], on_path)
+                on_path.discard(succ)
+
+    for start in sorted(graph):
+        dfs(start, start, [start], {start})
+    cycles.sort()
+    return cycles
+
+
+def _check_layering(project: Project) -> Iterable[Finding]:
+    edges = build_include_graph(project)
+
+    # Unknown modules: an include into (or a file inside) a directory the
+    # DAG does not declare means the layering is out of date — fail
+    # loudly rather than silently skipping the edge.
+    for src in project.src_files():
+        mod = src.module()
+        if mod is not None and mod not in LAYER_OF:
+            yield Finding(
+                src.rel, 1, "layering-unknown-module",
+                f"module '{mod}' is not in the declared layering DAG; add "
+                f"it to tools/detlint/graph.py LAYERS (and DESIGN.md §12)")
+    for e in edges:
+        if e.from_module in LAYER_OF and e.to_module not in LAYER_OF:
+            yield Finding(
+                e.from_file, e.line, "layering-unknown-module",
+                f"include of '{e.to_path}': module '{e.to_module}' is not "
+                f"in the declared layering DAG")
+
+    # Upward includes.
+    for e in edges:
+        lf = LAYER_OF.get(e.from_module)
+        lt = LAYER_OF.get(e.to_module)
+        if lf is None or lt is None:
+            continue
+        if lt > lf:
+            yield Finding(
+                e.from_file, e.line, "layering-upward-include",
+                f"'{e.from_module}' (layer {lf}) includes '{e.to_path}' "
+                f"from '{e.to_module}' (layer {lt}); the declared layering "
+                f"is core <- rng/tensor <- parallel/nn/data <- "
+                f"sim/io/metrics <- algo")
+
+    # Cycles over the whole module graph (covers same-layer cycles the
+    # upward check cannot see).
+    graph = module_graph(edges)
+    for cyc in find_cycles(graph):
+        witness = graph[cyc[0]][cyc[1 % len(cyc)]]
+        chain = " -> ".join(cyc + [cyc[0]])
+        yield Finding(
+            witness.from_file, witness.line, "layering-cycle",
+            f"module include cycle {chain}; break the cycle or move the "
+            f"shared piece into a lower layer")
+
+
+RULE_LAYERING = ProjectRule(
+    "layering",
+    "Include-graph layering: enforces the declared module DAG "
+    "(core <- rng/tensor <- parallel/nn/data <- sim/io/metrics <- algo) "
+    "over all of src/ — no upward includes, no module cycles, no "
+    "undeclared modules. Emits layering-upward-include, layering-cycle, "
+    "and layering-unknown-module findings.",
+    _check_layering,
+    finding_names=["layering-upward-include", "layering-cycle",
+                   "layering-unknown-module"],
+)

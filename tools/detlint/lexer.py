@@ -1,0 +1,195 @@
+"""C++ token-stream lexer for detlint.
+
+Tokenizes C++ the way the rules need to see it: identifiers, numbers
+(incl. digit separators and pp-number suffixes), string/char literals
+(incl. u8/u/U/L prefixes and raw strings with custom delimiters),
+comments, preprocessor directives, and operators/punctuation. The lexer
+is deliberately simpler than a compiler front end — no keyword table, no
+macro expansion — but it is exact about the three things regex line
+scanning never was:
+
+  * phase-2 line splicing: a backslash-newline is removed *before*
+    tokenization, so an identifier, a string, a `//` comment, or a
+    preprocessor directive can span physical lines — exactly as in
+    translation. Every token still reports the physical line/column of
+    its first character so findings land where the editor does.
+  * raw strings: `R"delim( ... )delim"` bodies are one opaque token, no
+    matter what they contain, and the delimiter lookbehind cannot be
+    fooled by identifiers that merely end in R (``FMT_R"..."``).
+  * recovery: an unterminated string/char literal ends at the newline,
+    an unterminated raw string or block comment ends at EOF — the lexer
+    never throws and never loses line numbers downstream of the damage.
+
+Tokens never overlap and concatenate (plus whitespace) back to the
+spliced input; rules walk the list or the per-line index in
+engine.SourceFile.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from typing import List, NamedTuple
+
+
+class Token(NamedTuple):
+    kind: str  # ident|number|string|char|raw_string|header|punct|comment|pp
+    text: str  # spelling (post-splice, so it may differ from the file bytes)
+    line: int  # 1-based physical line of the token's first character
+    col: int   # 1-based physical column of the token's first character
+
+
+# Multi-character operators, longest first so alternation picks e.g. ``<<=``
+# over ``<<`` over ``<``.
+_OPERATORS = [
+    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
+    "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "&=", "|=", "^=", "##",
+]
+
+_MASTER = re.compile(
+    r"""
+      (?P<ws>[ \t\r\n\f\v]+)
+    | (?P<line_comment>//[^\n]*)
+    | (?P<block_comment>/\*.*?(?:\*/|\Z))
+    | (?P<raw_open>(?:u8|[uUL])?R"(?P<raw_delim>[^\s()\\"]{0,16})\()
+    | (?P<string>(?:u8|[uUL])?"(?:[^"\\\n]|\\.)*(?:"|(?=\n)|\Z))
+    | (?P<char>(?:u8|[uUL])?'(?:[^'\\\n]|\\.)*(?:'|(?=\n)|\Z))
+    | (?P<number>\.?[0-9](?:'[0-9A-Za-z_]|[eEpP][+-]|[0-9A-Za-z_.])*)
+    | (?P<ident>[A-Za-z_]\w*)
+    | (?P<punct>%s|[^\sA-Za-z_0-9])
+    """ % "|".join(re.escape(op) for op in _OPERATORS),
+    re.VERBOSE | re.DOTALL,
+)
+
+_SPLICE = re.compile(r"\\\r?\n")
+_HEADER = re.compile(r"<[^>\n]*>?")
+
+
+def _splice(text: str):
+    """Remove backslash-newline splices.
+
+    Returns (spliced_text, anchors) where anchors is an ascending list of
+    (spliced_offset, original_offset) pairs: the original offset of any
+    spliced position is recovered from the nearest anchor at or before it.
+    """
+    parts: List[str] = []
+    anchors = [(0, 0)]
+    pos = 0
+    out_len = 0
+    for m in _SPLICE.finditer(text):
+        seg = text[pos:m.start()]
+        parts.append(seg)
+        out_len += len(seg)
+        pos = m.end()
+        anchors.append((out_len, pos))
+    parts.append(text[pos:])
+    return "".join(parts), anchors
+
+
+class _LineMap:
+    """Maps spliced offsets back to physical (line, col) in the original."""
+
+    def __init__(self, original: str, anchors):
+        self._anchors = anchors
+        self._spliced_offsets = [a[0] for a in anchors]
+        self._line_starts = [0]
+        for i, c in enumerate(original):
+            if c == "\n":
+                self._line_starts.append(i + 1)
+
+    def location(self, spliced_offset: int):
+        i = bisect.bisect_right(self._spliced_offsets, spliced_offset) - 1
+        sp, orig = self._anchors[i]
+        orig_offset = orig + (spliced_offset - sp)
+        line_idx = bisect.bisect_right(self._line_starts, orig_offset) - 1
+        return line_idx + 1, orig_offset - self._line_starts[line_idx] + 1
+
+
+def tokenize(text: str) -> List[Token]:
+    """Lex `text` into a token list. Never raises on malformed input."""
+    spliced, anchors = _splice(text)
+    lmap = _LineMap(text, anchors)
+    tokens: List[Token] = []
+    i, n = 0, len(spliced)
+    at_line_start = True  # logical-line start: a '#' here opens a directive
+    while i < n:
+        m = _MASTER.match(spliced, i)
+        if m is None:  # unreachable: punct matches any non-space char
+            i += 1
+            continue
+        kind = m.lastgroup
+        txt = m.group(0)
+        line, col = lmap.location(i)
+        if kind == "ws":
+            if "\n" in txt:
+                at_line_start = True
+            i = m.end()
+            continue
+        if kind == "raw_open":
+            # Hunt for the matching )delim" — to EOF if absent (recovery).
+            terminator = ")" + m.group("raw_delim") + '"'
+            end = spliced.find(terminator, m.end())
+            end = n if end == -1 else end + len(terminator)
+            tokens.append(Token("raw_string", spliced[i:end], line, col))
+            i = end
+            at_line_start = False
+            continue
+        if kind == "line_comment" or kind == "block_comment":
+            tokens.append(Token("comment", txt, line, col))
+            # A block comment containing a newline leaves us at the start
+            # of a fresh logical line; a line comment always does.
+            if kind == "line_comment" or "\n" in txt:
+                at_line_start = True
+            i = m.end()
+            continue
+        if kind == "punct" and txt == "#" and at_line_start:
+            # Preprocessor directive: emit one `pp` token whose text is
+            # the directive name ("include", "pragma", ...). The rest of
+            # the directive lexes as ordinary tokens, except an
+            # #include <header>, whose operand is one `header` token.
+            j = m.end()
+            while j < n and spliced[j] in " \t":
+                j += 1
+            dm = re.match(r"[A-Za-z_]\w*", spliced[j:])
+            if dm:
+                name = dm.group(0)
+                tokens.append(Token("pp", name, line, col))
+                i = j + len(name)
+                if name == "include":
+                    k = i
+                    while k < n and spliced[k] in " \t":
+                        k += 1
+                    hm_ = _HEADER.match(spliced, k)
+                    if hm_:
+                        hline, hcol = lmap.location(k)
+                        tokens.append(
+                            Token("header", hm_.group(0), hline, hcol))
+                        i = hm_.end()
+                at_line_start = False
+                continue
+            # '#' with no name (null directive) falls through as punct.
+        tokens.append(Token(kind, txt, line, col))
+        at_line_start = False
+        i = m.end()
+    return tokens
+
+
+def string_value(tok: Token) -> str:
+    """Literal contents of a string/char/raw_string token (no escape
+    decoding — detlint only matches names, never binary payloads)."""
+    t = tok.text
+    if tok.kind == "raw_string":
+        open_quote = t.index('"')
+        delim = t[open_quote + 1:t.index("(", open_quote)]
+        body_start = t.index("(", open_quote) + 1
+        closer = ")" + delim + '"'
+        return t[body_start:-len(closer)] if t.endswith(closer) \
+            else t[body_start:]
+    for prefix in ("u8", "u", "U", "L"):
+        if t.startswith(prefix):
+            t = t[len(prefix):]
+            break
+    if len(t) >= 2 and t[0] in "\"'" and t[-1] == t[0]:
+        return t[1:-1]
+    return t[1:] if t and t[0] in "\"'" else t  # unterminated recovery

@@ -1,28 +1,87 @@
-"""detlint rule set.
+"""detlint per-file rule set, expressed over the token stream.
 
 Each rule names the determinism invariant or repo convention it guards.
 Scopes are directories relative to the lint root (normally src/).  See
-DESIGN.md §8 for the rationale behind every rule.
+DESIGN.md §8 and §12 for the rationale behind every rule.
+
+All eleven rules from the regex engine are ported here as token
+matchers: identifier rules match whole identifier tokens (no substring
+false positives, no lookbehind hacks), call rules require an actual
+``(`` token, and the structural rules (unordered-iteration declarations,
+Model entry-point bodies) use real template-argument and brace matching
+instead of bounded regex windows.
 """
 
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set
 
 from .engine import Finding, Rule, SourceFile
+from .lexer import Token
 
 
-def _regex_rule(name: str, description: str, pattern: str, message: str,
+def _next(tokens: Sequence[Token], i: int) -> Optional[Token]:
+    return tokens[i + 1] if i + 1 < len(tokens) else None
+
+
+def _is_call(tokens: Sequence[Token], i: int) -> bool:
+    nxt = _next(tokens, i)
+    return nxt is not None and nxt.kind == "punct" and nxt.text == "("
+
+
+def _skip_template_args(tokens: Sequence[Token], i: int) -> int:
+    """With tokens[i] == '<', return the index just past the matching
+    '>' (treating '>>' as two closers, as C++ has since C++11). Returns
+    i unchanged if the angle brackets never balance."""
+    depth = 0
+    j = i
+    while j < len(tokens):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == "<":
+                depth += 1
+            elif t.text == ">":
+                depth -= 1
+            elif t.text == ">>":
+                depth -= 2
+            elif t.text in (";", "{"):
+                return i  # not a template argument list after all
+            if depth <= 0 and t.text in (">", ">>"):
+                return j + 1
+        j += 1
+    return i
+
+
+def _matching_close(tokens: Sequence[Token], i: int, open_: str,
+                    close: str) -> int:
+    """tokens[i] must be `open_`; returns the index of the matching
+    `close`, or len(tokens) if unbalanced."""
+    depth = 0
+    for j in range(i, len(tokens)):
+        t = tokens[j]
+        if t.kind == "punct":
+            if t.text == open_:
+                depth += 1
+            elif t.text == close:
+                depth -= 1
+                if depth == 0:
+                    return j
+    return len(tokens)
+
+
+def _ident_rule(name: str, description: str, message: str, *,
+                idents: Sequence[str] = (),
+                called_idents: Sequence[str] = (),
+                ident_pattern: Optional[str] = None,
                 scope: Optional[Sequence[str]] = None,
-                exclude: Optional[Sequence[str]] = None,
-                raw: bool = False) -> Rule:
-    """Rule that flags every code line matching `pattern`.
-
-    scope/exclude are root-relative directory or file prefixes; `raw`
-    matches against unstripped lines (needed for preprocessor pragmas).
-    """
-    rx = re.compile(pattern)
+                exclude: Optional[Sequence[str]] = None) -> Rule:
+    """Rule that flags identifier tokens: `idents` match anywhere,
+    `called_idents` only when followed by '(', `ident_pattern` is a
+    full-token regex matched anywhere."""
+    ident_set = set(idents)
+    called_set = set(called_idents)
+    rx = re.compile(ident_pattern) if ident_pattern else None
 
     def check(f: SourceFile) -> Iterable[Finding]:
         if scope is not None and not f.in_dir(*scope):
@@ -30,78 +89,128 @@ def _regex_rule(name: str, description: str, pattern: str, message: str,
         if exclude is not None and any(
                 f.rel == e or f.rel.startswith(e) for e in exclude):
             return
-        lines = f.raw_lines if raw else f.code_lines
-        for i, line in enumerate(lines, start=1):
-            if rx.search(line):
-                yield Finding(f.rel, i, name, message)
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind != "ident":
+                continue
+            if (t.text in ident_set
+                    or (t.text in called_set and _is_call(ts, i))
+                    or (rx is not None and rx.fullmatch(t.text))):
+                yield Finding(f.rel, t.line, name, message)
 
     return Rule(name, description, check)
 
 
 # --- nondeterminism sources -------------------------------------------------
 
-RULE_RANDOM_DEVICE = _regex_rule(
+RULE_RANDOM_DEVICE = _ident_rule(
     "banned-random-device",
     "std::random_device draws hardware entropy; every RNG stream must "
     "derive from an explicit seed_t (src/rng) so runs replay bit-exactly.",
-    r"\brandom_device\b",
     "std::random_device is nondeterministic; seed an hm::rng stream instead",
+    idents=("random_device",),
 )
 
-RULE_C_RANDOM = _regex_rule(
+RULE_C_RANDOM = _ident_rule(
     "banned-c-random",
     "rand()/srand()/rand_r() use hidden global state with "
     "implementation-defined sequences; results differ across libcs.",
-    r"\b(?:s?rand|rand_r)\s*\(",
     "C rand()/srand() is banned; use hm::rng::Xoshiro256",
+    called_idents=("rand", "srand", "rand_r"),
 )
 
-RULE_WALL_CLOCK = _regex_rule(
+RULE_WALL_CLOCK = _ident_rule(
     "banned-wall-clock",
     "Wall-clock reads (time(), clock(), system_clock, "
     "high_resolution_clock) leak the host's clock into results or seeds. "
     "Timing measurements use steady_clock via hm::Stopwatch.",
-    r"\btime\s*\(|\bclock\s*\(|\bsystem_clock\b|\bhigh_resolution_clock\b",
     "wall-clock access is banned in src/; use hm::Stopwatch (steady_clock) "
     "for timing and explicit seeds for RNG",
+    idents=("system_clock", "high_resolution_clock"),
+    called_idents=("time", "clock"),
 )
 
-RULE_UNORDERED_ACCUM = _regex_rule(
-    "unordered-accumulation",
-    "std::reduce / std::transform_reduce / parallel execution policies "
-    "reassociate floating-point sums, so totals depend on the "
-    "implementation's chunking. Numeric code uses the fixed-order "
-    "hm::tensor reductions or std::accumulate.",
-    r"\breduce\s*\(|\btransform_reduce\s*\(|\bexecution::",
-    "unordered accumulation primitive; use hm::tensor::sum/dot or "
-    "std::accumulate (fixed order)",
-)
+class _UnorderedAccumRule(Rule):
+    """std::reduce / std::transform_reduce calls and `execution::`
+    (parallel execution policies) — both reassociate floating-point
+    sums, so totals depend on the implementation's chunking."""
 
-RULE_FLOAT_IN_KERNEL = _regex_rule(
+    NAME = "unordered-accumulation"
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "std::reduce / std::transform_reduce / parallel execution "
+            "policies reassociate floating-point sums, so totals depend "
+            "on the implementation's chunking. Numeric code uses the "
+            "fixed-order hm::tensor reductions or std::accumulate.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        msg = ("unordered accumulation primitive; use hm::tensor::sum/dot "
+               "or std::accumulate (fixed order)")
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind != "ident":
+                continue
+            if t.text in ("reduce", "transform_reduce") and _is_call(ts, i):
+                yield Finding(f.rel, t.line, self.NAME, msg)
+            elif t.text == "execution":
+                nxt = _next(ts, i)
+                if nxt is not None and nxt.kind == "punct" \
+                        and nxt.text == "::":
+                    yield Finding(f.rel, t.line, self.NAME, msg)
+
+
+RULE_FLOAT_IN_KERNEL = _ident_rule(
     "float-narrowing-in-kernel",
     "Kernels compute in scalar_t (double). A float temporary inserts a "
     "double->float->double narrowing round-trip that silently changes "
     "results vs. the scalar references the tests compare against.",
-    r"\bfloat\b",
     "float in a kernel narrows scalar_t arithmetic; use scalar_t",
+    idents=("float",),
     scope=("tensor",),
 )
 
 
-RULE_RAW_SIMD = _regex_rule(
-    "raw-simd-outside-tensor",
-    "ISA-specific SIMD (intrinsics headers, _mm* calls, __m128/256/512 "
-    "vector types, ia32 builtins) is confined to src/tensor: the runtime "
-    "dispatch layer there is the one place allowed to know about vector "
-    "widths, and every variant it builds is bit-compared against the "
-    "generic kernels (tests/test_simd.cpp). An intrinsic anywhere else "
-    "forks the rounding/width behavior per build flag with no oracle.",
-    r"\b\w*intrin\.h\b|\barm_neon\.h\b|\b_mm\d*_\w+\s*\(|"
-    r"\b__m(?:128|256|512)[di]?\b|\b__builtin_ia32_\w+",
-    "raw SIMD intrinsic outside src/tensor; call the tensor kernels and "
-    "let runtime dispatch pick the ISA",
-    exclude=("tensor",),
-)
+class _RawSimdRule(Rule):
+    """ISA-specific SIMD outside src/tensor: intrinsics headers,
+    _mm* calls, __m128/256/512 vector types, ia32 builtins."""
+
+    NAME = "raw-simd-outside-tensor"
+    HEADER_RE = re.compile(r"\w*intrin\.h$|arm_neon\.h$")
+    CALL_RE = re.compile(r"_mm\d*_\w+")
+    TYPE_RE = re.compile(r"__m(?:128|256|512)[di]?|__builtin_ia32_\w+")
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "ISA-specific SIMD (intrinsics headers, _mm* calls, "
+            "__m128/256/512 vector types, ia32 builtins) is confined to "
+            "src/tensor: the runtime dispatch layer there is the one place "
+            "allowed to know about vector widths, and every variant it "
+            "builds is bit-compared against the generic kernels "
+            "(tests/test_simd.cpp). An intrinsic anywhere else forks the "
+            "rounding/width behavior per build flag with no oracle.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if f.in_dir("tensor"):
+            return
+        msg = ("raw SIMD intrinsic outside src/tensor; call the tensor "
+               "kernels and let runtime dispatch pick the ISA")
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind in ("header", "string"):
+                # '<immintrin.h>' / "immintrin.h" include operands.
+                name = t.text.strip('<>"')
+                if self.HEADER_RE.search(name):
+                    yield Finding(f.rel, t.line, self.NAME, msg)
+            elif t.kind == "ident":
+                if self.TYPE_RE.fullmatch(t.text) or (
+                        self.CALL_RE.fullmatch(t.text)
+                        and _is_call(ts, i)):
+                    yield Finding(f.rel, t.line, self.NAME, msg)
 
 
 class _UnorderedIterationRule(Rule):
@@ -115,12 +224,10 @@ class _UnorderedIterationRule(Rule):
 
     NAME = "unordered-iteration"
     SCOPE = ("algo", "sim", "metrics")
-
-    # Catches locals, members, and (reference/pointer) parameters.
-    DECL_RE = re.compile(
-        r"unordered_(?:map|set|multimap|multiset)\s*<(?:[^<>]|<[^<>]*>)*>"
-        r"\s*[&*]*\s*(\w+)\s*[;,)({=\[]")
-    TEMP_ITER_RE = re.compile(r"for\s*\([^()]*:[^()]*\bunordered_")
+    UNORDERED = {"unordered_map", "unordered_set",
+                 "unordered_multimap", "unordered_multiset"}
+    BEGIN = {"begin", "cbegin", "rbegin", "crbegin"}
+    DECL_TERMINATORS = {";", ",", ")", "(", "{", "=", "["}
 
     def __init__(self):
         super().__init__(
@@ -132,60 +239,138 @@ class _UnorderedIterationRule(Rule):
             "before iterating.",
             self._check)
 
+    def _declared_names(self, ts: Sequence[Token]) -> Set[str]:
+        """Names declared with an unordered container type: after the
+        container identifier, skip its template arguments and any &/*
+        qualifiers; the next identifier followed by a declarator
+        terminator is the declared name (locals, members, parameters)."""
+        names: Set[str] = set()
+        for i, t in enumerate(ts):
+            if t.kind != "ident" or t.text not in self.UNORDERED:
+                continue
+            j = i + 1
+            if j < len(ts) and ts[j].kind == "punct" and ts[j].text == "<":
+                j = _skip_template_args(ts, j)
+                if j == i + 1:
+                    continue  # unbalanced; not a declaration
+            while j < len(ts) and ts[j].kind == "punct" \
+                    and ts[j].text in ("&", "*", "&&"):
+                j += 1
+            if j < len(ts) and ts[j].kind == "ident":
+                nxt = _next(ts, j)
+                if nxt is not None and nxt.kind == "punct" \
+                        and nxt.text in self.DECL_TERMINATORS:
+                    names.add(ts[j].text)
+        return names
+
     def _check(self, f: SourceFile) -> Iterable[Finding]:
         if not f.in_dir(*self.SCOPE):
             return
-        names = set()
-        for line in f.code_lines:
-            for m in self.DECL_RE.finditer(line):
-                names.add(m.group(1))
-        iter_res: List[re.Pattern] = [self.TEMP_ITER_RE]
-        if names:
-            alt = "|".join(sorted(re.escape(n) for n in names))
-            iter_res.append(
-                re.compile(r"for\s*\([^()]*:[^()]*\b(?:%s)\b" % alt))
-            # .begin() starts an iteration; bare .end() in a find()
-            # comparison is keyed lookup and stays legal.
-            iter_res.append(
-                re.compile(r"\b(?:%s)\s*\.\s*c?r?begin\s*\(" % alt))
+        ts = f.code_tokens
+        names = self._declared_names(ts)
         msg = ("iteration over an unordered container has host-dependent "
                "order; use an ordered container or sort the keys first")
-        for i, line in enumerate(f.code_lines, start=1):
-            if any(rx.search(line) for rx in iter_res):
-                yield Finding(f.rel, i, self.NAME, msg)
+        for i, t in enumerate(ts):
+            # Range-for whose range expression mentions a tracked name or
+            # an unordered container type (temporaries).
+            if t.kind == "ident" and t.text == "for" and _is_call(ts, i):
+                close = _matching_close(ts, i + 1, "(", ")")
+                head = ts[i + 2:close]
+                colon = next((k for k, h in enumerate(head)
+                              if h.kind == "punct" and h.text == ":"), None)
+                if colon is not None:
+                    for h in head[colon + 1:]:
+                        if h.kind == "ident" and (
+                                h.text in names
+                                or h.text in self.UNORDERED):
+                            yield Finding(f.rel, t.line, self.NAME, msg)
+                            break
+            # name.begin() / name.cbegin() — explicit iteration start.
+            # A bare .end() in a find() comparison is keyed lookup and
+            # stays legal.
+            elif (t.kind == "ident" and t.text in names
+                  and i + 2 < len(ts)
+                  and ts[i + 1].kind == "punct" and ts[i + 1].text == "."
+                  and ts[i + 2].kind == "ident"
+                  and ts[i + 2].text in self.BEGIN
+                  and _is_call(ts, i + 2)):
+                yield Finding(f.rel, t.line, self.NAME, msg)
 
 
 # --- repo conventions -------------------------------------------------------
 
-RULE_OMP = _regex_rule(
-    "no-openmp",
-    "Threading goes through hm::parallel exclusively — its chunking is "
-    "what makes reductions thread-count-invariant. An OpenMP pragma "
-    "bypasses that contract (and the build does not pass -fopenmp).",
-    r"#\s*pragma\s+omp\b",
-    "#pragma omp bypasses hm::parallel's deterministic chunking",
-)
 
-RULE_STDOUT = _regex_rule(
-    "stray-stdout",
-    "All user-facing output flows through src/core/log so verbosity is "
-    "centrally controlled and benchmark stdout stays machine-parseable.",
-    r"\bstd::cout\b|\bprintf\s*\(|\bputs\s*\(|\bfprintf\s*\(\s*stdout\b",
-    "direct stdout write outside src/core/log; use hm::log",
-    exclude=("core/log",),
-)
+class _OpenMpRule(Rule):
+    """#pragma omp — OpenMP bypasses hm::parallel's deterministic
+    chunking (and the build does not pass -fopenmp)."""
+
+    def __init__(self):
+        super().__init__(
+            "no-openmp",
+            "Threading goes through hm::parallel exclusively — its "
+            "chunking is what makes reductions thread-count-invariant. An "
+            "OpenMP pragma bypasses that contract (and the build does not "
+            "pass -fopenmp).",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind == "pp" and t.text == "pragma":
+                nxt = _next(ts, i)
+                if nxt is not None and nxt.kind == "ident" \
+                        and nxt.text == "omp":
+                    yield Finding(
+                        f.rel, t.line, self.name,
+                        "#pragma omp bypasses hm::parallel's deterministic "
+                        "chunking")
 
 
-RULE_PERSISTENCE = _regex_rule(
+class _StdoutRule(Rule):
+    """Direct stdout writes outside src/core/log."""
+
+    NAME = "stray-stdout"
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "All user-facing output flows through src/core/log so "
+            "verbosity is centrally controlled and benchmark stdout stays "
+            "machine-parseable.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if f.in_dir("core/log") or f.rel.startswith("core/log"):
+            return
+        msg = "direct stdout write outside src/core/log; use hm::log"
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind != "ident":
+                continue
+            if t.text == "cout":
+                # std::cout (or any qualified ::cout).
+                if i > 0 and ts[i - 1].kind == "punct" \
+                        and ts[i - 1].text == "::":
+                    yield Finding(f.rel, t.line, self.NAME, msg)
+            elif t.text in ("printf", "puts") and _is_call(ts, i):
+                yield Finding(f.rel, t.line, self.NAME, msg)
+            elif t.text == "fprintf" and _is_call(ts, i):
+                nxt = ts[i + 2] if i + 2 < len(ts) else None
+                if nxt is not None and nxt.kind == "ident" \
+                        and nxt.text == "stdout":
+                    yield Finding(f.rel, t.line, self.NAME, msg)
+
+
+RULE_PERSISTENCE = _ident_rule(
     "direct-persistence",
     "Durable artifacts must go through src/io: its temp-file + fsync + "
     "atomic-rename protocol with checksums is what makes writes crash-safe "
     "and loads corruption-tolerant. A stray ofstream/fopen/rename "
     "elsewhere can leave a torn, unchecksummed file behind a crash.",
-    r"\bofstream\b|\bfopen\s*\(|\bfreopen\s*\(|\brename\s*\(|"
-    r"\bremove\s*\(|\bunlink\s*\(|\bfilesystem\s*::",
     "direct file persistence outside src/io; route writes through the "
     "crash-safe io layer (io::atomic_write_file / io::save_*)",
+    idents=("ofstream", "filesystem"),
+    called_idents=("fopen", "freopen", "rename", "remove", "unlink"),
     exclude=("io",),
 )
 
@@ -195,17 +380,15 @@ class _ModelEntryCheckRule(Rule):
 
     The Model interface takes caller-owned spans (parameters, batches,
     outputs); an unguarded size mismatch is a silent out-of-bounds read.
-    The rule accepts any HM_CHECK* within the first lines of the
-    definition body.
+    The rule accepts any HM_CHECK* within the first WINDOW lines of the
+    definition body (real brace matching bounds the body, so a guard in
+    the *next* definition can never satisfy this one).
     """
 
     NAME = "model-entry-unchecked"
     SCOPE = ("nn",)
-    METHODS = ("init_params", "loss_and_grad", "loss", "predict")
+    METHODS = {"init_params", "loss_and_grad", "loss", "predict"}
     WINDOW = 40  # lines of body scanned for a check
-
-    DEF_RE = re.compile(
-        r"\b(\w+)::(%s)\s*\(" % "|".join(METHODS))
 
     def __init__(self):
         super().__init__(
@@ -218,35 +401,36 @@ class _ModelEntryCheckRule(Rule):
     def _check(self, f: SourceFile) -> Iterable[Finding]:
         if not f.in_dir(*self.SCOPE) or not f.rel.endswith(".cpp"):
             return
-        n = len(f.code_lines)
-        for i, line in enumerate(f.code_lines, start=1):
-            m = self.DEF_RE.search(line)
-            if m is None:
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            # Class::method( — a qualified definition or call.
+            if not (t.kind == "ident" and i + 2 < len(ts)
+                    and ts[i + 1].kind == "punct" and ts[i + 1].text == "::"
+                    and ts[i + 2].kind == "ident"
+                    and ts[i + 2].text in self.METHODS
+                    and _is_call(ts, i + 2)):
                 continue
-            # Definition, not a qualified call: the statement must open a
-            # brace before it hits a ';'.
-            window = " ".join(f.code_lines[i - 1:min(n, i + 4)])
-            tail = window[window.index(m.group(0)):]
-            brace, semi = tail.find("{"), tail.find(";")
-            if brace == -1 or (semi != -1 and semi < brace):
+            close = _matching_close(ts, i + 3, "(", ")")
+            if close >= len(ts):
                 continue
-            # Scan the body only up to its closing brace (or WINDOW lines,
-            # whichever comes first) so a guard in the *next* definition
-            # cannot satisfy this one.
-            depth, opened = 0, False
-            body_lines = []
-            for j in range(i - 1, min(n, i - 1 + self.WINDOW)):
-                body_lines.append(f.code_lines[j])
-                depth += f.code_lines[j].count("{")
-                opened = opened or depth > 0
-                depth -= f.code_lines[j].count("}")
-                if opened and depth <= 0:
-                    break
-            body = "\n".join(body_lines)
-            if "HM_CHECK" not in body:
+            # Definition, not a call: the next structural token after the
+            # parameter list (past cv/ref/noexcept qualifiers) must open a
+            # brace before any ';'.
+            j = close + 1
+            while j < len(ts) and not (
+                    ts[j].kind == "punct" and ts[j].text in ("{", ";")):
+                j += 1
+            if j >= len(ts) or ts[j].text != "{":
+                continue
+            body_end = _matching_close(ts, j, "{", "}")
+            deadline = t.line + self.WINDOW
+            guarded = any(
+                b.kind == "ident" and b.text.startswith("HM_CHECK")
+                for b in ts[j:body_end] if b.line <= deadline)
+            if not guarded:
                 yield Finding(
-                    f.rel, i, self.NAME,
-                    f"{m.group(1)}::{m.group(2)} has no HM_CHECK guard in "
+                    f.rel, t.line, self.NAME,
+                    f"{t.text}::{ts[i + 2].text} has no HM_CHECK guard in "
                     f"the first {self.WINDOW} lines of its body")
 
 
@@ -254,12 +438,12 @@ ALL_RULES: List[Rule] = [
     RULE_RANDOM_DEVICE,
     RULE_C_RANDOM,
     RULE_WALL_CLOCK,
-    RULE_UNORDERED_ACCUM,
+    _UnorderedAccumRule(),
     RULE_FLOAT_IN_KERNEL,
-    RULE_RAW_SIMD,
+    _RawSimdRule(),
     _UnorderedIterationRule(),
-    RULE_OMP,
-    RULE_STDOUT,
+    _OpenMpRule(),
+    _StdoutRule(),
     RULE_PERSISTENCE,
     _ModelEntryCheckRule(),
 ]

@@ -1,0 +1,136 @@
+"""Lexer unit selftests, run as tier 1 of `scripts/lint.py --selftest`.
+
+Table-driven checks of exactly the constructs that killed the old regex
+engine: raw-string delimiters, u8/L encoding prefixes, digit separators,
+backslash line-continuations (including inside // comments and spliced
+identifiers), and unterminated-literal recovery. Every case also pins
+the *line number* of a sentinel token after the tricky construct —
+losing line sync downstream of damage is the failure mode these guard.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .lexer import string_value, tokenize
+
+
+def _tok(tokens, kind: str, text: str):
+    for t in tokens:
+        if t.kind == kind and t.text == text:
+            return t
+    return None
+
+
+def run() -> List[str]:
+    errors: List[str] = []
+
+    def check(cond: bool, label: str) -> None:
+        if not cond:
+            errors.append(f"lexer selftest: {label}")
+
+    # --- raw strings -------------------------------------------------------
+    ts = tokenize('auto s = R"lint(rand() " )not-it" )lint"; int after;\n')
+    raw = next((t for t in ts if t.kind == "raw_string"), None)
+    check(raw is not None, "raw string with custom delimiter not lexed")
+    if raw:
+        check(string_value(raw) == 'rand() " )not-it" ',
+              f"raw string value wrong: {string_value(raw)!r}")
+    check(_tok(ts, "ident", "rand") is None,
+          "raw-string body leaked tokens (rand)")
+    check(_tok(ts, "ident", "after") is not None,
+          "lexing did not resume after raw string")
+
+    # Multi-line raw string: the token after it must be on the right line.
+    ts = tokenize('auto s = R"(line one\nline two\nline three)";\nint x;\n')
+    x = _tok(ts, "ident", "x")
+    check(x is not None and x.line == 4,
+          f"token after multi-line raw string on line "
+          f"{x.line if x else '?'}, want 4")
+
+    # Identifier merely ending in R: NOT a raw-string prefix (the old
+    # engine's lookbehind regression).
+    ts = tokenize('auto a = FMT_R"(no close paren";\nint b = rand();\n')
+    check(_tok(ts, "raw_string", 'FMT_R"(no close paren"') is None
+          and any(t.kind == "string" for t in ts),
+          "FMT_R\"...\" must lex as ident + plain string, not raw string")
+    b = _tok(ts, "ident", "rand")
+    check(b is not None and b.line == 2,
+          "file swallowed after identifier-ending-in-R false raw string")
+
+    # u8R / LR prefixes are raw; 16-char delimiter is legal.
+    ts = tokenize('auto a = u8R"abcdefghijklmnop(body)abcdefghijklmnop";\n')
+    raw = next((t for t in ts if t.kind == "raw_string"), None)
+    check(raw is not None and string_value(raw) == "body",
+          "u8R raw string with 16-char delimiter mis-lexed")
+
+    # --- encoding prefixes -------------------------------------------------
+    ts = tokenize('auto a = u8"utf8"; auto b = L"wide"; auto c = L\'x\';\n')
+    check(_tok(ts, "string", 'u8"utf8"') is not None, "u8 string prefix lost")
+    check(_tok(ts, "string", 'L"wide"') is not None, "L string prefix lost")
+    check(_tok(ts, "char", "L'x'") is not None, "L char prefix lost")
+    check(_tok(ts, "ident", "u8") is None and _tok(ts, "ident", "L") is None,
+          "encoding prefix split off as its own identifier")
+
+    # --- digit separators --------------------------------------------------
+    ts = tokenize("long n = 1'000'000; int m = 0x1F'FFp+2;\n")
+    check(_tok(ts, "number", "1'000'000") is not None,
+          "digit separators split the number token")
+    check(not any(t.kind == "char" for t in ts),
+          "digit separator mis-lexed as char literal")
+    check(_tok(ts, "number", "0x1F'FFp+2") is not None,
+          "hex float with separator mis-lexed")
+
+    # --- line continuations ------------------------------------------------
+    # Inside a // comment: the comment legally swallows the next physical
+    # line; the code after it must keep its physical line number.
+    ts = tokenize("// a comment that continues \\\nint not_code;\nint yes;\n")
+    check(_tok(ts, "ident", "not_code") is None,
+          "backslash-continued // comment did not swallow the next line")
+    yes = _tok(ts, "ident", "yes")
+    check(yes is not None and yes.line == 3,
+          f"line number after continued comment: "
+          f"{yes.line if yes else '?'}, want 3")
+
+    # Inside an identifier and a directive.
+    ts = tokenize("in\\\nt spliced_int;\n#inc\\\nlude \"algo/x.hpp\"\n")
+    t0 = _tok(ts, "ident", "int")
+    check(t0 is not None and t0.line == 1,
+          "spliced identifier not reassembled at its first line")
+    pp = _tok(ts, "pp", "include")
+    check(pp is not None and pp.line == 3,
+          "spliced preprocessor directive not recognized")
+
+    # --- unterminated-literal recovery -------------------------------------
+    ts = tokenize('auto s = "never closed\nint survivor;\n')
+    surv = _tok(ts, "ident", "survivor")
+    check(surv is not None and surv.line == 2,
+          "unterminated string: lexer lost the next line")
+    ts = tokenize("char c = 'x\nint also_here;\n")
+    also = _tok(ts, "ident", "also_here")
+    check(also is not None and also.line == 2,
+          "unterminated char literal: lexer lost the next line")
+    # Unterminated raw string / block comment at EOF must not raise or
+    # loop; everything after is opaque by design.
+    ts = tokenize('auto s = R"(runs to eof\nmore\n')
+    check(ts and ts[-1].kind == "raw_string",
+          "unterminated raw string not recovered as one token")
+    ts = tokenize("/* never closed\nint gone;\n")
+    check(ts and ts[-1].kind == "comment",
+          "unterminated block comment not recovered")
+
+    # --- preprocessor ------------------------------------------------------
+    ts = tokenize('#include <vector>\n#include "sim/fault.hpp"\n'
+                  "#pragma omp parallel\n")
+    check(_tok(ts, "header", "<vector>") is not None,
+          "angle-bracket include operand not lexed as header token")
+    check(_tok(ts, "string", '"sim/fault.hpp"') is not None,
+          "quoted include operand not lexed as string")
+    pragma = _tok(ts, "pp", "pragma")
+    check(pragma is not None and pragma.line == 3, "pragma directive lost")
+    # '#' mid-line is not a directive.
+    ts = tokenize("int a = 1; # \n")
+    check(_tok(ts, "pp", "include") is None and ts[-1].text == "#",
+          "mid-line '#' wrongly opened a directive")
+
+    return errors
