@@ -16,6 +16,12 @@
 // trains the same seeded run under 20% per-round client dropout, reusing
 // decayed stale updates for the casualties, and reports delivery stats.
 //
+// Byzantine attacks & robust aggregation (DESIGN.md §13):
+//   ./quickstart --attack sign-flip --attack-frac 0.2 --aggregate trimmed
+// makes ~20% of clients per round upload sign-flipped models while the
+// servers defend with the trimmed mean; the attacked run replays
+// bit-identically under the same --fault-seed.
+//
 // Interrupt & resume (see src/algo/snapshot_config.hpp):
 //   ./quickstart --snapshot-every 10         # durable snapshot every 10 rounds
 //   ^C mid-run, then

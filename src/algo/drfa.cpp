@@ -54,6 +54,8 @@ TrainResult train_drfa(const nn::Model& model,
   result.w_avg = result.w;
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_clients);
+  detail::PoisonStore poison;
+  const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
 
   std::vector<scalar_t> q = detail::uniform_weights(num_clients);
   std::vector<scalar_t> q_avg = q;
@@ -120,8 +122,9 @@ TrainResult train_drfa(const nn::Model& model,
       tensor::copy(result.w, w_local);
       gens.push_back(round_gen.split(detail::kTagLocal)
                          .split(static_cast<std::uint64_t>(n)));
-      jobs.push_back({&fed.client_train[static_cast<std::size_t>(n)],
-                      w_local,
+      const data::Dataset* shard = &fed.client_shard_at(k, n);
+      if (plan.client_poisoned(k, n)) shard = &poison.get(*shard, n);
+      jobs.push_back({shard, w_local,
                       nn::VecView(client_ckpt[static_cast<std::size_t>(n)]),
                       &gens.back(), n});
     }
@@ -137,17 +140,27 @@ TrainResult train_drfa(const nn::Model& model,
                               opts.quantize_bits, qgen);
       }
     }
+    if (plan.payload_attack()) {
+      // Only the model report is corrupted; the checkpoint upload is the
+      // variance-reduction scaffolding for Phase 2 and stays honest (see
+      // DESIGN.md §13 for the threat-model boundary).
+      for (const index_t n : parts.ids) {
+        if (!plan.client_attacker(k, n)) continue;
+        plan.corrupt_payload(k, n, result.w.data(),
+                             client_w[static_cast<std::size_t>(n)].data(), d);
+      }
+    }
 
     bool aggregated = true;
     if (!plan.enabled()) {
-      detail::weighted_average(client_w, parts, result.w);
+      detail::robust_weighted_average(client_w, parts, agg, result.w);
       detail::weighted_average(client_ckpt, parts, checkpoint);
       tensor::project_l2_ball(result.w, opts.w_radius);
     } else {
       std::vector<char> delivered(parts.ids.size(), 0);
       for (std::size_t j = 0; j < parts.ids.size(); ++j) {
         const index_t n = parts.ids[j];
-        if (plan.client_crashed(k, n)) continue;
+        if (plan.client_offline(k, n)) continue;
         if (plan.client_dropped(k, n)) {
           result.comm.edge_cloud_fault.note_lost_report();
           continue;
@@ -161,7 +174,7 @@ TrainResult train_drfa(const nn::Model& model,
       }
       aggregated = detail::degraded_weighted_average(
           client_w, parts, delivered, opts.on_fault, opts.stale_decay, k,
-          stale, result.w, result.w);
+          stale, result.w, result.w, agg);
       if (aggregated) {
         // Checkpoint: only delivered reports carry one; renormalize over
         // the survivors. With no surviving checkpoint (possible under
@@ -205,7 +218,7 @@ TrainResult train_drfa(const nn::Model& model,
       if (plan.enabled()) {
         for (std::size_t j = 0; j < loss_clients.size(); ++j) {
           const index_t n = loss_clients[j];
-          if (plan.client_crashed(k, n)) {
+          if (plan.client_offline(k, n)) {
             loss_ok[j] = 0;
           } else if (plan.client_dropped(k, n)) {
             result.comm.edge_cloud_fault.note_lost_report();
@@ -232,8 +245,11 @@ TrainResult train_drfa(const nn::Model& model,
       for (std::size_t j = 0; j < loss_clients.size(); ++j) {
         if (!loss_ok[j]) continue;
         const index_t n = loss_clients[j];
-        const data::Dataset& shard =
-            fed.client_train[static_cast<std::size_t>(n)];
+        // Drift-aware: Phase 2 estimates losses on the shard the client
+        // holds *now*, so q tracks the current worst clients. Loss
+        // reports are honest even for label-flip attackers — the attack
+        // corrupts training, not measurement.
+        const data::Dataset& shard = fed.client_shard_at(k, n);
         rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
                                   .split(static_cast<std::uint64_t>(n));
         auto& batch = batches[j];

@@ -25,6 +25,52 @@ const char* to_string(OnFault policy) {
   return "?";
 }
 
+sim::AttackKind parse_attack(const std::string& name) {
+  if (name == "none") return sim::AttackKind::kNone;
+  if (name == "sign-flip") return sim::AttackKind::kSignFlip;
+  if (name == "scaled-noise") return sim::AttackKind::kScaledNoise;
+  if (name == "label-flip") return sim::AttackKind::kLabelFlip;
+  HM_CHECK_MSG(false,
+               "unknown --attack kind '"
+                   << name
+                   << "' (expected none | sign-flip | scaled-noise | "
+                      "label-flip)");
+}
+
+const char* to_string(sim::AttackKind kind) {
+  switch (kind) {
+    case sim::AttackKind::kNone:
+      return "none";
+    case sim::AttackKind::kSignFlip:
+      return "sign-flip";
+    case sim::AttackKind::kScaledNoise:
+      return "scaled-noise";
+    case sim::AttackKind::kLabelFlip:
+      return "label-flip";
+  }
+  return "?";
+}
+
+Aggregate parse_aggregate(const std::string& name) {
+  if (name == "mean") return Aggregate::kMean;
+  if (name == "median") return Aggregate::kMedian;
+  if (name == "trimmed") return Aggregate::kTrimmedMean;
+  HM_CHECK_MSG(false, "unknown --aggregate kind '"
+                          << name << "' (expected mean | median | trimmed)");
+}
+
+const char* to_string(Aggregate kind) {
+  switch (kind) {
+    case Aggregate::kMean:
+      return "mean";
+    case Aggregate::kMedian:
+      return "median";
+    case Aggregate::kTrimmedMean:
+      return "trimmed";
+  }
+  return "?";
+}
+
 sim::FaultSpec fault_spec_from_flags(const Flags& flags) {
   sim::FaultSpec spec;
   spec.client_dropout_prob = flags.get_double("dropout", 0);
@@ -35,9 +81,18 @@ sim::FaultSpec fault_spec_from_flags(const Flags& flags) {
   spec.max_retries = flags.get_int("max-retries", spec.max_retries);
   spec.seed = static_cast<seed_t>(flags.get_int(
       "fault-seed", static_cast<index_t>(spec.seed)));
+  spec.attack =
+      parse_attack(flags.get_string("attack", to_string(spec.attack)));
+  spec.attack_prob = flags.get_double("attack-frac", spec.attack_prob);
+  spec.attack_scale = flags.get_double("attack-scale", spec.attack_scale);
+  spec.churn_prob = flags.get_double("churn", spec.churn_prob);
+  spec.churn_dwell = flags.get_int("churn-dwell", spec.churn_dwell);
   spec.enabled = flags.has("dropout") || flags.has("straggler") ||
                  flags.has("straggler-mult") || flags.has("edge-loss") ||
-                 flags.has("max-retries") || flags.has("fault-seed");
+                 flags.has("max-retries") || flags.has("fault-seed") ||
+                 flags.has("attack") || flags.has("attack-frac") ||
+                 flags.has("attack-scale") || flags.has("churn") ||
+                 flags.has("churn-dwell");
   spec.validate();
   return spec;
 }
@@ -47,6 +102,9 @@ void apply_fault_flags(const Flags& flags, TrainOptions& opts) {
   opts.on_fault =
       parse_on_fault(flags.get_string("on-fault", to_string(opts.on_fault)));
   opts.stale_decay = flags.get_double("stale-decay", opts.stale_decay);
+  opts.aggregate =
+      parse_aggregate(flags.get_string("aggregate", to_string(opts.aggregate)));
+  opts.trim_frac = flags.get_double("trim-frac", opts.trim_frac);
 }
 
 }  // namespace hm::algo

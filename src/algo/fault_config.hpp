@@ -9,8 +9,17 @@
 //   --fault-seed S       seed of the fault plan's RNG streams
 //   --on-fault POLICY    renormalize | stale | skip
 //   --stale-decay D      kReuseStale decay per round of staleness
+//   --attack KIND        none | sign-flip | scaled-noise | label-flip
+//   --attack-frac P      per-round probability a client is Byzantine
+//   --attack-scale S     attack magnitude (reflection / noise scale)
+//   --churn P            per-window probability a client is absent
+//   --churn-dwell N      rounds per churn window (membership dwell time)
+//   --aggregate KIND     mean | median | trimmed (model-report combiner)
+//   --trim-frac F        per-side trim fraction for --aggregate trimmed
 //
-// Any fault flag present on the command line enables the plan.
+// Any fault, attack, or churn flag present on the command line enables
+// the plan. --aggregate / --trim-frac only select the combiner — they
+// never enable fault injection on their own.
 #pragma once
 
 #include <string>
@@ -26,12 +35,24 @@ OnFault parse_on_fault(const std::string& name);
 
 const char* to_string(OnFault policy);
 
+/// Parse an attack name ("none", "sign-flip", "scaled-noise",
+/// "label-flip"); throws CheckError on anything else.
+sim::AttackKind parse_attack(const std::string& name);
+
+const char* to_string(sim::AttackKind kind);
+
+/// Parse an aggregation name ("mean", "median", "trimmed"); throws
+/// CheckError on anything else.
+Aggregate parse_aggregate(const std::string& name);
+
+const char* to_string(Aggregate kind);
+
 /// Build a FaultSpec from the flags above. The spec is enabled iff at
-/// least one fault flag was given (so binaries without fault flags keep
-/// the bit-identical fault-free path).
+/// least one fault, attack, or churn flag was given (so binaries without
+/// those flags keep the bit-identical fault-free path).
 sim::FaultSpec fault_spec_from_flags(const Flags& flags);
 
-/// Apply the fault flags (spec, policy, stale decay) to `opts`.
+/// Apply the fault, attack, churn, and aggregation flags to `opts`.
 void apply_fault_flags(const Flags& flags, TrainOptions& opts);
 
 }  // namespace hm::algo

@@ -42,6 +42,8 @@ TrainResult train_fedavg(const nn::Model& model,
   BatchEngineState bstate;
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_clients);
+  detail::PoisonStore poison;
+  const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
 
   detail::RunState rs;
   rs.algo_id = detail::kAlgoFedAvg;
@@ -83,8 +85,9 @@ TrainResult train_fedavg(const nn::Model& model,
       tensor::copy(result.w, w_local);
       gens.push_back(round_gen.split(detail::kTagLocal)
                          .split(static_cast<std::uint64_t>(n)));
-      jobs.push_back({&fed.client_train[static_cast<std::size_t>(n)],
-                      w_local, {}, &gens.back(), n});
+      const data::Dataset* shard = &fed.client_shard_at(k, n);
+      if (plan.client_poisoned(k, n)) shard = &poison.get(*shard, n);
+      jobs.push_back({shard, w_local, {}, &gens.back(), n});
     }
     run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
                        cluster);
@@ -96,18 +99,29 @@ TrainResult train_fedavg(const nn::Model& model,
             opts.quantize_bits, qgen);
       }
     }
+    if (plan.payload_attack()) {
+      // Byzantine uploads: compromised clients corrupt what they send;
+      // result.w still holds the round's broadcast model (the sign-flip
+      // reflection reference).
+      for (const index_t n : clients) {
+        if (!plan.client_attacker(k, n)) continue;
+        plan.corrupt_payload(k, n, result.w.data(),
+                             client_w[static_cast<std::size_t>(n)].data(), d);
+      }
+    }
 
     if (!plan.enabled()) {
-      detail::uniform_average(client_w, clients, result.w);
+      detail::robust_uniform_average(client_w, clients, agg, result.w);
       tensor::project_l2_ball(result.w, opts.w_radius);
     } else {
       // Decide which sampled clients report over the wide-area link:
-      // crashed clients never send, dropped clients' reports are lost,
-      // link loss burns the retry budget, stragglers arrive late.
+      // offline (crashed or churned-away) clients never send, dropped
+      // clients' reports are lost, link loss burns the retry budget,
+      // stragglers arrive late.
       std::vector<char> delivered(clients.size(), 0);
       for (std::size_t j = 0; j < clients.size(); ++j) {
         const index_t n = clients[j];
-        if (plan.client_crashed(k, n)) continue;
+        if (plan.client_offline(k, n)) continue;
         if (plan.client_dropped(k, n)) {
           result.comm.edge_cloud_fault.note_lost_report();
           continue;
@@ -121,7 +135,8 @@ TrainResult train_fedavg(const nn::Model& model,
       }
       if (detail::degraded_uniform_average(client_w, clients, delivered,
                                            opts.on_fault, opts.stale_decay,
-                                           k, stale, result.w, result.w)) {
+                                           k, stale, result.w, result.w,
+                                           agg)) {
         tensor::project_l2_ball(result.w, opts.w_radius);
       }
     }

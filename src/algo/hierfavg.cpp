@@ -49,6 +49,8 @@ TrainResult train_hierfavg(const nn::Model& model,
   BatchEngineState bstate;
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_edges);
+  detail::PoisonStore poison;
+  const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
 
   detail::RunState rs;
   rs.algo_id = detail::kAlgoHierFavg;
@@ -94,9 +96,10 @@ TrainResult train_hierfavg(const nn::Model& model,
       for (const index_t e : edges) {
         for (index_t i = 0; i < n0; ++i) {
           const index_t client = topo.client_id(e, i);
-          // Crashed hardware computes nothing this round. (Dropped
-          // clients still compute — only their report is lost.)
-          if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
+          // Offline hardware (crashed or churned away) computes nothing
+          // this round. (Dropped clients still compute — only their
+          // report is lost.)
+          if (plan.edge_crashed(k, e) || plan.client_offline(k, client)) {
             continue;
           }
           auto& w_local = client_w[static_cast<std::size_t>(client)];
@@ -105,8 +108,11 @@ TrainResult train_hierfavg(const nn::Model& model,
                              .split(static_cast<std::uint64_t>(e))
                              .split(static_cast<std::uint64_t>(t2))
                              .split(static_cast<std::uint64_t>(i)));
-          jobs.push_back(
-              {&fed.shard(e, i), w_local, {}, &gens.back(), client});
+          const data::Dataset* shard = &fed.shard_at(k, e, i);
+          if (plan.client_poisoned(k, client)) {
+            shard = &poison.get(*shard, client);
+          }
+          jobs.push_back({shard, w_local, {}, &gens.back(), client});
         }
       }
       run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
@@ -119,11 +125,24 @@ TrainResult train_hierfavg(const nn::Model& model,
               opts.quantize_bits, qgen);
         }
       }
+      if (plan.payload_attack()) {
+        // edge_w[e] still holds the block-start model every client of
+        // edge e started from — the sign-flip reflection reference.
+        for (const auto& job : jobs) {
+          const index_t c = job.scratch_id;
+          if (!plan.client_attacker(k, c)) continue;
+          const index_t e = fed.edge_of_client(c);
+          plan.corrupt_payload(k, c,
+                               edge_w[static_cast<std::size_t>(e)].data(),
+                               client_w[static_cast<std::size_t>(c)].data(),
+                               d);
+        }
+      }
       for (const index_t e : edges) {
         if (!plan.enabled()) {
           auto clients = topo.clients_of_edge(e);
-          detail::uniform_average(client_w, clients,
-                                  edge_w[static_cast<std::size_t>(e)]);
+          detail::robust_uniform_average(client_w, clients, agg,
+                                         edge_w[static_cast<std::size_t>(e)]);
           continue;
         }
         if (plan.edge_crashed(k, e)) continue;  // area offline, model frozen
@@ -131,7 +150,7 @@ TrainResult train_hierfavg(const nn::Model& model,
         // an edge with zero survivors keeps its previous block's model.
         std::vector<index_t> surv;
         for (const index_t c : topo.clients_of_edge(e)) {
-          if (plan.client_crashed(k, c)) continue;  // silent, never sent
+          if (plan.client_offline(k, c)) continue;  // silent, never sent
           if (plan.client_dropped(k, c)) {
             result.comm.client_edge_fault.note_lost_report();
             continue;
@@ -142,8 +161,8 @@ TrainResult train_hierfavg(const nn::Model& model,
           surv.push_back(c);
         }
         if (!surv.empty()) {
-          detail::uniform_average(client_w, surv,
-                                  edge_w[static_cast<std::size_t>(e)]);
+          detail::robust_uniform_average(client_w, surv, agg,
+                                         edge_w[static_cast<std::size_t>(e)]);
         }
       }
       result.comm.client_edge_rounds += 1;
@@ -167,7 +186,7 @@ TrainResult train_hierfavg(const nn::Model& model,
     }
     bool aggregated = true;
     if (!plan.enabled()) {
-      detail::uniform_average(edge_w, edges, result.w);
+      detail::robust_uniform_average(edge_w, edges, agg, result.w);
     } else {
       std::vector<char> delivered(edges.size(), 0);
       for (std::size_t j = 0; j < edges.size(); ++j) {
@@ -180,7 +199,7 @@ TrainResult train_hierfavg(const nn::Model& model,
       }
       aggregated = detail::degraded_uniform_average(
           edge_w, edges, delivered, opts.on_fault, opts.stale_decay, k,
-          stale, result.w, result.w);
+          stale, result.w, result.w, agg);
     }
     if (aggregated) tensor::project_l2_ball(result.w, opts.w_radius);
     result.comm.edge_cloud_rounds += 1;

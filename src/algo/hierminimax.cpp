@@ -87,6 +87,8 @@ TrainResult train_hierminimax(const nn::Model& model,
   std::vector<scalar_t> edge_losses(static_cast<std::size_t>(num_edges));
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_edges);
+  detail::PoisonStore poison;
+  const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
   // Whether edge e captured a checkpoint at block c2 this round (an edge
   // whose every client failed at that block has no fresh checkpoint).
   std::vector<char> edge_has_ckpt(static_cast<std::size_t>(num_edges), 1);
@@ -150,9 +152,10 @@ TrainResult train_hierminimax(const nn::Model& model,
       for (const index_t e : parts.ids) {
         for (index_t i = 0; i < n0; ++i) {
           const index_t client = topo.client_id(e, i);
-          // Crashed hardware computes nothing this round. (Dropped
-          // clients still compute — only their report is lost.)
-          if (plan.edge_crashed(k, e) || plan.client_crashed(k, client)) {
+          // Offline hardware (crashed or churned away) computes nothing
+          // this round. (Dropped clients still compute — only their
+          // report is lost.)
+          if (plan.edge_crashed(k, e) || plan.client_offline(k, client)) {
             continue;
           }
           auto& w_local = ensure(client_w[static_cast<std::size_t>(client)]);
@@ -161,8 +164,12 @@ TrainResult train_hierminimax(const nn::Model& model,
                              .split(static_cast<std::uint64_t>(e))
                              .split(static_cast<std::uint64_t>(t2))
                              .split(static_cast<std::uint64_t>(i)));
+          const data::Dataset* shard = &fed.shard_at(k, e, i);
+          if (plan.client_poisoned(k, client)) {
+            shard = &poison.get(*shard, client);
+          }
           jobs.push_back(
-              {&fed.shard(e, i), w_local,
+              {shard, w_local,
                nn::VecView(ensure(client_ckpt[static_cast<std::size_t>(client)])),
                &gens.back(), client});
         }
@@ -180,13 +187,28 @@ TrainResult train_hierminimax(const nn::Model& model,
           }
         }
       }
+      if (plan.payload_attack()) {
+        // edge_w[e] still holds the block-start model every client of
+        // edge e started from — the sign-flip reflection reference. The
+        // checkpoint upload stays honest: it is variance-reduction
+        // scaffolding for Phase 2, not a model report (DESIGN.md §13).
+        for (const auto& job : jobs) {
+          const index_t c = job.scratch_id;
+          if (!plan.client_attacker(k, c)) continue;
+          const index_t e = fed.edge_of_client(c);
+          plan.corrupt_payload(k, c,
+                               edge_w[static_cast<std::size_t>(e)].data(),
+                               client_w[static_cast<std::size_t>(c)].data(),
+                               d);
+        }
+      }
 
       // Client-edge aggregation (and checkpoint aggregation at block c2).
       for (const index_t e : parts.ids) {
         if (!plan.enabled()) {
           auto clients = topo.clients_of_edge(e);
-          detail::uniform_average(client_w, clients,
-                                  edge_w[static_cast<std::size_t>(e)]);
+          detail::robust_uniform_average(client_w, clients, agg,
+                                         edge_w[static_cast<std::size_t>(e)]);
           if (t2 == c2) {
             detail::uniform_average(client_ckpt, clients,
                                     ensure(edge_ckpt[static_cast<std::size_t>(e)]));
@@ -201,7 +223,7 @@ TrainResult train_hierminimax(const nn::Model& model,
         // an edge with zero survivors keeps its previous block's model.
         std::vector<index_t> surv;
         for (const index_t c : topo.clients_of_edge(e)) {
-          if (plan.client_crashed(k, c)) continue;  // silent, never sent
+          if (plan.client_offline(k, c)) continue;  // silent, never sent
           if (plan.client_dropped(k, c)) {
             result.comm.client_edge_fault.note_lost_report();
             continue;
@@ -212,8 +234,8 @@ TrainResult train_hierminimax(const nn::Model& model,
           surv.push_back(c);
         }
         if (!surv.empty()) {
-          detail::uniform_average(client_w, surv,
-                                  edge_w[static_cast<std::size_t>(e)]);
+          detail::robust_uniform_average(client_w, surv, agg,
+                                         edge_w[static_cast<std::size_t>(e)]);
         }
         if (t2 == c2) {
           if (surv.empty()) {
@@ -254,7 +276,9 @@ TrainResult train_hierminimax(const nn::Model& model,
     // Edge-cloud aggregation: global model (Eq. 5) + checkpoint (Eq. 6).
     bool aggregated = true;
     if (!plan.enabled()) {
-      detail::weighted_average(edge_w, parts, result.w);
+      detail::robust_weighted_average(edge_w, parts, agg, result.w);
+      // Checkpoint aggregation stays a plain weighted mean: attackers
+      // upload honest checkpoints (threat-model boundary, DESIGN.md §13).
       if (opts.use_checkpoint) {
         detail::weighted_average(edge_ckpt, parts, checkpoint);
       } else {
@@ -275,7 +299,7 @@ TrainResult train_hierminimax(const nn::Model& model,
       }
       aggregated = detail::degraded_weighted_average(
           edge_w, parts, delivered, opts.on_fault, opts.stale_decay, k,
-          stale, result.w, result.w);
+          stale, result.w, result.w, agg);
       if (aggregated) {
         if (opts.use_checkpoint) {
           // Checkpoints exist only for delivered edges that captured one
@@ -353,7 +377,7 @@ TrainResult train_hierminimax(const nn::Model& model,
             const index_t c = topo.client_id(e, i);
             const std::size_t job =
                 j * static_cast<std::size_t>(n0) + static_cast<std::size_t>(i);
-            if (plan.client_crashed(k, c)) {
+            if (plan.client_offline(k, c)) {
               client_ok[job] = 0;
               continue;
             }
@@ -389,7 +413,9 @@ TrainResult train_hierminimax(const nn::Model& model,
         if (!client_ok[static_cast<std::size_t>(job)]) continue;
         const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
         const index_t i = job % n0;
-        const data::Dataset& shard = fed.shard(e, i);
+        // Phase-2 loss reports are honest even for attackers (the attack
+        // corrupts training, not measurement) but do follow data drift.
+        const data::Dataset& shard = fed.shard_at(k, e, i);
         rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
                                   .split(static_cast<std::uint64_t>(e))
                                   .split(static_cast<std::uint64_t>(i));

@@ -40,6 +40,7 @@ struct SubtreeRunner {
   std::vector<char>* leaf_has_ckpt = nullptr;
   const sim::ClusterSim* cluster = nullptr;
   BatchEngineState* bstate = nullptr;
+  detail::PoisonStore* poison = nullptr;
 
   /// Iterations one leaf performs when a node at depth `level` runs one
   /// full child subtree: prod of taus[level .. depth-1]. (A node at depth
@@ -93,20 +94,36 @@ struct SubtreeRunner {
           const index_t leaf = node * fanout + c;
           auto& cw = child_w[static_cast<std::size_t>(c)];
           tensor::copy(w, cw);
-          // Crashed hardware computes nothing this round. (Dropped leaves
-          // still compute — only their report is lost.)
-          if (plan && plan->client_crashed(round, leaf)) continue;
+          // Offline hardware (crashed or churned away) computes nothing
+          // this round. (Dropped leaves still compute — only their report
+          // is lost.)
+          if (plan && plan->client_offline(round, leaf)) continue;
           if (capture) (*leaf_has_ckpt)[static_cast<std::size_t>(leaf)] = 1;
           gens.push_back(round_gen.split(detail::kTagLocal)
                              .split(static_cast<std::uint64_t>(leaf))
                              .split(static_cast<std::uint64_t>(block_base)));
+          const data::Dataset* shard = &fed.client_shard_at(round, leaf);
+          if (plan && plan->client_poisoned(round, leaf)) {
+            shard = &poison->get(*shard, leaf);
+          }
           jobs.push_back(
-              {&fed.client_train[static_cast<std::size_t>(leaf)], cw,
+              {shard, cw,
                nn::VecView((*leaf_ckpt)[static_cast<std::size_t>(leaf)]),
                &gens.back(), leaf});
         }
         run_local_sgd_jobs(model, cfg, jobs, *scratch, *bstate,
                            opts.batched, *cluster);
+        if (plan && plan->payload_attack()) {
+          // `w` still holds the block-start model every leaf started from
+          // — the sign-flip reflection reference. The checkpoint capture
+          // stays honest (Phase-2 scaffolding, DESIGN.md §13).
+          for (LocalSgdJob& job : jobs) {
+            const index_t leaf = job.scratch_id;
+            if (!plan->client_attacker(round, leaf)) continue;
+            plan->corrupt_payload(round, leaf, w.data(), job.w.data(),
+                                  static_cast<index_t>(w.size()));
+          }
+        }
         for (const LocalSgdJob& job : jobs) {
           tensor::copy(nn::ConstVecView(job.w),
                        (*leaf_w)[static_cast<std::size_t>(job.scratch_id)]);
@@ -118,18 +135,42 @@ struct SubtreeRunner {
           run(level + 1, node * fanout + c, cw, block_base);
         }
       }
-      if (!plan || !plan->enabled() || level + 1 != topo.depth()) {
-        tensor::set_zero(w);
-        for (const auto& cw : child_w) {
-          tensor::axpy(scalar_t{1} / static_cast<scalar_t>(fanout), cw, w);
+      // The robust combiner defends the leaf link only — the one hop
+      // attackers own in this fault model; interior servers always take
+      // the plain mean of their (trusted) children.
+      const bool innermost = level + 1 == topo.depth();
+      const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
+      const auto combine = [&](const std::vector<index_t>& which) {
+        if (innermost && agg.kind != Aggregate::kMean) {
+          std::vector<const std::vector<scalar_t>*> srcs;
+          srcs.reserve(which.size());
+          for (const index_t c : which) {
+            srcs.push_back(&child_w[static_cast<std::size_t>(c)]);
+          }
+          const std::vector<index_t> mults(which.size(), 1);
+          detail::robust_combine(srcs, mults,
+                                 static_cast<index_t>(which.size()), agg, w);
+          return;
         }
+        tensor::set_zero(w);
+        for (const index_t c : which) {
+          tensor::axpy(scalar_t{1} / static_cast<scalar_t>(which.size()),
+                       child_w[static_cast<std::size_t>(c)], w);
+        }
+      };
+      if (!plan || !plan->enabled() || !innermost) {
+        std::vector<index_t> all(static_cast<std::size_t>(fanout));
+        for (index_t c = 0; c < fanout; ++c) {
+          all[static_cast<std::size_t>(c)] = c;
+        }
+        combine(all);
       } else {
         // Innermost aggregation under faults: average whichever leaf
         // reports arrived; a node with zero survivors keeps its model.
         std::vector<index_t> surv;
         for (index_t c = 0; c < fanout; ++c) {
           const index_t leaf = node * fanout + c;
-          if (plan->client_crashed(round, leaf)) continue;  // never sent
+          if (plan->client_offline(round, leaf)) continue;  // never sent
           if (plan->client_dropped(round, leaf)) {
             comm->leaf_fault.note_lost_report();
             continue;
@@ -138,13 +179,7 @@ struct SubtreeRunner {
           comm->leaf_fault.note_straggle(plan->straggler_mult(round, leaf));
           surv.push_back(c);
         }
-        if (!surv.empty()) {
-          tensor::set_zero(w);
-          for (const index_t c : surv) {
-            tensor::axpy(scalar_t{1} / static_cast<scalar_t>(surv.size()),
-                         child_w[static_cast<std::size_t>(c)], w);
-          }
-        }
+        if (!surv.empty()) combine(surv);
       }
       auto& lc = comm->levels[static_cast<std::size_t>(level)];
       lc.rounds += 1;
@@ -154,9 +189,10 @@ struct SubtreeRunner {
   }
 
   void run_leaf(index_t leaf, nn::VecView w, index_t base_iter) {
-    // Crashed hardware computes nothing this round. (Dropped leaves still
-    // compute — only their report is lost at the aggregation.)
-    if (plan && plan->client_crashed(round, leaf)) return;
+    // Offline hardware (crashed or churned away) computes nothing this
+    // round. (Dropped leaves still compute — only their report is lost
+    // at the aggregation.)
+    if (plan && plan->client_offline(round, leaf)) return;
     const index_t steps = opts.taus.back();
     LocalSgdConfig cfg;
     cfg.steps = steps;
@@ -172,9 +208,23 @@ struct SubtreeRunner {
     rng::Xoshiro256 gen = round_gen.split(detail::kTagLocal)
                               .split(static_cast<std::uint64_t>(leaf))
                               .split(static_cast<std::uint64_t>(base_iter));
-    run_local_sgd(model, fed.client_train[static_cast<std::size_t>(leaf)],
-                  cfg, w, (*leaf_ckpt)[static_cast<std::size_t>(leaf)], gen,
+    const data::Dataset* shard = &fed.client_shard_at(round, leaf);
+    if (plan && plan->client_poisoned(round, leaf)) {
+      shard = &poison->get(*shard, leaf);
+    }
+    // SGD runs in place on `w`, so an attacker leaf must save the
+    // block-start model first — it is the sign-flip reference.
+    std::vector<scalar_t> ref;
+    const bool attacker = plan && plan->payload_attack() &&
+                          plan->client_attacker(round, leaf);
+    if (attacker) ref.assign(w.begin(), w.end());
+    run_local_sgd(model, *shard, cfg, w,
+                  (*leaf_ckpt)[static_cast<std::size_t>(leaf)], gen,
                   (*scratch)[static_cast<std::size_t>(leaf)]);
+    if (attacker) {
+      plan->corrupt_payload(round, leaf, ref.data(), w.data(),
+                            static_cast<index_t>(w.size()));
+    }
     tensor::copy(w, (*leaf_w)[static_cast<std::size_t>(leaf)]);
   }
 };
@@ -216,6 +266,8 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
   result.comm.levels.resize(static_cast<std::size_t>(topo.depth()));
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_areas);
+  detail::PoisonStore poison;
+  const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
 
   std::vector<std::vector<scalar_t>> leaf_w(
       static_cast<std::size_t>(topo.num_leaves()),
@@ -286,7 +338,7 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
                          pool,    round_gen, checkpoint_iter,
                          &result.comm, &plan, k,
                          &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt,
-                         &cluster, &bstate};
+                         &cluster, &bstate, &poison};
 
     auto& top = result.comm.levels[0];
     for (const index_t area : parts.ids) {
@@ -305,7 +357,7 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
     bool aggregated = true;
     std::vector<char> delivered(parts.ids.size(), 1);
     if (!plan.enabled()) {
-      detail::weighted_average(area_w, parts, result.w);
+      detail::robust_weighted_average(area_w, parts, agg, result.w);
       tensor::project_l2_ball(result.w, opts.w_radius);
     } else {
       for (std::size_t pi = 0; pi < parts.ids.size(); ++pi) {
@@ -319,7 +371,7 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
       }
       aggregated = detail::degraded_weighted_average(
           area_w, parts, delivered, opts.on_fault, opts.stale_decay, k,
-          stale, result.w, result.w);
+          stale, result.w, result.w, agg);
       if (aggregated) tensor::project_l2_ball(result.w, opts.w_radius);
     }
 
@@ -393,7 +445,7 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
             const std::size_t job =
                 j * static_cast<std::size_t>(lpa) +
                 static_cast<std::size_t>(i);
-            if (plan.client_crashed(k, leaf)) {
+            if (plan.client_offline(k, leaf)) {
               leaf_ok[job] = 0;
               continue;
             }
@@ -429,8 +481,9 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
         if (!leaf_ok[static_cast<std::size_t>(job)]) continue;
         const index_t area = loss_areas[static_cast<std::size_t>(job / lpa)];
         const index_t leaf = topo.first_leaf_of(1, area) + job % lpa;
-        const data::Dataset& shard =
-            fed.client_train[static_cast<std::size_t>(leaf)];
+        // Honest loss reports, but drift-aware: the estimate is over the
+        // shard the leaf actually holds this round.
+        const data::Dataset& shard = fed.client_shard_at(k, leaf);
         rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
                                   .split(static_cast<std::uint64_t>(leaf));
         auto& batch = batches[static_cast<std::size_t>(job)];
@@ -525,6 +578,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
   result.comm.levels.resize(static_cast<std::size_t>(topo.depth()));
   detail::StaleStore stale;
   if (plan.enabled()) stale.init(num_areas);
+  detail::PoisonStore poison;
+  const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
 
   std::vector<std::vector<scalar_t>> leaf_w(
       static_cast<std::size_t>(topo.num_leaves()),
@@ -579,7 +634,7 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
                          opts,  pool,      round_gen,
                          /*checkpoint_iter=*/0, &result.comm, &plan, k,
                          &leaf_w, &leaf_ckpt, &scratch, &leaf_has_ckpt,
-                         &cluster, &bstate};
+                         &cluster, &bstate, &poison};
     auto& top = result.comm.levels[0];
     for (const index_t area : areas) {
       auto& aw = area_w[static_cast<std::size_t>(area)];
@@ -593,7 +648,7 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
     top.rounds += 1;
 
     if (!plan.enabled()) {
-      detail::uniform_average(area_w, areas, result.w);
+      detail::robust_uniform_average(area_w, areas, agg, result.w);
       tensor::project_l2_ball(result.w, opts.w_radius);
     } else {
       std::vector<char> delivered(areas.size(), 0);
@@ -607,7 +662,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
       }
       if (detail::degraded_uniform_average(area_w, areas, delivered,
                                            opts.on_fault, opts.stale_decay,
-                                           k, stale, result.w, result.w)) {
+                                           k, stale, result.w, result.w,
+                                           agg)) {
         tensor::project_l2_ball(result.w, opts.w_radius);
       }
     }

@@ -47,6 +47,13 @@ struct MultiTrainOptions {
   OnFault on_fault = OnFault::kRenormalize;
   scalar_t stale_decay = 0.5;
 
+  // Robust model aggregation (see TrainOptions::aggregate). Applied at
+  // the innermost (leaf->parent) level, where Byzantine leaves report,
+  // and at the top (area->cloud) level; interior levels average few,
+  // already-aggregated children and stay kMean.
+  Aggregate aggregate = Aggregate::kMean;
+  scalar_t trim_frac = 0.2;
+
   // Crash-safe snapshots + bit-exact resume (see TrainOptions).
   io::SnapshotPolicy snapshot;
   std::string resume_from;

@@ -30,6 +30,27 @@ enum class OnFault {
   kSkipRound,
 };
 
+/// How surviving participants' model reports are combined. kMean is the
+/// exact pre-existing weighted average (bit-identical code path); the
+/// robust policies defend against Byzantine reports at the cost of
+/// statistical efficiency. Applies to every *model* aggregation step
+/// (client->edge and edge->cloud); checkpoint averaging for Phase-2 loss
+/// estimation always uses the mean (the checkpoint is a variance-reduction
+/// device, not an attack surface the defender controls).
+enum class Aggregate {
+  /// Weighted arithmetic mean (the default; fixed fused-kernel
+  /// reduction order).
+  kMean,
+  /// Coordinate-wise weighted median. Ties at exactly half the total
+  /// weight take the midpoint of the two straddling values, with inputs
+  /// ordered by (value, input index) — deterministic at 0 ULP.
+  kMedian,
+  /// Coordinate-wise trimmed mean: drop floor(trim_frac * total) weight
+  /// units from each end of the sorted coordinate values (capped so at
+  /// least one unit survives), average the rest in sorted order.
+  kTrimmedMean,
+};
+
 struct TrainOptions {
   index_t rounds = 100;          // K — cloud-level training rounds
   index_t tau1 = 1;              // local SGD steps per aggregation
@@ -72,6 +93,9 @@ struct TrainOptions {
   scalar_t stale_decay = 0.5;    // kReuseStale: per-round-of-age decay of a
                                  // casualty's stale update toward the
                                  // broadcast model, in [0, 1]
+  Aggregate aggregate = Aggregate::kMean;  // model-report combiner
+  scalar_t trim_frac = 0.2;      // kTrimmedMean: weight fraction trimmed
+                                 // from each end, in [0, 0.5)
 
   // Crash-safe snapshots (io/snapshot.hpp). When `snapshot.enabled()`,
   // the trainer writes a durable full-state snapshot after every

@@ -45,10 +45,22 @@ TrainResult train_qffl(const nn::Model& model,
   const sim::ClusterSim cluster(pool);
   BatchEngineState bstate;
 
-  detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
-                       result.w, result.comm, result.history);
+  detail::RunState rs;
+  rs.algo_id = detail::kAlgoQffl;
+  rs.seed = opts.seed;
+  rs.root = &root;
+  rs.w = &result.w;
+  rs.w_avg = &result.w_avg;
+  rs.comm = &result.comm;
+  rs.history = &result.history;
+  const index_t k0 = detail::resume_round(opts.resume_from, rs);
 
-  for (index_t k = 0; k < opts.rounds; ++k) {
+  if (k0 == 0) {
+    detail::maybe_record(model, fed, pool, 0, opts.rounds, opts.eval_every,
+                         result.w, result.comm, result.history);
+  }
+
+  for (index_t k = k0; k < opts.rounds; ++k) {
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
     rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
     const auto clients =
@@ -60,8 +72,7 @@ TrainResult train_qffl(const nn::Model& model,
     cluster.run_devices(
         static_cast<index_t>(clients.size()), [&](index_t j) {
           const index_t n = clients[static_cast<std::size_t>(j)];
-          const data::Dataset& shard =
-              fed.client_train[static_cast<std::size_t>(n)];
+          const data::Dataset& shard = fed.client_shard_at(k, n);
           auto& sc = scratch[static_cast<std::size_t>(n)];
           sc.ensure(model);
           client_loss[static_cast<std::size_t>(n)] = model.loss(
@@ -83,8 +94,8 @@ TrainResult train_qffl(const nn::Model& model,
       tensor::copy(result.w, w_local);
       gens.push_back(round_gen.split(detail::kTagLocal)
                          .split(static_cast<std::uint64_t>(n)));
-      jobs.push_back({&fed.client_train[static_cast<std::size_t>(n)],
-                      w_local, {}, &gens.back(), n});
+      jobs.push_back({&fed.client_shard_at(k, n), w_local, {}, &gens.back(),
+                      n});
     }
     run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
                        cluster);
@@ -124,6 +135,7 @@ TrainResult train_qffl(const nn::Model& model,
     detail::maybe_record(model, fed, pool, k + 1, opts.rounds,
                          opts.eval_every, result.w, result.comm,
                          result.history);
+    detail::snapshot_round_end(opts.snapshot, k, rs);
   }
   return result;
 }

@@ -1,5 +1,6 @@
 #include "algo/trainer_common.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -85,6 +86,97 @@ void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
       out);
 }
 
+void robust_combine(const std::vector<const std::vector<scalar_t>*>& srcs,
+                    const std::vector<index_t>& mults, index_t total,
+                    const AggregateSpec& agg, nn::VecView out) {
+  HM_CHECK(agg.kind != Aggregate::kMean);
+  HM_CHECK(!srcs.empty() && mults.size() == srcs.size() && total > 0);
+  HM_CHECK_MSG(agg.trim_frac >= 0 && agg.trim_frac < scalar_t{0.5},
+               "trim_frac must be in [0, 0.5), got " << agg.trim_frac);
+  const std::size_t m = srcs.size();
+  const std::size_t dim = out.size();
+  for (std::size_t i = 0; i < m; ++i) {
+    HM_CHECK(srcs[i]->size() == dim);
+    HM_CHECK(mults[i] >= 1);
+  }
+  // Trim floor(trim_frac * total) weight units per side, capped so at
+  // least one unit survives. Integer weights make the cap and the
+  // median's tie test exact, never a float comparison.
+  const index_t trim =
+      std::min(static_cast<index_t>(agg.trim_frac *
+                                    static_cast<scalar_t>(total)),
+               (total - 1) / 2);
+  // Per-coordinate (value, source index) pairs, sorted ascending. The
+  // index tiebreak pins the order among equal values, and the sorted
+  // order is also the accumulation order for the trimmed mean.
+  std::vector<std::pair<scalar_t, std::size_t>> order(m);
+  for (std::size_t c = 0; c < dim; ++c) {
+    for (std::size_t i = 0; i < m; ++i) order[i] = {(*srcs[i])[c], i};
+    std::sort(order.begin(), order.end());
+    if (agg.kind == Aggregate::kMedian) {
+      index_t cum = 0;
+      std::size_t j = 0;
+      for (; j < m; ++j) {
+        cum += mults[order[j].second];
+        if (2 * cum >= total) break;
+      }
+      if (2 * cum == total) {
+        // Even split: exactly half the weight is at or below order[j],
+        // so the median is the midpoint of the straddling values.
+        out[c] = scalar_t{0.5} * (order[j].first + order[j + 1].first);
+      } else {
+        out[c] = order[j].first;
+      }
+    } else {  // kTrimmedMean
+      scalar_t acc = 0;
+      const index_t lo = trim;        // keep weight units in [lo, hi)
+      const index_t hi = total - trim;
+      index_t pos = 0;
+      for (std::size_t j = 0; j < m; ++j) {
+        const index_t w = mults[order[j].second];
+        const index_t a = std::max(pos, lo);
+        const index_t b = std::min(pos + w, hi);
+        if (b > a) acc += static_cast<scalar_t>(b - a) * order[j].first;
+        pos += w;
+      }
+      out[c] = acc / static_cast<scalar_t>(total - 2 * trim);
+    }
+  }
+}
+
+void robust_weighted_average(
+    const std::vector<std::vector<scalar_t>>& vectors,
+    const Participants& parts, const AggregateSpec& agg,
+    std::vector<scalar_t>& out) {
+  if (agg.kind == Aggregate::kMean) {
+    weighted_average(vectors, parts, out);
+    return;
+  }
+  HM_CHECK(!parts.ids.empty() && parts.total > 0);
+  std::vector<const std::vector<scalar_t>*> srcs(parts.ids.size());
+  for (std::size_t i = 0; i < parts.ids.size(); ++i) {
+    srcs[i] = &vectors[static_cast<std::size_t>(parts.ids[i])];
+  }
+  robust_combine(srcs, parts.multiplicity, parts.total, agg, out);
+}
+
+void robust_uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
+                            const std::vector<index_t>& ids,
+                            const AggregateSpec& agg,
+                            std::vector<scalar_t>& out) {
+  if (agg.kind == Aggregate::kMean) {
+    uniform_average(vectors, ids, out);
+    return;
+  }
+  HM_CHECK(!ids.empty());
+  std::vector<const std::vector<scalar_t>*> srcs(ids.size());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    srcs[i] = &vectors[static_cast<std::size_t>(ids[i])];
+  }
+  const std::vector<index_t> mults(ids.size(), 1);
+  robust_combine(srcs, mults, static_cast<index_t>(ids.size()), agg, out);
+}
+
 namespace {
 
 /// decay^age by repeated multiplication — no libm pow, so the result is
@@ -119,7 +211,8 @@ bool degraded_weighted_average(
     const std::vector<std::vector<scalar_t>>& vectors,
     const Participants& parts, const std::vector<char>& delivered,
     OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
-    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out) {
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out,
+    const AggregateSpec& agg) {
   HM_CHECK(delivered.size() == parts.ids.size());
   bool all_delivered = true;
   for (const char c : delivered) all_delivered = all_delivered && c != 0;
@@ -128,7 +221,7 @@ bool degraded_weighted_average(
     // Empty surviving set (e.g. Participants::from_draws on zero draws):
     // there is nothing to aggregate — every policy skips the round.
     if (parts.ids.empty()) return false;
-    weighted_average(vectors, parts, out);
+    robust_weighted_average(vectors, parts, agg, out);
     if (policy == OnFault::kReuseStale) {
       for (const index_t id : parts.ids) {
         stale.deliver(id, vectors[static_cast<std::size_t>(id)], round);
@@ -148,23 +241,19 @@ bool degraded_weighted_average(
       survivors.total += parts.multiplicity[i];
     }
     if (survivors.ids.empty()) return false;  // skip-round fallback
-    weighted_average(vectors, survivors, out);
+    robust_weighted_average(vectors, survivors, agg, out);
     return true;
   }
 
   // kReuseStale: original weights, casualties replaced by their blends.
   // All blends are materialized before the accumulation writes `out`, so
   // `fallback` may alias `out`.
-  const scalar_t inv_total =
-      scalar_t{1} / static_cast<scalar_t>(parts.total);
   if (stale.blend.size() < parts.ids.size()) {
     stale.blend.resize(parts.ids.size());
   }
-  std::vector<scalar_t> ws(parts.ids.size());
   std::vector<const std::vector<scalar_t>*> srcs(parts.ids.size());
   for (std::size_t i = 0; i < parts.ids.size(); ++i) {
     const index_t id = parts.ids[i];
-    ws[i] = static_cast<scalar_t>(parts.multiplicity[i]) * inv_total;
     if (delivered[i]) {
       srcs[i] = &vectors[static_cast<std::size_t>(id)];
     } else {
@@ -172,10 +261,22 @@ bool degraded_weighted_average(
       srcs[i] = &stale.blend[i];
     }
   }
-  accumulate_weighted(
-      srcs.size(), [&](std::size_t i) { return ws[i]; },
-      [&](std::size_t i) -> const std::vector<scalar_t>& { return *srcs[i]; },
-      out);
+  if (agg.kind == Aggregate::kMean) {
+    const scalar_t inv_total =
+        scalar_t{1} / static_cast<scalar_t>(parts.total);
+    std::vector<scalar_t> ws(parts.ids.size());
+    for (std::size_t i = 0; i < parts.ids.size(); ++i) {
+      ws[i] = static_cast<scalar_t>(parts.multiplicity[i]) * inv_total;
+    }
+    accumulate_weighted(
+        srcs.size(), [&](std::size_t i) { return ws[i]; },
+        [&](std::size_t i) -> const std::vector<scalar_t>& {
+          return *srcs[i];
+        },
+        out);
+  } else {
+    robust_combine(srcs, parts.multiplicity, parts.total, agg, out);
+  }
   for (std::size_t i = 0; i < parts.ids.size(); ++i) {
     if (delivered[i]) {
       stale.deliver(parts.ids[i],
@@ -189,13 +290,14 @@ bool degraded_uniform_average(
     const std::vector<std::vector<scalar_t>>& vectors,
     const std::vector<index_t>& ids, const std::vector<char>& delivered,
     OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
-    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out) {
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out,
+    const AggregateSpec& agg) {
   HM_CHECK(delivered.size() == ids.size());
   bool all_delivered = true;
   for (const char c : delivered) all_delivered = all_delivered && c != 0;
   if (all_delivered) {
     if (ids.empty()) return false;
-    uniform_average(vectors, ids, out);
+    robust_uniform_average(vectors, ids, agg, out);
     if (policy == OnFault::kReuseStale) {
       for (const index_t id : ids) {
         stale.deliver(id, vectors[static_cast<std::size_t>(id)], round);
@@ -211,7 +313,22 @@ bool degraded_uniform_average(
   p.multiplicity.assign(ids.size(), 1);
   p.total = static_cast<index_t>(ids.size());
   return degraded_weighted_average(vectors, p, delivered, policy,
-                                   stale_decay, round, stale, fallback, out);
+                                   stale_decay, round, stale, fallback, out,
+                                   agg);
+}
+
+const data::Dataset& PoisonStore::get(const data::Dataset& shard,
+                                      index_t client) {
+  const auto i = static_cast<std::size_t>(client);
+  if (i >= src.size()) {
+    src.resize(i + 1, nullptr);
+    flipped.resize(i + 1);
+  }
+  if (src[i] != &shard) {
+    flipped[i] = data::flip_labels(shard);
+    src[i] = &shard;
+  }
+  return flipped[i];
 }
 
 void update_running_average(std::vector<scalar_t>& avg,

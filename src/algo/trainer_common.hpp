@@ -47,6 +47,39 @@ void uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
                      const std::vector<index_t>& ids,
                      std::vector<scalar_t>& out);
 
+/// The model-report combiner and its parameters, threaded through the
+/// aggregation helpers. The default is the plain mean, which keeps every
+/// pre-existing call site bit-identical.
+struct AggregateSpec {
+  Aggregate kind = Aggregate::kMean;
+  scalar_t trim_frac = 0.2;  // kTrimmedMean only; in [0, 0.5)
+};
+
+/// Coordinate-wise robust combine of `srcs` with integer multiplicities
+/// `mults` (sum == total). Inputs are ordered by (coordinate value,
+/// source index) with a fixed sorted-order reduction, so the result is a
+/// pure function of the multiset of inputs — deterministic at 0 ULP and
+/// invariant under input permutation. kMean is rejected here (callers
+/// dispatch it to the fused mean kernels). `out` may alias a source:
+/// each coordinate is fully read before it is written.
+void robust_combine(const std::vector<const std::vector<scalar_t>*>& srcs,
+                    const std::vector<index_t>& mults, index_t total,
+                    const AggregateSpec& agg, nn::VecView out);
+
+/// weighted_average with a selectable combiner: kMean delegates to
+/// weighted_average (bit-identical), the robust kinds treat each
+/// participant's multiplicity as that many weight units.
+void robust_weighted_average(
+    const std::vector<std::vector<scalar_t>>& vectors,
+    const Participants& parts, const AggregateSpec& agg,
+    std::vector<scalar_t>& out);
+
+/// uniform_average with a selectable combiner (multiplicity 1 each).
+void robust_uniform_average(const std::vector<std::vector<scalar_t>>& vectors,
+                            const std::vector<index_t>& ids,
+                            const AggregateSpec& agg,
+                            std::vector<scalar_t>& out);
+
 /// Last delivered update per potential participant, for OnFault::
 /// kReuseStale. `last_round[id] < 0` means the participant never
 /// delivered; a casualty's staleness at round k is k - last_round[id].
@@ -84,11 +117,14 @@ struct StaleStore {
 /// failure, or no survivor carries weight under kRenormalize); `out` is
 /// untouched then. With all participants delivered this is bit-identical
 /// to weighted_average for every policy. `fallback` may alias `out`.
+/// `agg` selects the combiner over the (survivor + substitute) set; the
+/// default mean reproduces the historical behavior bit-for-bit.
 bool degraded_weighted_average(
     const std::vector<std::vector<scalar_t>>& vectors,
     const Participants& parts, const std::vector<char>& delivered,
     OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
-    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out);
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out,
+    const AggregateSpec& agg = {});
 
 /// Uniform-weight variant over `ids` (multiplicity 1 each); otherwise
 /// identical semantics to degraded_weighted_average.
@@ -96,7 +132,19 @@ bool degraded_uniform_average(
     const std::vector<std::vector<scalar_t>>& vectors,
     const std::vector<index_t>& ids, const std::vector<char>& delivered,
     OnFault policy, scalar_t stale_decay, index_t round, StaleStore& stale,
-    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out);
+    const std::vector<scalar_t>& fallback, std::vector<scalar_t>& out,
+    const AggregateSpec& agg = {});
+
+/// Lazily materialized label-flipped twins of client shards, for the
+/// AttackKind::kLabelFlip arm. data::flip_labels is pure, so each twin
+/// is cached and re-flipped only when the underlying shard changes
+/// identity (concept-drift phase switch). Materialize in the trainers'
+/// single-threaded job-setup loops only — get() is not thread-safe.
+struct PoisonStore {
+  std::vector<const data::Dataset*> src;
+  std::vector<data::Dataset> flipped;
+  const data::Dataset& get(const data::Dataset& shard, index_t client);
+};
 
 /// avg <- (avg * k + value) / (k + 1); k is the number of points already
 /// folded into avg.
@@ -152,6 +200,7 @@ inline constexpr std::uint64_t kAlgoDrfa = 3;
 inline constexpr std::uint64_t kAlgoHierMinimax = 4;
 inline constexpr std::uint64_t kAlgoHierMinimaxMulti = 5;
 inline constexpr std::uint64_t kAlgoHierFavgMulti = 6;
+inline constexpr std::uint64_t kAlgoQffl = 7;
 
 /// Borrowed pointers into one trainer's live round-boundary state. Null
 /// pointers mean "this trainer has no such state" (e.g. FedAvg has no λ,

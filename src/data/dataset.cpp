@@ -56,6 +56,12 @@ TrainTest split_train_test(const Dataset& all, double test_fraction,
   return TrainTest{all.subset(train_idx), all.subset(test_idx)};
 }
 
+Dataset flip_labels(const Dataset& d) {
+  Dataset out = d;
+  for (auto& label : out.y) label = d.num_classes - 1 - label;
+  return out;
+}
+
 std::vector<index_t> indices_of_class(const Dataset& d, index_t label) {
   std::vector<index_t> out;
   for (index_t i = 0; i < d.size(); ++i) {

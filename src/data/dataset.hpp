@@ -37,6 +37,11 @@ struct TrainTest {
 TrainTest split_train_test(const Dataset& all, double test_fraction,
                            rng::Xoshiro256& gen);
 
+/// Label-flipped twin of `d`: features untouched, every label y mapped
+/// to num_classes - 1 - y. Pure, so a cached flip of the same shard is
+/// safe to reuse across rounds (the label-flip Byzantine attack).
+Dataset flip_labels(const Dataset& d);
+
 /// Indices of all samples with the given label.
 std::vector<index_t> indices_of_class(const Dataset& d, index_t label);
 

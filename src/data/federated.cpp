@@ -34,6 +34,46 @@ void FederatedDataset::validate() const {
     HM_CHECK_MSG(test.size() > 0, "empty edge test set");
     test.validate();
   }
+  for (const auto& phase : drift) {
+    for (const auto& shard_data : phase.client_train) {
+      HM_CHECK(shard_data.dim() == d && shard_data.num_classes == c);
+      HM_CHECK_MSG(shard_data.size() > 0, "empty drift-phase client shard");
+      shard_data.validate();
+    }
+  }
+}
+
+void FederatedDataset::add_drift_phase(
+    index_t start_round, std::vector<Dataset> phase_client_train) {
+  HM_CHECK_MSG(start_round >= 1,
+               "drift phases start at round >= 1 (round 0 is the base "
+               "distribution), got " << start_round);
+  HM_CHECK_MSG(drift.empty() || drift.back().start_round < start_round,
+               "drift phases must be added in increasing start_round order");
+  HM_CHECK_MSG(static_cast<index_t>(phase_client_train.size()) ==
+                   num_clients(),
+               "drift phase has " << phase_client_train.size()
+                                  << " shards, dataset has " << num_clients()
+                                  << " clients");
+  const index_t d = dim();
+  const index_t c = num_classes();
+  for (const auto& shard_data : phase_client_train) {
+    HM_CHECK(shard_data.dim() == d && shard_data.num_classes == c);
+    HM_CHECK_MSG(shard_data.size() > 0, "empty drift-phase client shard");
+  }
+  drift.push_back(DriftPhase{start_round, std::move(phase_client_train)});
+}
+
+const Dataset& FederatedDataset::client_shard_at(index_t round,
+                                                 index_t client) const {
+  // Latest phase with start_round <= round wins; phases are ordered, so
+  // scan from the back (drift lists are short).
+  for (auto it = drift.rbegin(); it != drift.rend(); ++it) {
+    if (it->start_round <= round) {
+      return it->client_train[static_cast<std::size_t>(client)];
+    }
+  }
+  return client_train[static_cast<std::size_t>(client)];
 }
 
 namespace {

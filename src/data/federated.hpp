@@ -30,6 +30,34 @@ struct FederatedDataset {
     return client_train[static_cast<std::size_t>(
         edge * clients_per_edge + client_in_edge)];
   }
+
+  /// Concept drift: from `start_round` onward (until a later phase takes
+  /// over), clients train on `client_train` of the phase and Phase-2
+  /// loss estimation reads the phase's shards too, so the minimax
+  /// weights track the *current* worst group. Recorded evaluation stays
+  /// pinned to the base `edge_test` sets for a comparable trajectory.
+  struct DriftPhase {
+    index_t start_round = 0;
+    std::vector<Dataset> client_train;
+  };
+  /// Ordered by start_round (add_drift_phase enforces it). Empty for the
+  /// stationary case — every accessor below then returns the base shard.
+  std::vector<DriftPhase> drift;
+
+  /// Append a drift phase starting at `start_round` whose shard layout
+  /// matches this dataset (same client count, dim, classes).
+  void add_drift_phase(index_t start_round,
+                       std::vector<Dataset> phase_client_train);
+
+  /// The shard client n trains on in round k (base or drift phase).
+  const Dataset& client_shard_at(index_t round, index_t client) const;
+
+  /// Round-aware shard(edge, client_in_edge).
+  const Dataset& shard_at(index_t round, index_t edge,
+                          index_t client_in_edge) const {
+    return client_shard_at(round, edge * clients_per_edge + client_in_edge);
+  }
+
   void validate() const;
 };
 

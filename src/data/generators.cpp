@@ -14,6 +14,7 @@ Dataset make_gaussian_classes(const GaussianSpec& spec) {
   HM_CHECK(0.0 <= spec.label_noise && spec.label_noise < 1.0);
   HM_CHECK(0.0 <= spec.difficulty_spread && spec.difficulty_spread < 1.0);
   HM_CHECK(spec.imbalance > 0.0);
+  HM_CHECK(spec.hard_class_rotation >= 0);
   rng::Xoshiro256 gen(spec.seed);
   rng::Xoshiro256 mean_gen = gen.split(0x6d65616e);   // "mean"
   rng::Xoshiro256 sample_gen = gen.split(0x73616d70); // "samp"
@@ -23,12 +24,17 @@ Dataset make_gaussian_classes(const GaussianSpec& spec) {
   // hard classes crowd together and become mutually confusable.
   const auto denom =
       static_cast<scalar_t>(std::max<index_t>(1, spec.num_classes - 1));
+  // Drift rotation: hardness/rarity of class c is read off the rotated
+  // index, so the worst group moves without touching the mean draws.
+  const auto hard_frac = [&](index_t c) {
+    const index_t rot = (c + spec.hard_class_rotation) % spec.num_classes;
+    return static_cast<scalar_t>(rot) / denom;
+  };
   tensor::Matrix means(spec.num_classes, spec.dim);
   for (index_t c = 0; c < spec.num_classes; ++c) {
     auto row = means.row(c);
     for (auto& v : row) v = mean_gen.normal();
-    const scalar_t frac = static_cast<scalar_t>(c) / denom;
-    const scalar_t shrink = 1 - spec.difficulty_spread * frac;
+    const scalar_t shrink = 1 - spec.difficulty_spread * hard_frac(c);
     const scalar_t norm = tensor::nrm2(row);
     tensor::scale(spec.separation * shrink / norm, row);
   }
@@ -37,9 +43,8 @@ Dataset make_gaussian_classes(const GaussianSpec& spec) {
   std::vector<scalar_t> class_weight(
       static_cast<std::size_t>(spec.num_classes));
   for (index_t c = 0; c < spec.num_classes; ++c) {
-    const scalar_t frac = static_cast<scalar_t>(c) / denom;
     class_weight[static_cast<std::size_t>(c)] =
-        std::pow(spec.imbalance, -frac);
+        std::pow(spec.imbalance, -hard_frac(c));
   }
   const rng::AliasTable label_table(class_weight);
 

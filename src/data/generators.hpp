@@ -32,6 +32,14 @@ struct GaussianSpec {
   /// imbalance^(c / (C-1)); 1.0 = balanced. Values > 1 make high-index
   /// classes (which are also the hard ones) rarer.
   scalar_t imbalance = 1.0;
+  /// Concept-drift knob: rotates which classes are the hard/rare ones.
+  /// The difficulty-shrink and imbalance fractions for class c are
+  /// computed at index (c + hard_class_rotation) mod C, everything else
+  /// (class means, sample noise) untouched — so regenerating with a
+  /// nonzero rotation moves the worst group to a different class while
+  /// keeping the task recognizably the same. 0 is bit-identical to the
+  /// pre-rotation generator.
+  index_t hard_class_rotation = 0;
   seed_t seed = 7;
 };
 

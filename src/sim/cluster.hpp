@@ -39,10 +39,11 @@ class ClusterSim {
                            device_grain(count, grain));
   }
 
-  /// Fault-aware variant: devices that `plan` marks as crashed at `round`
-  /// never run their job (a crashed device computes nothing). Dropped and
-  /// straggling devices still compute — their failures happen at report
-  /// time and are the algorithm layer's concern.
+  /// Fault-aware variant: devices that `plan` marks as offline at `round`
+  /// (crashed, or churned out of the population) never run their job — an
+  /// offline device computes nothing. Dropped and straggling devices
+  /// still compute — their failures happen at report time and are the
+  /// algorithm layer's concern.
   void run_devices(index_t count, const FaultPlan& plan, index_t round,
                    const std::function<void(index_t)>& job,
                    index_t grain = 0) const {
@@ -53,7 +54,7 @@ class ClusterSim {
     parallel::parallel_for(
         *pool_, 0, count,
         [&](index_t i) {
-          if (plan.client_crashed(round, i)) return;
+          if (plan.client_offline(round, i)) return;
           job(i);
         },
         device_grain(count, grain));

@@ -12,6 +12,9 @@ namespace {
 inline constexpr std::uint64_t kTagDrop = 0x64726f70;      // "drop"
 inline constexpr std::uint64_t kTagStraggle = 0x73747267;  // "strg"
 inline constexpr std::uint64_t kTagLoss = 0x6c6f7365;      // "lose"
+inline constexpr std::uint64_t kTagAttack = 0x6174746b;    // "attk"
+inline constexpr std::uint64_t kTagNoise = 0x6e6f6973;     // "nois"
+inline constexpr std::uint64_t kTagChurn = 0x6368726e;     // "chrn"
 
 /// crash_round[id] when present and nonnegative, else "never".
 bool crashed_at(const std::vector<index_t>& schedule, index_t round,
@@ -35,6 +38,14 @@ void FaultSpec::validate() const {
                "edge_loss_prob must be in [0,1], got " << edge_loss_prob);
   HM_CHECK_MSG(max_retries >= 0,
                "max_retries must be >= 0, got " << max_retries);
+  HM_CHECK_MSG(attack_prob >= 0 && attack_prob <= 1,
+               "attack_prob must be in [0,1], got " << attack_prob);
+  HM_CHECK_MSG(attack_scale >= 0,
+               "attack_scale must be >= 0, got " << attack_scale);
+  HM_CHECK_MSG(churn_prob >= 0 && churn_prob <= 1,
+               "churn_prob must be in [0,1], got " << churn_prob);
+  HM_CHECK_MSG(churn_dwell >= 1,
+               "churn_dwell must be >= 1, got " << churn_dwell);
 }
 
 FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec), root_(spec.seed) {
@@ -55,6 +66,55 @@ bool FaultPlan::client_dropped(index_t round, index_t client) const {
                             .split(static_cast<std::uint64_t>(round))
                             .split(static_cast<std::uint64_t>(client));
   return gen.uniform() < spec_.client_dropout_prob;
+}
+
+bool FaultPlan::client_absent(index_t round, index_t client) const {
+  if (!enabled() || spec_.churn_prob <= 0) return false;
+  // One presence draw per dwell window, not per round, so a departed
+  // client stays away for churn_dwell consecutive rounds.
+  const std::uint64_t window =
+      static_cast<std::uint64_t>(round) /
+      static_cast<std::uint64_t>(spec_.churn_dwell);
+  rng::Xoshiro256 gen = root_.split(kTagChurn)
+                            .split(window)
+                            .split(static_cast<std::uint64_t>(client));
+  return gen.uniform() < spec_.churn_prob;
+}
+
+bool FaultPlan::client_attacker(index_t round, index_t client) const {
+  if (!enabled() || spec_.attack == AttackKind::kNone ||
+      spec_.attack_prob <= 0) {
+    return false;
+  }
+  rng::Xoshiro256 gen = root_.split(kTagAttack)
+                            .split(static_cast<std::uint64_t>(round))
+                            .split(static_cast<std::uint64_t>(client));
+  return gen.uniform() < spec_.attack_prob;
+}
+
+void FaultPlan::corrupt_payload(index_t round, index_t client,
+                                const scalar_t* ref, scalar_t* payload,
+                                index_t dim) const {
+  if (!payload_attack()) return;
+  if (spec_.attack == AttackKind::kSignFlip) {
+    // Reflect the honest update around the broadcast model: the server
+    // receives ref - scale * (payload - ref).
+    const scalar_t s = static_cast<scalar_t>(spec_.attack_scale);
+    for (index_t i = 0; i < dim; ++i) {
+      payload[i] = ref[i] - s * (payload[i] - ref[i]);
+    }
+    return;
+  }
+  // Scaled noise: one private Gaussian stream per (round, client),
+  // consumed in fixed index order so the corruption replays bit-exactly
+  // regardless of thread schedule.
+  rng::Xoshiro256 gen = root_.split(kTagNoise)
+                            .split(static_cast<std::uint64_t>(round))
+                            .split(static_cast<std::uint64_t>(client));
+  const scalar_t s = static_cast<scalar_t>(spec_.attack_scale);
+  for (index_t i = 0; i < dim; ++i) {
+    payload[i] += s * static_cast<scalar_t>(gen.normal());
+  }
 }
 
 double FaultPlan::straggler_mult(index_t round, index_t client) const {

@@ -1,6 +1,7 @@
 // Fault injection for the client–edge–cloud simulator: client dropout,
-// straggler delays, edge-link message loss with bounded retries, and
-// crash-at-round schedules.
+// straggler delays, edge-link message loss with bounded retries,
+// crash-at-round schedules, Byzantine client attacks (sign-flip,
+// scaled-noise, label-flip), and population churn.
 //
 // Design: a FaultPlan is a *pure function* of (seed, round, entity). Every
 // query derives its randomness from the plan's own root stream through
@@ -8,7 +9,9 @@
 // so queries are independent of call order and thread schedule, two runs
 // with the same seed replay bit-identically, and the plan's stream never
 // perturbs the training streams — a run with a zero-probability plan is
-// bit-identical to a run with no plan at all.
+// bit-identical to a run with no plan at all. Attacked rounds obey the
+// same contract: which clients attack in round k and the noise they
+// inject are fixed by (seed, round, client) alone.
 #pragma once
 
 #include <vector>
@@ -18,6 +21,18 @@
 #include "sim/comm.hpp"
 
 namespace hm::sim {
+
+/// Byzantine attack family a compromised client mounts on its model
+/// report. Attacks corrupt only what the client *uploads* (or, for
+/// label-flip, what it trains on); honest clients and the server-side
+/// aggregation streams are untouched.
+enum class AttackKind {
+  kNone,        // no attack (attack_prob is ignored)
+  kSignFlip,    // reflect the update around the broadcast model: the
+                // attacker reports ref - scale * (w - ref)
+  kScaledNoise, // add scale * N(0, I) Gaussian noise to the report
+  kLabelFlip,   // train on a label-flipped shard (y -> C-1-y)
+};
 
 /// Declarative fault model. All probabilities are per-decision (per round
 /// and entity, or per wire attempt); crash schedules are absolute round
@@ -48,6 +63,21 @@ struct FaultSpec {
   // server takes its whole client area offline.
   std::vector<index_t> client_crash_round;
   std::vector<index_t> edge_crash_round;
+
+  // Byzantine attacks: each (round, client) pair is independently
+  // compromised with probability attack_prob; attack_scale is the
+  // sign-flip reflection gain / scaled-noise standard deviation.
+  AttackKind attack = AttackKind::kNone;
+  double attack_prob = 0;
+  double attack_scale = 1.0;
+
+  // Population churn: clients depart and re-arrive over the topology. A
+  // client is absent for a whole dwell window of churn_dwell rounds with
+  // probability churn_prob, drawn per (client, window) — so presence
+  // changes at window boundaries, modelling devices leaving and
+  // rejoining rather than flickering every round.
+  double churn_prob = 0;
+  index_t churn_dwell = 1;
 
   seed_t seed = 0x6661756c74;  // "fault"; independent of the training seed
 
@@ -82,10 +112,50 @@ class FaultPlan {
   /// Transient per-round dropout draw (independent of crashes).
   bool client_dropped(index_t round, index_t client) const;
 
-  /// Not crashed and not dropped: the client computes and uploads.
-  bool client_reports(index_t round, index_t client) const {
-    return !client_crashed(round, client) && !client_dropped(round, client);
+  /// Churn: the client has departed for the dwell window containing
+  /// `round`. Pure function of (seed, client, round / churn_dwell).
+  bool client_absent(index_t round, index_t client) const;
+
+  /// Permanently crashed OR churned away: the client takes no part in
+  /// the round at all (no compute, no report, no download).
+  bool client_offline(index_t round, index_t client) const {
+    return client_crashed(round, client) || client_absent(round, client);
   }
+
+  /// Not offline and not dropped: the client computes and uploads.
+  bool client_reports(index_t round, index_t client) const {
+    return !client_offline(round, client) && !client_dropped(round, client);
+  }
+
+  /// Byzantine draw: the client is compromised this round. Independent
+  /// per (round, client); a compromised-but-offline client attacks
+  /// nothing (callers only consult this for participating clients).
+  bool client_attacker(index_t round, index_t client) const;
+
+  /// Label-flip arm of client_attacker: the client trains on a
+  /// label-flipped shard this round (its upload is otherwise honest).
+  bool client_poisoned(index_t round, index_t client) const {
+    return spec_.attack == AttackKind::kLabelFlip &&
+           client_attacker(round, client);
+  }
+
+  /// True when the plan can corrupt uploaded payloads (sign-flip or
+  /// scaled-noise with positive probability) — the trainers' cue to
+  /// check client_attacker / call corrupt_payload per report.
+  bool payload_attack() const {
+    return enabled() && spec_.attack_prob > 0 &&
+           (spec_.attack == AttackKind::kSignFlip ||
+            spec_.attack == AttackKind::kScaledNoise);
+  }
+
+  /// Apply the configured payload attack in place to `payload` (the
+  /// model the client is about to upload). `ref` is the round's
+  /// broadcast model, needed by sign-flip's reflection; both spans have
+  /// length `dim`. Deterministic per (round, client): scaled-noise draws
+  /// its Gaussian stream from the plan root in fixed index order. Call
+  /// only when client_attacker(round, client) is true.
+  void corrupt_payload(index_t round, index_t client, const scalar_t* ref,
+                       scalar_t* payload, index_t dim) const;
 
   /// Delay multiplier (>= 1) for the client's report this round; 1 when
   /// the client is not a straggler.

@@ -9,7 +9,6 @@
 // conservation, and the CI smoke target (FaultSmoke).
 #include <gtest/gtest.h>
 
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -27,149 +26,16 @@
 namespace hm::algo {
 namespace {
 
+// Fingerprinting, fixtures, and the scenario rows live in test_util.hpp,
+// shared with the snapshot and adversarial-scenario matrices.
+using testing_util::bits;
+using testing_util::fault_scenarios;
+using testing_util::fingerprint;
 using testing_util::heterogeneous_task;
-
-// ---------------------------------------------------------------------
-// Bit-exact fingerprinting. Scalars are hashed through their bit
-// patterns, so two fingerprints agree iff every value is bit-identical.
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  return h;
-}
-
-std::uint64_t bits(scalar_t x) {
-  std::uint64_t u = 0;
-  std::memcpy(&u, &x, sizeof(u));
-  return u;
-}
-
-std::uint64_t mix_vec(std::uint64_t h, const std::vector<scalar_t>& v) {
-  h = mix(h, v.size());
-  for (const scalar_t x : v) h = mix(h, bits(x));
-  return h;
-}
-
-std::uint64_t mix_link(std::uint64_t h, const sim::LinkFaultStats& f) {
-  h = mix(h, f.attempted);
-  h = mix(h, f.delivered);
-  h = mix(h, f.dropped);
-  h = mix(h, f.in_retry);
-  h = mix(h, f.straggled);
-  h = mix(h, bits(f.extra_rtts));
-  return h;
-}
-
-/// `model_only` drops the fault delivery counters: an enabled
-/// zero-probability plan legitimately meters deliveries the disabled
-/// fast path never counts, while every model-visible quantity must stay
-/// bit-identical.
-std::uint64_t fingerprint_comm(std::uint64_t h, const sim::CommStats& c,
-                               bool model_only) {
-  h = mix(h, c.client_edge_rounds);
-  h = mix(h, c.edge_cloud_rounds);
-  h = mix(h, c.client_edge_models_up);
-  h = mix(h, c.client_edge_models_down);
-  h = mix(h, c.edge_cloud_models_up);
-  h = mix(h, c.edge_cloud_models_down);
-  h = mix(h, c.client_edge_scalars);
-  h = mix(h, c.edge_cloud_scalars);
-  h = mix(h, c.client_edge_bytes);
-  h = mix(h, c.edge_cloud_bytes);
-  if (!model_only) {
-    h = mix_link(h, c.client_edge_fault);
-    h = mix_link(h, c.edge_cloud_fault);
-  }
-  return h;
-}
-
-std::uint64_t fingerprint_history(std::uint64_t h,
-                                  const metrics::TrainingHistory& hist,
-                                  bool model_only) {
-  h = mix(h, hist.size());
-  for (const auto& r : hist.records()) {
-    h = mix(h, static_cast<std::uint64_t>(r.round));
-    h = fingerprint_comm(h, r.comm, model_only);
-    h = mix_vec(h, r.edge_acc);
-    h = mix(h, bits(r.summary.average));
-    h = mix(h, bits(r.summary.worst));
-    h = mix(h, bits(r.global_loss));
-  }
-  return h;
-}
-
-std::uint64_t fingerprint(const TrainResult& r, bool model_only) {
-  std::uint64_t h = 0;
-  h = mix_vec(h, r.w);
-  h = mix_vec(h, r.p);
-  h = mix_vec(h, r.w_avg);
-  h = mix_vec(h, r.p_avg);
-  h = fingerprint_comm(h, r.comm, model_only);
-  h = fingerprint_history(h, r.history, model_only);
-  return h;
-}
-
-std::uint64_t fingerprint(const MultiTrainResult& r, bool model_only) {
-  std::uint64_t h = 0;
-  h = mix_vec(h, r.w);
-  h = mix_vec(h, r.p);
-  h = mix(h, r.comm.levels.size());
-  for (const auto& l : r.comm.levels) {
-    h = mix(h, l.rounds);
-    h = mix(h, l.models_up);
-    h = mix(h, l.models_down);
-  }
-  if (!model_only) {
-    h = mix_link(h, r.comm.leaf_fault);
-    h = mix_link(h, r.comm.top_fault);
-  }
-  h = fingerprint_history(h, r.history, model_only);
-  return h;
-}
+using testing_util::Scenario;
 
 // ---------------------------------------------------------------------
 // The matrix axes.
-
-struct Scenario {
-  std::string name;
-  sim::FaultSpec spec;  // always enabled; "none" is the zero-prob plan
-};
-
-std::vector<Scenario> fault_scenarios() {
-  std::vector<Scenario> out;
-  {
-    Scenario s;
-    s.name = "none";
-    s.spec.enabled = true;  // exercises the fault code path, zero faults
-    out.push_back(s);
-  }
-  {
-    Scenario s;
-    s.name = "dropout20";
-    s.spec.enabled = true;
-    s.spec.client_dropout_prob = 0.2;
-    out.push_back(s);
-  }
-  {
-    Scenario s;
-    s.name = "heavy_stragglers";
-    s.spec.enabled = true;
-    s.spec.straggler_prob = 0.6;
-    s.spec.straggler_mult_mean = 8.0;
-    s.spec.edge_loss_prob = 0.3;  // wide-area retries in the same scenario
-    out.push_back(s);
-  }
-  {
-    Scenario s;
-    s.name = "edge_crash";
-    s.spec.enabled = true;
-    s.spec.edge_crash_round = {-1, 2};      // edge 1 dies at round 2
-    s.spec.client_crash_round = {-1, -1, 3};  // client 2 dies at round 3
-    s.spec.client_dropout_prob = 0.1;
-    out.push_back(s);
-  }
-  return out;
-}
 
 const std::vector<OnFault> kPolicies = {
     OnFault::kRenormalize, OnFault::kReuseStale, OnFault::kSkipRound};

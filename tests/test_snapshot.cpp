@@ -14,6 +14,7 @@
 //       mid-snapshot-write, resumed past the torn file, bit-compared.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
@@ -28,6 +29,7 @@
 #include "algo/hierfavg.hpp"
 #include "algo/hierminimax.hpp"
 #include "algo/hierminimax_multi.hpp"
+#include "algo/qffl.hpp"
 #include "core/check.hpp"
 #include "io/checkpoint.hpp"
 #include "io/snapshot.hpp"
@@ -40,121 +42,14 @@ namespace hm::algo {
 namespace {
 
 namespace fs = std::filesystem;
+
+// Fingerprinting, trajectory comparison, and fixtures live in
+// test_util.hpp, shared with the fault and adversarial-scenario matrices.
+using testing_util::bits;
+using testing_util::expect_same_output;
 using testing_util::heterogeneous_task;
-
-// ---------------------------------------------------------------------
-// Bit-exact fingerprinting (same idiom as test_fault.cpp): fingerprints
-// agree iff every scalar is bit-identical.
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
-  return h;
-}
-
-std::uint64_t bits(scalar_t x) {
-  std::uint64_t u = 0;
-  std::memcpy(&u, &x, sizeof(u));
-  return u;
-}
-
-std::uint64_t mix_vec(std::uint64_t h, const std::vector<scalar_t>& v) {
-  h = mix(h, v.size());
-  for (const scalar_t x : v) h = mix(h, bits(x));
-  return h;
-}
-
-std::uint64_t mix_link(std::uint64_t h, const sim::LinkFaultStats& f) {
-  h = mix(h, f.attempted);
-  h = mix(h, f.delivered);
-  h = mix(h, f.dropped);
-  h = mix(h, f.in_retry);
-  h = mix(h, f.straggled);
-  h = mix(h, bits(f.extra_rtts));
-  return h;
-}
-
-std::uint64_t mix_comm(std::uint64_t h, const sim::CommStats& c) {
-  h = mix(h, c.client_edge_rounds);
-  h = mix(h, c.edge_cloud_rounds);
-  h = mix(h, c.client_edge_models_up);
-  h = mix(h, c.client_edge_models_down);
-  h = mix(h, c.edge_cloud_models_up);
-  h = mix(h, c.edge_cloud_models_down);
-  h = mix(h, c.client_edge_scalars);
-  h = mix(h, c.edge_cloud_scalars);
-  h = mix(h, c.client_edge_bytes);
-  h = mix(h, c.edge_cloud_bytes);
-  h = mix_link(h, c.client_edge_fault);
-  h = mix_link(h, c.edge_cloud_fault);
-  return h;
-}
-
-/// Everything a run produces, reduced to exact-comparable form. `tsv` is
-/// the full history dump, so a resumed run with a duplicated or missing
-/// evaluation record fails with a readable diff.
-struct RunOutput {
-  std::vector<scalar_t> w;
-  std::uint64_t fp = 0;  // p, averages, comm counters, history records
-  std::string tsv;
-};
-
-void expect_same_output(const RunOutput& straight, const RunOutput& resumed,
-                        const std::string& label) {
-  ASSERT_EQ(straight.w.size(), resumed.w.size()) << label;
-  for (std::size_t i = 0; i < straight.w.size(); ++i) {
-    ASSERT_EQ(bits(straight.w[i]), bits(resumed.w[i]))
-        << label << ": w[" << i << "] diverged";
-  }
-  EXPECT_EQ(straight.fp, resumed.fp) << label;
-  EXPECT_EQ(straight.tsv, resumed.tsv) << label;
-}
-
-RunOutput output_of(const TrainResult& r) {
-  RunOutput out;
-  out.w = r.w;
-  std::uint64_t h = 0;
-  h = mix_vec(h, r.p);
-  h = mix_vec(h, r.w_avg);
-  h = mix_vec(h, r.p_avg);
-  h = mix_comm(h, r.comm);
-  for (const auto& rec : r.history.records()) {
-    h = mix(h, static_cast<std::uint64_t>(rec.round));
-    h = mix_comm(h, rec.comm);
-    h = mix_vec(h, rec.edge_acc);
-    h = mix(h, bits(rec.global_loss));
-  }
-  out.fp = h;
-  std::ostringstream os;
-  r.history.write_tsv(os, "run");
-  out.tsv = os.str();
-  return out;
-}
-
-RunOutput output_of(const MultiTrainResult& r) {
-  RunOutput out;
-  out.w = r.w;
-  std::uint64_t h = 0;
-  h = mix_vec(h, r.p);
-  h = mix(h, r.comm.levels.size());
-  for (const auto& l : r.comm.levels) {
-    h = mix(h, l.rounds);
-    h = mix(h, l.models_up);
-    h = mix(h, l.models_down);
-  }
-  h = mix_link(h, r.comm.leaf_fault);
-  h = mix_link(h, r.comm.top_fault);
-  for (const auto& rec : r.history.records()) {
-    h = mix(h, static_cast<std::uint64_t>(rec.round));
-    h = mix_comm(h, rec.comm);
-    h = mix_vec(h, rec.edge_acc);
-    h = mix(h, bits(rec.global_loss));
-  }
-  out.fp = h;
-  std::ostringstream os;
-  r.history.write_tsv(os, "run");
-  out.tsv = os.str();
-  return out;
-}
+using testing_util::output_of;
+using testing_util::RunOutput;
 
 // ---------------------------------------------------------------------
 // Filesystem scaffolding. Each test gets its own directory under /tmp.
@@ -578,6 +473,25 @@ std::vector<Trainer> trainers() {
              model, fed, with_snapshots(snap_opts(faulty), sp, rf)));
        }});
   out.push_back(
+      {"stochastic_afl", 6,
+       [](const io::SnapshotPolicy& sp, const std::string& rf, bool faulty) {
+         const auto& fed = shared_task();
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         return output_of(train_stochastic_afl(
+             model, fed, with_snapshots(snap_opts(faulty), sp, rf)));
+       }});
+  out.push_back(
+      {"qffl", 6,
+       [](const io::SnapshotPolicy& sp, const std::string& rf, bool faulty) {
+         const auto& fed = shared_task();
+         const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+         // q-FFL takes no FaultPlan; the faulty arm just checks resume
+         // stays bit-exact with the extra (ignored) spec set.
+         return output_of(train_qffl(
+             model, fed, with_snapshots(snap_opts(faulty), sp, rf),
+             /*q=*/2.0));
+       }});
+  out.push_back(
       {"hierminimax", 6,
        [](const io::SnapshotPolicy& sp, const std::string& rf, bool faulty) {
          const auto& fed = shared_task();
@@ -644,7 +558,11 @@ TEST(SnapshotResume, KillAndResumeMatrixIsBitIdentical) {
 /// the identical final state from the last snapshot.
 TEST(SnapshotResume, SnapshottingDoesNotPerturbTheRun) {
   const auto all = trainers();
-  const auto& t = all[3];  // hierminimax
+  const auto it = std::find_if(all.begin(), all.end(), [](const Trainer& t) {
+    return t.name == "hierminimax";
+  });
+  ASSERT_NE(it, all.end());
+  const Trainer& t = *it;
   const RunOutput straight = t.run({}, "", /*faulty=*/false);
   const std::string dir = fresh_dir("no_perturb");
   io::SnapshotPolicy policy;
