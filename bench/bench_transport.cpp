@@ -1,0 +1,89 @@
+// Transport micro-benchmarks (google-benchmark): frame codec cost and
+// per-exchange round-trip time of the loopback and socket backends —
+// the socket-vs-inproc overhead a --transport=socket run pays per round
+// (recorded in BENCH_micro.json).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/transport.hpp"
+
+namespace {
+
+using namespace hm;
+
+net::Frame payload_frame(std::size_t bytes) {
+  net::Frame f;
+  f.type = net::FrameType::kRequest;
+  f.seq = 1;
+  f.tag = 2;
+  f.payload.resize(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    f.payload[i] = static_cast<std::uint8_t>(i * 131);
+  }
+  return f;
+}
+
+void BM_FrameEncode(benchmark::State& state) {
+  const net::Frame f = payload_frame(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto bytes = net::encode_frame(f);
+    benchmark::DoNotOptimize(bytes.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FrameEncode)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_FrameDecode(benchmark::State& state) {
+  const auto bytes =
+      net::encode_frame(payload_frame(static_cast<std::size_t>(state.range(0))));
+  net::Frame out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net::decode_frame(bytes.data(), bytes.size(), out));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FrameDecode)->Arg(1 << 10)->Arg(1 << 16);
+
+net::HandlerFactory echo_factory() {
+  return [](index_t) {
+    return [](std::uint64_t, const net::Bytes& req) { return req; };
+  };
+}
+
+/// One scatter-gather exchange (request + reply through the full codec)
+/// per iteration; the payload models a round's model vector.
+void rpc_round_trip(benchmark::State& state, net::Transport& t) {
+  std::vector<std::optional<net::RpcRequest>> reqs(1);
+  reqs[0] = net::RpcRequest{
+      7, net::Bytes(static_cast<std::size_t>(state.range(0)), 0x5a)};
+  for (auto _ : state) {
+    const auto replies = t.exchange(reqs);
+    benchmark::DoNotOptimize(replies.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 2 *
+                          state.range(0));
+}
+
+void BM_LoopbackRpc(benchmark::State& state) {
+  auto t = net::make_loopback_transport(1, echo_factory());
+  rpc_round_trip(state, *t);
+}
+BENCHMARK(BM_LoopbackRpc)->Arg(1 << 10)->Arg(1 << 16);
+
+void BM_SocketRpc(benchmark::State& state) {
+  net::TransportSpec spec;
+  spec.kind = net::TransportKind::kSocket;
+  auto t = net::make_socket_transport(spec, 1, echo_factory());
+  rpc_round_trip(state, *t);
+  t->shutdown();
+}
+BENCHMARK(BM_SocketRpc)->Arg(1 << 10)->Arg(1 << 16);
+
+}  // namespace

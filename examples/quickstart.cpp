@@ -28,11 +28,18 @@
 //   ./quickstart --snapshot-every 10 --resume
 // finishes the run from the newest valid snapshot with a bit-identical
 // trajectory (same final model, weights, history, and comm counters).
+//
+// Multi-process transport (see src/algo/transport_config.hpp):
+//   ./quickstart --transport socket --workers 4
+// forks 4 edge-worker processes that talk to the coordinator over
+// Unix-domain sockets; the run is bit-identical to the in-process one,
+// and a SIGKILLed worker degrades like a crashed edge (--on-fault).
 #include <iostream>
 
 #include "algo/fault_config.hpp"
 #include "algo/hierminimax.hpp"
 #include "algo/snapshot_config.hpp"
+#include "algo/transport_config.hpp"
 #include "io/checkpoint.hpp"
 #include "core/flags.hpp"
 #include "data/federated.hpp"
@@ -83,6 +90,14 @@ int main(int argc, char** argv) {
   // Optional crash-safe snapshots: --snapshot-every/--snapshot-dir write
   // durable snapshots; --resume restarts bit-exactly from the newest one.
   algo::apply_snapshot_flags(flags, opts);
+
+  // Optional multi-process backend: --transport socket --workers N runs
+  // the edge phases in forked worker processes, bit-identical to inproc.
+  algo::apply_transport_flags(flags, opts);
+  if (opts.transport.kind != net::TransportKind::kInproc) {
+    std::cout << "transport: " << net::to_string(opts.transport.kind)
+              << " (workers=" << opts.transport.workers << ")\n";
+  }
   if (opts.snapshot.enabled()) {
     std::cout << "snapshots: every " << opts.snapshot.every_k_rounds
               << " rounds -> " << opts.snapshot.dir << "/ (keep "

@@ -1,0 +1,211 @@
+#include "algo/edge_program.hpp"
+
+#include "core/check.hpp"
+#include "sim/quantize.hpp"
+#include "tensor/vecops.hpp"
+
+namespace hm::algo::detail {
+
+EdgeProgram::EdgeProgram(const nn::Model& model,
+                         const data::FederatedDataset& fed,
+                         const sim::HierTopology& topo,
+                         const TrainOptions& opts,
+                         parallel::ThreadPool& pool)
+    : model_(model),
+      fed_(fed),
+      topo_(topo),
+      opts_(opts),
+      root_(opts.seed),
+      plan_(opts.fault),
+      cluster_(pool),
+      agg_{opts.aggregate, opts.trim_frac},
+      client_w_(static_cast<std::size_t>(topo.num_clients())),
+      client_ckpt_(static_cast<std::size_t>(topo.num_clients())),
+      scratch_(static_cast<std::size_t>(topo.num_clients())),
+      ph2_ws_(model.make_workspace()) {}
+
+std::vector<scalar_t>& EdgeProgram::ensure(std::vector<scalar_t>& v) const {
+  if (v.empty()) {
+    v.assign(static_cast<std::size_t>(model_.num_params()), 0);
+  }
+  return v;
+}
+
+void EdgeProgram::phase1(index_t k, index_t c1, index_t c2,
+                         std::span<const index_t> edges,
+                         const std::vector<scalar_t>& w,
+                         std::vector<std::vector<scalar_t>>& edge_w,
+                         std::vector<std::vector<scalar_t>>& edge_ckpt,
+                         std::vector<char>& edge_has_ckpt) {
+  const index_t d = model_.num_params();
+  const index_t n0 = topo_.clients_per_edge();
+  rng::Xoshiro256 round_gen =
+      root_.split(static_cast<std::uint64_t>(k) + 1);
+
+  // Seed every listed edge's model with the broadcast global model.
+  for (const index_t e : edges) {
+    tensor::copy(w, ensure(edge_w[static_cast<std::size_t>(e)]));
+  }
+
+  // tau2 client-edge aggregation blocks.
+  for (index_t t2 = 0; t2 < opts_.tau2; ++t2) {
+    LocalSgdConfig cfg;
+    cfg.steps = opts_.tau1;
+    cfg.batch_size = opts_.batch_size;
+    cfg.eta = opts_.eta_w;
+    cfg.w_radius = opts_.w_radius;
+    cfg.weight_decay = opts_.weight_decay;
+    cfg.prox_mu = opts_.prox_mu;
+    cfg.checkpoint_step = t2 == c2 ? c1 : 0;
+    std::vector<LocalSgdJob> jobs;
+    std::vector<rng::Xoshiro256> gens;
+    const std::size_t max_jobs = edges.size() * static_cast<std::size_t>(n0);
+    jobs.reserve(max_jobs);
+    gens.reserve(max_jobs);
+    for (const index_t e : edges) {
+      for (index_t i = 0; i < n0; ++i) {
+        const index_t client = topo_.client_id(e, i);
+        // Offline hardware (crashed or churned away) computes nothing
+        // this round. (Dropped clients still compute — only their
+        // report is lost.)
+        if (plan_.edge_crashed(k, e) || plan_.client_offline(k, client)) {
+          continue;
+        }
+        auto& w_local = ensure(client_w_[static_cast<std::size_t>(client)]);
+        tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
+        gens.push_back(round_gen.split(kTagLocal)
+                           .split(static_cast<std::uint64_t>(e))
+                           .split(static_cast<std::uint64_t>(t2))
+                           .split(static_cast<std::uint64_t>(i)));
+        const data::Dataset* shard = &fed_.shard_at(k, e, i);
+        if (plan_.client_poisoned(k, client)) {
+          shard = &poison_.get(*shard, client);
+        }
+        jobs.push_back(
+            {shard, w_local,
+             nn::VecView(
+                 ensure(client_ckpt_[static_cast<std::size_t>(client)])),
+             &gens.back(), client});
+      }
+    }
+    run_local_sgd_jobs(model_, cfg, jobs, scratch_, bstate_, opts_.batched,
+                       cluster_);
+    if (opts_.quantize_bits > 0) {
+      for (std::size_t j = 0; j < jobs.size(); ++j) {
+        const auto client = static_cast<std::size_t>(jobs[j].scratch_id);
+        rng::Xoshiro256 qgen = gens[j].split(kTagQuant);
+        sim::quantize_payload(client_w_[client], opts_.quantize_bits, qgen);
+        if (t2 == c2) {
+          sim::quantize_payload(client_ckpt_[client], opts_.quantize_bits,
+                                qgen);
+        }
+      }
+    }
+    if (plan_.payload_attack()) {
+      // edge_w[e] still holds the block-start model every client of
+      // edge e started from — the sign-flip reflection reference. The
+      // checkpoint upload stays honest: it is variance-reduction
+      // scaffolding for Phase 2, not a model report (DESIGN.md §13).
+      for (const auto& job : jobs) {
+        const index_t c = job.scratch_id;
+        if (!plan_.client_attacker(k, c)) continue;
+        const index_t e = fed_.edge_of_client(c);
+        plan_.corrupt_payload(k, c,
+                              edge_w[static_cast<std::size_t>(e)].data(),
+                              client_w_[static_cast<std::size_t>(c)].data(),
+                              d);
+      }
+    }
+
+    // Client-edge aggregation (and checkpoint aggregation at block c2).
+    for (const index_t e : edges) {
+      if (!plan_.enabled()) {
+        auto clients = topo_.clients_of_edge(e);
+        robust_uniform_average(client_w_, clients, agg_,
+                               edge_w[static_cast<std::size_t>(e)]);
+        if (t2 == c2) {
+          uniform_average(client_ckpt_, clients,
+                          ensure(edge_ckpt[static_cast<std::size_t>(e)]));
+        }
+        continue;
+      }
+      if (plan_.edge_crashed(k, e)) {
+        if (t2 == c2) edge_has_ckpt[static_cast<std::size_t>(e)] = 0;
+        continue;  // area offline, model frozen
+      }
+      // Aggregate over whichever clients actually reported this block;
+      // an edge with zero survivors keeps its previous block's model.
+      std::vector<index_t> surv;
+      for (const index_t c : topo_.clients_of_edge(e)) {
+        if (plan_.client_offline(k, c)) continue;  // silent, never sent
+        if (plan_.client_dropped(k, c)) continue;  // report lost in transit
+        surv.push_back(c);
+      }
+      if (!surv.empty()) {
+        robust_uniform_average(client_w_, surv, agg_,
+                               edge_w[static_cast<std::size_t>(e)]);
+      }
+      if (t2 == c2) {
+        if (surv.empty()) {
+          edge_has_ckpt[static_cast<std::size_t>(e)] = 0;
+        } else {
+          edge_has_ckpt[static_cast<std::size_t>(e)] = 1;
+          uniform_average(client_ckpt_, surv,
+                          ensure(edge_ckpt[static_cast<std::size_t>(e)]));
+        }
+      }
+    }
+  }
+}
+
+void EdgeProgram::phase2(index_t k, std::span<const index_t> edges,
+                         const std::vector<scalar_t>& checkpoint,
+                         std::span<const char> client_ok,
+                         std::span<scalar_t> client_losses) {
+  const index_t n0 = topo_.clients_per_edge();
+  const index_t loss_jobs = static_cast<index_t>(edges.size()) * n0;
+  HM_CHECK(static_cast<index_t>(client_ok.size()) == loss_jobs);
+  HM_CHECK(static_cast<index_t>(client_losses.size()) == loss_jobs);
+  rng::Xoshiro256 round_gen =
+      root_.split(static_cast<std::uint64_t>(k) + 1);
+
+  // Draw every surviving job's estimation batch (per-job RNG streams,
+  // so the samples are independent of evaluation order), then score
+  // them all in one fused loss_many sweep at the shared checkpoint.
+  std::vector<std::vector<index_t>> batches(
+      static_cast<std::size_t>(loss_jobs));
+  std::vector<nn::LossJob> jobs;
+  std::vector<index_t> job_slot;  // loss_many index -> client_losses slot
+  jobs.reserve(static_cast<std::size_t>(loss_jobs));
+  job_slot.reserve(static_cast<std::size_t>(loss_jobs));
+  for (index_t job = 0; job < loss_jobs; ++job) {
+    if (!client_ok[static_cast<std::size_t>(job)]) continue;
+    const index_t e = edges[static_cast<std::size_t>(job / n0)];
+    const index_t i = job % n0;
+    // Phase-2 loss reports are honest even for attackers (the attack
+    // corrupts training, not measurement) but do follow data drift.
+    const data::Dataset& shard = fed_.shard_at(k, e, i);
+    rng::Xoshiro256 gen = round_gen.split(kTagLoss)
+                              .split(static_cast<std::uint64_t>(e))
+                              .split(static_cast<std::uint64_t>(i));
+    auto& batch = batches[static_cast<std::size_t>(job)];
+    if (opts_.loss_est_batch > 0) {
+      batch.resize(static_cast<std::size_t>(opts_.loss_est_batch));
+      for (auto& idx : batch) {
+        idx = static_cast<index_t>(
+            gen.uniform_index(static_cast<std::uint64_t>(shard.size())));
+      }
+    } else {
+      batch = nn::all_indices(shard.size());
+    }
+    jobs.push_back(nn::LossJob{checkpoint, &shard, batch});
+    job_slot.push_back(job);
+  }
+  std::vector<scalar_t> job_losses(jobs.size());
+  model_.loss_many(jobs, job_losses, *ph2_ws_);
+  for (std::size_t q = 0; q < jobs.size(); ++q) {
+    client_losses[static_cast<std::size_t>(job_slot[q])] = job_losses[q];
+  }
+}
+
+}  // namespace hm::algo::detail

@@ -1,0 +1,88 @@
+// The edge-and-below share of one HierMinimax round, factored out of the
+// trainer so it can run anywhere: in the trainer's process (the in-proc
+// oracle and the loopback transport) or inside a forked worker process
+// that serves a subset of the edges.
+//
+// The split is exact, not approximate. Everything here is a pure
+// function of (round index, checkpoint indices, the broadcast model, the
+// run options): all randomness comes from non-advancing splits of a
+// root generator rebuilt from opts.seed, the fault plan is a pure
+// function of (fault seed, round, entity), and per-client buffers are
+// written before every read within a round. Two EdgeProgram instances —
+// in different processes — therefore produce bit-identical per-edge
+// results for any partition of the edge set (run_local_sgd_jobs and
+// Model::loss_many are bit-identical per job regardless of grouping).
+//
+// Deliberately NOT here: every sim::CommStats update. Fault metering
+// accumulates order-sensitive floating-point sums, so the coordinator
+// replays the accounting loops itself, in the exact legacy order,
+// whichever transport carried the computation.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "algo/local_sgd.hpp"
+#include "algo/options.hpp"
+#include "algo/trainer_common.hpp"
+#include "data/federated.hpp"
+#include "nn/model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "rng/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/fault.hpp"
+#include "sim/topology.hpp"
+
+namespace hm::algo::detail {
+
+class EdgeProgram {
+ public:
+  EdgeProgram(const nn::Model& model, const data::FederatedDataset& fed,
+              const sim::HierTopology& topo, const TrainOptions& opts,
+              parallel::ThreadPool& pool);
+
+  /// Phase 1 for the given participating edges: seed each edge's model
+  /// from the broadcast `w`, run the tau2 client-edge aggregation blocks
+  /// (local SGD, quantization, payload attacks, per-edge robust
+  /// aggregation, checkpoint capture at block c2), leaving the per-edge
+  /// aggregates in edge_w / edge_ckpt / edge_has_ckpt. The three output
+  /// arrays are full-size (indexed by edge id); only the listed edges'
+  /// slots are touched. Uplink quantization toward the cloud is NOT
+  /// applied — that is the coordinator's hop.
+  void phase1(index_t k, index_t c1, index_t c2,
+              std::span<const index_t> edges, const std::vector<scalar_t>& w,
+              std::vector<std::vector<scalar_t>>& edge_w,
+              std::vector<std::vector<scalar_t>>& edge_ckpt,
+              std::vector<char>& edge_has_ckpt);
+
+  /// Phase 2 for the given loss-estimation edges: score every client job
+  /// with client_ok[j*n0 + i] set (j indexes `edges`, i the client slot)
+  /// at the shared `checkpoint`, writing losses into the aligned
+  /// client_losses span. Skipped jobs' slots are left untouched (the
+  /// caller zero-fills).
+  void phase2(index_t k, std::span<const index_t> edges,
+              const std::vector<scalar_t>& checkpoint,
+              std::span<const char> client_ok,
+              std::span<scalar_t> client_losses);
+
+ private:
+  std::vector<scalar_t>& ensure(std::vector<scalar_t>& v) const;
+
+  const nn::Model& model_;
+  const data::FederatedDataset& fed_;
+  const sim::HierTopology& topo_;
+  const TrainOptions& opts_;
+  rng::Xoshiro256 root_;  // never advanced, only split (resume-safe)
+  sim::FaultPlan plan_;
+  sim::ClusterSim cluster_;
+  AggregateSpec agg_;
+  std::vector<std::vector<scalar_t>> client_w_;
+  std::vector<std::vector<scalar_t>> client_ckpt_;
+  std::vector<ClientScratch> scratch_;
+  BatchEngineState bstate_;
+  PoisonStore poison_;
+  std::unique_ptr<nn::Workspace> ph2_ws_;
+};
+
+}  // namespace hm::algo::detail

@@ -1,10 +1,11 @@
 #include "algo/hierminimax.hpp"
 
-#include "algo/local_sgd.hpp"
-#include "sim/quantize.hpp"
+#include "algo/edge_channel.hpp"
 #include "algo/trainer_common.hpp"
 #include "core/check.hpp"
 #include "parallel/parallel_for.hpp"
+#include "sim/liveness.hpp"
+#include "sim/quantize.hpp"
 #include "tensor/vecops.hpp"
 
 namespace hm::algo {
@@ -27,10 +28,23 @@ void validate_inputs(const nn::Model& model, const data::FederatedDataset& fed,
   HM_CHECK(opts.sampled_edges >= 0 &&
            opts.sampled_edges <= topo.num_edges());
   HM_CHECK(opts.p_set.feasible(topo.num_edges()));
+  HM_CHECK(opts.transport.workers >= 0);
+  HM_CHECK(opts.transport.rpc_timeout_ms > 0);
+  HM_CHECK(opts.transport.rpc_retries >= 0 &&
+           opts.transport.rpc_backoff_ms >= 0);
 }
 
 }  // namespace
 
+// The coordinator half of Algorithm 1. Everything edge-and-below (local
+// SGD, per-edge aggregation, Phase-2 loss scoring) lives behind the
+// EdgeChannel; the trainer keeps sampling, the cloud hops (uplink
+// quantization, edge-cloud aggregation, the ascent step), snapshots, and
+// ALL sim::CommStats metering. Fault accounting accumulates
+// order-sensitive floating-point sums (LinkFaultStats.extra_rtts), so
+// the coordinator replays the per-block delivery loops in the exact
+// legacy order from pure FaultPlan queries — identically whether the
+// edge computation ran in-process or in forked workers.
 TrainResult train_hierminimax(const nn::Model& model,
                               const data::FederatedDataset& fed,
                               const sim::HierTopology& topo,
@@ -40,7 +54,6 @@ TrainResult train_hierminimax(const nn::Model& model,
   const index_t d = model.num_params();
   const index_t num_edges = topo.num_edges();          // N_E
   const index_t n0 = topo.clients_per_edge();          // N_0
-  const index_t num_clients = topo.num_clients();      // N
   const index_t m_e = opts.sampled_edges > 0 ? opts.sampled_edges : num_edges;
 
   rng::Xoshiro256 root(opts.seed);
@@ -56,18 +69,10 @@ TrainResult train_hierminimax(const nn::Model& model,
   result.w_avg = result.w;
   result.p_avg = result.p;
 
-  // Per-participant buffers. Inner vectors start empty and materialize
-  // (zero-filled, like the former eager allocation) on a participant's
-  // first touch via ensure(); with edge sampling most clients never
-  // participate, so the skipped zero-fill traffic is substantial (the
-  // MLP benches allocate ~170 MB/call eagerly, ~35 MB lazily). Once
-  // created a buffer persists, so later rounds see exactly the stale
-  // contents the eager layout would have had — trajectories under faults
-  // and quantization are bit-identical.
-  std::vector<std::vector<scalar_t>> client_w(
-      static_cast<std::size_t>(num_clients));
-  std::vector<std::vector<scalar_t>> client_ckpt(
-      static_cast<std::size_t>(num_clients));
+  // Per-edge mirrors on the coordinator. Inner vectors start empty and
+  // materialize on first touch (with edge sampling most edges may never
+  // participate); once created a buffer persists, so later rounds see
+  // exactly the stale contents an eager layout would have had.
   std::vector<std::vector<scalar_t>> edge_w(
       static_cast<std::size_t>(num_edges));
   std::vector<std::vector<scalar_t>> edge_ckpt(
@@ -76,18 +81,17 @@ TrainResult train_hierminimax(const nn::Model& model,
     if (v.empty()) v.assign(static_cast<std::size_t>(d), 0);
     return v;
   };
-  std::vector<ClientScratch> scratch(static_cast<std::size_t>(num_clients));
-  // Phase-2 scores every sampled client's shard at the one shared
-  // checkpoint; a single workspace + one loss_many call lets the model
-  // fuse the whole sweep (stacked eval blocks amortize operand packing).
-  const std::unique_ptr<nn::Workspace> ph2_ws = model.make_workspace();
-  const sim::ClusterSim cluster(pool);
-  BatchEngineState bstate;
   std::vector<scalar_t> checkpoint(static_cast<std::size_t>(d));
   std::vector<scalar_t> edge_losses(static_cast<std::size_t>(num_edges));
+
+  // The edge-and-below computation, in-process or in worker processes.
+  const std::unique_ptr<detail::EdgeChannel> channel =
+      detail::make_edge_channel(model, fed, topo, opts, pool);
+  sim::EdgeLiveness live;
+  live.init(num_edges);
+
   detail::StaleStore stale;
-  if (plan.enabled()) stale.init(num_edges);
-  detail::PoisonStore poison;
+  if (plan.enabled() || channel->can_fail()) stale.init(num_edges);
   const detail::AggregateSpec agg{opts.aggregate, opts.trim_frac};
   // Whether edge e captured a checkpoint at block c2 this round (an edge
   // whose every client failed at that block has no fresh checkpoint).
@@ -128,122 +132,35 @@ TrainResult train_hierminimax(const nn::Model& model,
         static_cast<std::uint64_t>(parts.ids.size());  // physical edges
     result.comm.edge_cloud_models_down += participating;
 
-    // Seed every participating edge's model with the global model.
-    for (const index_t e : parts.ids) {
-      tensor::copy(result.w, ensure(edge_w[static_cast<std::size_t>(e)]));
-    }
+    // Seed + local SGD + client-edge aggregation for every participating
+    // edge, wherever that edge's compute lives. A worker process that
+    // died marks its edges in `live`.
+    channel->phase1(k, c1, c2, parts.ids, result.w, edge_w, edge_ckpt,
+                    edge_has_ckpt, live);
 
-    // tau2 client-edge aggregation blocks.
+    // An edge is down when the plan says so (simulated crash) or its
+    // worker process actually died — both take the same degraded paths.
+    const bool degraded = plan.enabled() || live.any_down();
+    const auto edge_down = [&](index_t e) {
+      return plan.edge_crashed(k, e) || live.down(e);
+    };
+
+    // Delivery metering for the tau2 client-edge blocks, replayed in the
+    // exact order the in-line loops used to run (fault-stat accumulation
+    // is order-sensitive floating point).
     for (index_t t2 = 0; t2 < opts.tau2; ++t2) {
-      LocalSgdConfig cfg;
-      cfg.steps = opts.tau1;
-      cfg.batch_size = opts.batch_size;
-      cfg.eta = opts.eta_w;
-      cfg.w_radius = opts.w_radius;
-      cfg.weight_decay = opts.weight_decay;
-      cfg.prox_mu = opts.prox_mu;
-      cfg.checkpoint_step = t2 == c2 ? c1 : 0;
-      std::vector<LocalSgdJob> jobs;
-      std::vector<rng::Xoshiro256> gens;
-      const std::size_t max_jobs =
-          parts.ids.size() * static_cast<std::size_t>(n0);
-      jobs.reserve(max_jobs);
-      gens.reserve(max_jobs);
-      for (const index_t e : parts.ids) {
-        for (index_t i = 0; i < n0; ++i) {
-          const index_t client = topo.client_id(e, i);
-          // Offline hardware (crashed or churned away) computes nothing
-          // this round. (Dropped clients still compute — only their
-          // report is lost.)
-          if (plan.edge_crashed(k, e) || plan.client_offline(k, client)) {
-            continue;
-          }
-          auto& w_local = ensure(client_w[static_cast<std::size_t>(client)]);
-          tensor::copy(edge_w[static_cast<std::size_t>(e)], w_local);
-          gens.push_back(round_gen.split(detail::kTagLocal)
-                             .split(static_cast<std::uint64_t>(e))
-                             .split(static_cast<std::uint64_t>(t2))
-                             .split(static_cast<std::uint64_t>(i)));
-          const data::Dataset* shard = &fed.shard_at(k, e, i);
-          if (plan.client_poisoned(k, client)) {
-            shard = &poison.get(*shard, client);
-          }
-          jobs.push_back(
-              {shard, w_local,
-               nn::VecView(ensure(client_ckpt[static_cast<std::size_t>(client)])),
-               &gens.back(), client});
-        }
-      }
-      run_local_sgd_jobs(model, cfg, jobs, scratch, bstate, opts.batched,
-                         cluster);
-      if (opts.quantize_bits > 0) {
-        for (std::size_t j = 0; j < jobs.size(); ++j) {
-          const auto client = static_cast<std::size_t>(jobs[j].scratch_id);
-          rng::Xoshiro256 qgen = gens[j].split(detail::kTagQuant);
-          sim::quantize_payload(client_w[client], opts.quantize_bits, qgen);
-          if (t2 == c2) {
-            sim::quantize_payload(client_ckpt[client], opts.quantize_bits,
-                                  qgen);
-          }
-        }
-      }
-      if (plan.payload_attack()) {
-        // edge_w[e] still holds the block-start model every client of
-        // edge e started from — the sign-flip reflection reference. The
-        // checkpoint upload stays honest: it is variance-reduction
-        // scaffolding for Phase 2, not a model report (DESIGN.md §13).
-        for (const auto& job : jobs) {
-          const index_t c = job.scratch_id;
-          if (!plan.client_attacker(k, c)) continue;
-          const index_t e = fed.edge_of_client(c);
-          plan.corrupt_payload(k, c,
-                               edge_w[static_cast<std::size_t>(e)].data(),
-                               client_w[static_cast<std::size_t>(c)].data(),
-                               d);
-        }
-      }
-
-      // Client-edge aggregation (and checkpoint aggregation at block c2).
-      for (const index_t e : parts.ids) {
-        if (!plan.enabled()) {
-          auto clients = topo.clients_of_edge(e);
-          detail::robust_uniform_average(client_w, clients, agg,
-                                         edge_w[static_cast<std::size_t>(e)]);
-          if (t2 == c2) {
-            detail::uniform_average(client_ckpt, clients,
-                                    ensure(edge_ckpt[static_cast<std::size_t>(e)]));
-          }
-          continue;
-        }
-        if (plan.edge_crashed(k, e)) {
-          if (t2 == c2) edge_has_ckpt[static_cast<std::size_t>(e)] = 0;
-          continue;  // area offline, model frozen
-        }
-        // Aggregate over whichever clients actually reported this block;
-        // an edge with zero survivors keeps its previous block's model.
-        std::vector<index_t> surv;
-        for (const index_t c : topo.clients_of_edge(e)) {
-          if (plan.client_offline(k, c)) continue;  // silent, never sent
-          if (plan.client_dropped(k, c)) {
-            result.comm.client_edge_fault.note_lost_report();
-            continue;
-          }
-          result.comm.client_edge_fault.note_delivered();
-          result.comm.client_edge_fault.note_straggle(
-              plan.straggler_mult(k, c));
-          surv.push_back(c);
-        }
-        if (!surv.empty()) {
-          detail::robust_uniform_average(client_w, surv, agg,
-                                         edge_w[static_cast<std::size_t>(e)]);
-        }
-        if (t2 == c2) {
-          if (surv.empty()) {
-            edge_has_ckpt[static_cast<std::size_t>(e)] = 0;
-          } else {
-            edge_has_ckpt[static_cast<std::size_t>(e)] = 1;
-            detail::uniform_average(client_ckpt, surv,
-                                    ensure(edge_ckpt[static_cast<std::size_t>(e)]));
+      if (plan.enabled()) {
+        for (const index_t e : parts.ids) {
+          if (edge_down(e)) continue;
+          for (const index_t c : topo.clients_of_edge(e)) {
+            if (plan.client_offline(k, c)) continue;  // silent, never sent
+            if (plan.client_dropped(k, c)) {
+              result.comm.client_edge_fault.note_lost_report();
+              continue;
+            }
+            result.comm.client_edge_fault.note_delivered();
+            result.comm.client_edge_fault.note_straggle(
+                plan.straggler_mult(k, c));
           }
         }
       }
@@ -261,7 +178,8 @@ TrainResult train_hierminimax(const nn::Model& model,
     }
 
     // Uplink quantization of the per-edge aggregates (Hier-Local-QSGD
-    // style: both hops compress toward the cloud).
+    // style: both hops compress toward the cloud). The coordinator owns
+    // this hop — workers return pre-quantization aggregates.
     if (opts.quantize_bits > 0) {
       for (const index_t e : parts.ids) {
         rng::Xoshiro256 qgen = round_gen.split(detail::kTagQuant)
@@ -275,7 +193,7 @@ TrainResult train_hierminimax(const nn::Model& model,
 
     // Edge-cloud aggregation: global model (Eq. 5) + checkpoint (Eq. 6).
     bool aggregated = true;
-    if (!plan.enabled()) {
+    if (!degraded) {
       detail::robust_weighted_average(edge_w, parts, agg, result.w);
       // Checkpoint aggregation stays a plain weighted mean: attackers
       // upload honest checkpoints (threat-model boundary, DESIGN.md §13).
@@ -287,12 +205,14 @@ TrainResult train_hierminimax(const nn::Model& model,
       tensor::project_l2_ball(result.w, opts.w_radius);
     } else {
       // Each participating edge uploads model + checkpoint as one report
-      // over the faulty wide-area link.
+      // over the faulty wide-area link. A dead worker's edges simply
+      // never deliver (no link-fault query — the process is gone).
       std::vector<char> delivered(parts.ids.size(), 0);
       for (std::size_t j = 0; j < parts.ids.size(); ++j) {
         const index_t e = parts.ids[j];
-        if (plan.edge_crashed(k, e)) continue;
-        if (plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, e),
+        if (edge_down(e)) continue;
+        if (!plan.enabled() ||
+            plan.deliver(k, sim::fault_msg(sim::kMsgModelUp, e),
                          result.comm.edge_cloud_fault)) {
           delivered[j] = 1;
         }
@@ -359,10 +279,10 @@ TrainResult train_hierminimax(const nn::Model& model,
       std::vector<index_t> edge_nsurv(losses_set.size(), n0);
       std::uint64_t num_loss_edges =
           static_cast<std::uint64_t>(losses_set.size());
-      if (plan.enabled()) {
+      if (degraded) {
         for (std::size_t j = 0; j < losses_set.size(); ++j) {
           const index_t e = losses_set[j];
-          if (plan.edge_crashed(k, e)) {
+          if (edge_down(e)) {
             edge_ok[j] = 0;
             edge_nsurv[j] = 0;
             for (index_t i = 0; i < n0; ++i) {
@@ -386,56 +306,36 @@ TrainResult train_hierminimax(const nn::Model& model,
               client_ok[job] = 0;
               continue;
             }
-            result.comm.client_edge_fault.note_delivered();
-            result.comm.client_edge_fault.note_straggle(
-                plan.straggler_mult(k, c));
+            if (plan.enabled()) {
+              result.comm.client_edge_fault.note_delivered();
+              result.comm.client_edge_fault.note_straggle(
+                  plan.straggler_mult(k, c));
+            }
             nsurv += 1;
           }
           edge_nsurv[j] = nsurv;
           if (nsurv == 0 ||
-              !plan.deliver(k, sim::fault_msg(sim::kMsgLossUp, e),
-                            result.comm.edge_cloud_fault)) {
+              (plan.enabled() &&
+               !plan.deliver(k, sim::fault_msg(sim::kMsgLossUp, e),
+                             result.comm.edge_cloud_fault))) {
             edge_ok[j] = 0;
             num_loss_edges -= 1;
           }
         }
       }
-      // Draw every surviving job's estimation batch (per-job RNG streams,
-      // so the samples are independent of evaluation order), then score
-      // them all in one fused loss_many sweep at the shared checkpoint.
-      std::vector<std::vector<index_t>> batches(
-          static_cast<std::size_t>(loss_jobs));
-      std::vector<nn::LossJob> jobs;
-      std::vector<index_t> job_slot;  // loss_many index -> client_losses slot
-      jobs.reserve(static_cast<std::size_t>(loss_jobs));
-      job_slot.reserve(static_cast<std::size_t>(loss_jobs));
-      for (index_t job = 0; job < loss_jobs; ++job) {
-        if (!client_ok[static_cast<std::size_t>(job)]) continue;
-        const index_t e = losses_set[static_cast<std::size_t>(job / n0)];
-        const index_t i = job % n0;
-        // Phase-2 loss reports are honest even for attackers (the attack
-        // corrupts training, not measurement) but do follow data drift.
-        const data::Dataset& shard = fed.shard_at(k, e, i);
-        rng::Xoshiro256 gen = round_gen.split(detail::kTagLoss)
-                                  .split(static_cast<std::uint64_t>(e))
-                                  .split(static_cast<std::uint64_t>(i));
-        auto& batch = batches[static_cast<std::size_t>(job)];
-        if (opts.loss_est_batch > 0) {
-          batch.resize(static_cast<std::size_t>(opts.loss_est_batch));
-          for (auto& idx : batch) {
-            idx = static_cast<index_t>(gen.uniform_index(
-                static_cast<std::uint64_t>(shard.size())));
+      // Score every surviving client job at the shared checkpoint,
+      // wherever that client's compute lives.
+      channel->phase2(k, losses_set, checkpoint, client_ok, client_losses,
+                      live);
+      // A lane that died during Phase 2 delivered nothing: its edges'
+      // loss reports are lost exactly like a failed wide-area delivery.
+      if (channel->can_fail()) {
+        for (std::size_t j = 0; j < losses_set.size(); ++j) {
+          if (edge_ok[j] != 0 && live.down(losses_set[j])) {
+            edge_ok[j] = 0;
+            num_loss_edges -= 1;
           }
-        } else {
-          batch = nn::all_indices(shard.size());
         }
-        jobs.push_back(nn::LossJob{checkpoint, &shard, batch});
-        job_slot.push_back(job);
-      }
-      std::vector<scalar_t> job_losses(jobs.size());
-      model.loss_many(jobs, job_losses, *ph2_ws);
-      for (std::size_t q = 0; q < jobs.size(); ++q) {
-        client_losses[static_cast<std::size_t>(job_slot[q])] = job_losses[q];
       }
       for (index_t j = 0; j < static_cast<index_t>(losses_set.size()); ++j) {
         if (!edge_ok[static_cast<std::size_t>(j)]) continue;

@@ -553,10 +553,15 @@ io::Snapshot make_run_snapshot(const RunState& st, index_t next_round) {
 index_t resume_round(const std::string& resume_from, const RunState& st) {
   if (resume_from.empty()) return 0;
   HM_CHECK(st.root != nullptr && st.w != nullptr && st.history != nullptr);
-  const auto loaded = io::load_latest_snapshot(resume_from);
+  io::LoadMiss miss;
+  const auto loaded = io::load_latest_snapshot(resume_from, &miss);
   if (!loaded) {
-    log::info() << "resume: no valid snapshot under '" << resume_from
-                << "' — starting fresh";
+    // A damaged store (candidates exist, all corrupt/torn) must not be
+    // confused with a fresh start: silently retraining from round 0
+    // would discard the progress the user asked to resume.
+    HM_CHECK_MSG(!miss.hard, "resume from '" << resume_from
+                                             << "' failed: " << miss.message);
+    log::info() << "resume: " << miss.message;
     return 0;
   }
   const io::Snapshot& s = loaded->snapshot;

@@ -1,0 +1,52 @@
+#include "algo/transport_config.hpp"
+
+#include "core/check.hpp"
+
+namespace hm::algo {
+
+net::KillPoint parse_kill_point(const std::string& name) {
+  if (name == "pre") return net::KillPoint::kPreHandle;
+  if (name == "torn") return net::KillPoint::kTornReply;
+  if (name == "post") return net::KillPoint::kPostReply;
+  HM_CHECK_MSG(false, "unknown --kill-point '"
+                          << name << "' (expected pre | torn | post)");
+}
+
+const char* to_string(net::KillPoint point) {
+  switch (point) {
+    case net::KillPoint::kNone:
+      return "none";
+    case net::KillPoint::kPreHandle:
+      return "pre";
+    case net::KillPoint::kTornReply:
+      return "torn";
+    case net::KillPoint::kPostReply:
+      return "post";
+  }
+  return "?";
+}
+
+void apply_transport_flags(const Flags& flags, TrainOptions& opts) {
+  net::TransportSpec& t = opts.transport;
+  const std::string kind = flags.get_string("transport", "inproc");
+  HM_CHECK_MSG(net::parse_transport_kind(kind, t.kind),
+               "unknown --transport '"
+                   << kind << "' (expected inproc | loopback | socket)");
+  t.workers = flags.get_int("workers", t.workers);
+  t.rpc_timeout_ms = flags.get_int("rpc-timeout-ms", t.rpc_timeout_ms);
+  t.rpc_retries = flags.get_int("rpc-retries", t.rpc_retries);
+  t.rpc_backoff_ms = flags.get_int("rpc-backoff-ms", t.rpc_backoff_ms);
+  t.kill.worker = flags.get_int("kill-worker", -1);
+  if (t.kill.worker >= 0) {
+    const index_t round = flags.get_int("kill-round", 0);
+    const index_t phase = flags.get_int("kill-phase", 1);
+    HM_CHECK_MSG(phase == 1 || phase == 2,
+                 "--kill-phase must be 1 or 2, got " << phase);
+    t.kill.tag = 2 * static_cast<std::uint64_t>(round) +
+                 static_cast<std::uint64_t>(phase - 1);
+    t.kill.point =
+        parse_kill_point(flags.get_string("kill-point", "pre"));
+  }
+}
+
+}  // namespace hm::algo

@@ -1,0 +1,33 @@
+// Command-line configuration of the transport layer, shared by the
+// examples and benchmark harnesses so every binary speaks the same flags:
+//
+//   --transport KIND     inproc | loopback | socket (edge-compute backend)
+//   --workers N          socket worker processes (0 = one per 4 edges)
+//   --rpc-timeout-ms T   per-attempt reply deadline (monotonic clock)
+//   --rpc-retries N      retransmissions after the first attempt
+//   --rpc-backoff-ms B   deadline extension of retry r: B << (r - 1)
+//   --kill-worker L      fault matrix: lane to SIGKILL (-1 = off)
+//   --kill-round K       fault matrix: round whose request triggers it
+//   --kill-phase P       fault matrix: 1 or 2 (which phase's request)
+//   --kill-point WHEN    pre | torn | post (crash before computing the
+//                        reply, after a truncated reply frame, or after
+//                        the full reply is on the wire)
+#pragma once
+
+#include <string>
+
+#include "algo/options.hpp"
+#include "core/flags.hpp"
+
+namespace hm::algo {
+
+/// Parse a kill point name ("pre", "torn", "post"); throws CheckError on
+/// anything else.
+net::KillPoint parse_kill_point(const std::string& name);
+
+const char* to_string(net::KillPoint point);
+
+/// Apply the transport flags to `opts.transport`.
+void apply_transport_flags(const Flags& flags, TrainOptions& opts);
+
+}  // namespace hm::algo

@@ -477,9 +477,20 @@ std::string save_snapshot(const std::string& dir, index_t keep,
   return path;
 }
 
-std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir) {
+std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir,
+                                                   LoadMiss* miss) {
+  const auto fresh_miss = [&] {
+    if (miss != nullptr) {
+      *miss = LoadMiss{false, 0,
+                       "no snapshot data yet under '" + dir +
+                           "' (fresh start)"};
+    }
+  };
   std::error_code ec;
-  if (dir.empty() || !fs::is_directory(dir, ec)) return std::nullopt;
+  if (dir.empty() || !fs::is_directory(dir, ec)) {
+    fresh_miss();
+    return std::nullopt;
+  }
 
   std::vector<std::string> rejected;
   for (const Candidate& c : list_candidates(dir)) {
@@ -517,9 +528,17 @@ std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir) {
       log::warn() << "snapshot candidate rejected — " << rejected.back();
     }
   }
-  if (!rejected.empty()) {
+  if (rejected.empty()) {
+    fresh_miss();
+  } else {
     log::warn() << "no valid snapshot in '" << dir << "' ("
                 << rejected.size() << " candidate(s) rejected)";
+    if (miss != nullptr) {
+      *miss = LoadMiss{
+          true, static_cast<index_t>(rejected.size()),
+          std::to_string(rejected.size()) + " snapshot candidate(s) under '" +
+              dir + "', none valid (corrupt or torn)"};
+    }
   }
   return std::nullopt;
 }

@@ -193,11 +193,23 @@ struct LoadedSnapshot {
   std::vector<std::string> rejected;
 };
 
+/// Why load_latest_snapshot returned nullopt. `hard` separates the two
+/// cases a resuming caller must treat differently: "no snapshot data
+/// yet" (nothing was ever written — a benign fresh start) versus
+/// "candidates exist but every one is corrupt or torn" (the store is
+/// damaged — surface it loudly instead of silently retraining).
+struct LoadMiss {
+  bool hard = false;       // true = candidates existed, none validated
+  index_t candidates = 0;  // snapshot files examined
+  std::string message;     // one-line diagnostic (wording pinned by tests)
+};
+
 /// Newest-first scan of `<dir>/snapshot.*`. Corrupt or torn candidates
 /// are skipped (with a log::warn naming the reason) and the previous
 /// last-good snapshot is returned instead. nullopt when the directory is
-/// missing, empty, or holds no valid snapshot at all — callers treat
-/// that as a fresh start.
-std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir);
+/// missing, empty, or holds no valid snapshot at all; `miss` (optional)
+/// then says whether that is a fresh start or a damaged store.
+std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir,
+                                                   LoadMiss* miss = nullptr);
 
 }  // namespace hm::io

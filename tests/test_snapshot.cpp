@@ -329,6 +329,44 @@ TEST(SnapshotStore, CorruptNewestFallsBackToLastGood) {
   EXPECT_NE(loaded->rejected[0].find("snapshot.00000004"), std::string::npos);
 }
 
+/// The nullopt miss report must separate "nothing written yet" (a benign
+/// fresh start) from "candidates exist, all corrupt or torn" (a damaged
+/// store). Both wordings are pinned: resume diagnostics quote them.
+TEST(SnapshotStore, MissReportSeparatesFreshStartFromDamagedStore) {
+  const std::string dir = fresh_dir("miss_report");
+  const std::string fresh_msg =
+      "no snapshot data yet under '" + dir + "' (fresh start)";
+
+  // Missing directory: benign.
+  io::LoadMiss miss;
+  EXPECT_FALSE(io::load_latest_snapshot(dir, &miss).has_value());
+  EXPECT_FALSE(miss.hard);
+  EXPECT_EQ(miss.candidates, 0);
+  EXPECT_EQ(miss.message, fresh_msg);
+
+  // Existing but empty directory: still benign.
+  fs::create_directories(dir);
+  miss = {};
+  EXPECT_FALSE(io::load_latest_snapshot(dir, &miss).has_value());
+  EXPECT_FALSE(miss.hard);
+  EXPECT_EQ(miss.message, fresh_msg);
+
+  // Every candidate corrupt: hard miss, with the candidate count.
+  io::save_snapshot(dir, /*keep=*/2, /*round=*/1, sample_snapshot());
+  io::save_snapshot(dir, 2, 2, sample_snapshot());
+  for (const char* name : {"/snapshot.00000001", "/snapshot.00000002"}) {
+    auto bytes = read_file(dir + name);
+    bytes[bytes.size() / 2] ^= 0x10;
+    write_file(dir + name, bytes);
+  }
+  miss = {};
+  EXPECT_FALSE(io::load_latest_snapshot(dir, &miss).has_value());
+  EXPECT_TRUE(miss.hard);
+  EXPECT_EQ(miss.candidates, 2);
+  EXPECT_EQ(miss.message, "2 snapshot candidate(s) under '" + dir +
+                              "', none valid (corrupt or torn)");
+}
+
 /// Kill the writer at every interesting byte offset, in both crash
 /// modes. Invariant: the directory is never left unloadable — the
 /// previous snapshot always survives and loads.
@@ -550,6 +588,29 @@ TEST(SnapshotResume, KillAndResumeMatrixIsBitIdentical) {
         expect_same_output(straight, resumed, label);
       }
     }
+  }
+}
+
+/// Resuming against a damaged store (candidates exist, none valid) must
+/// fail loudly with the pinned diagnostic, not silently retrain from
+/// round 0 — that would discard the progress the caller asked to resume.
+TEST(SnapshotResume, DamagedStoreFailsLoudlyOnResume) {
+  const std::string dir = fresh_dir("damaged_resume");
+  io::save_snapshot(dir, /*keep=*/2, /*round=*/1, sample_snapshot());
+  auto bytes = read_file(dir + "/snapshot.00000001");
+  bytes[bytes.size() / 2] ^= 0x20;
+  write_file(dir + "/snapshot.00000001", bytes);
+
+  const auto& fed = shared_task();
+  const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
+  try {
+    train_fedavg(model, fed,
+                 with_snapshots(snap_opts(false), io::SnapshotPolicy{}, dir));
+    FAIL() << "resume against a corrupt-only store should throw";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("none valid (corrupt or torn)"),
+              std::string::npos)
+        << e.what();
   }
 }
 

@@ -1,0 +1,30 @@
+// Fixture: src/net is the one module allowed to touch raw process and
+// socket syscalls — none of these may fire raw-transport-syscall here.
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <poll.h>
+
+namespace fixture {
+
+inline int ok_socketpair_fork(int sv[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    char b = 0;
+    (void)::recv(sv[1], &b, 1, 0);
+    (void)::send(sv[1], &b, 1, 0);
+    _exit(0);
+  }
+  return 0;
+}
+
+inline void ok_poll_reap(int fd, pid_t pid) {
+  struct pollfd p = {fd, POLLIN, 0};
+  (void)::poll(&p, 1, 100);
+  int status = 0;
+  (void)::waitpid(pid, &status, WNOHANG);
+}
+
+}  // namespace fixture

@@ -1,0 +1,34 @@
+// Fixture: raw process/socket syscalls outside src/net must fire
+// raw-transport-syscall; a suppressed call must not.
+// detlint-expect: raw-transport-syscall
+#include <csignal>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace fixture {
+
+inline int bad_fork_worker() {
+  const pid_t pid = fork();  // bypasses net::Transport worker lifecycle
+  if (pid == 0) _exit(0);
+  return 0;
+}
+
+inline void bad_raw_wire(int fd) {
+  char b = 0;
+  (void)send(fd, &b, 1, 0);  // unframed, no CRC, no deadline
+  (void)recv(fd, &b, 1, 0);
+}
+
+inline void bad_reap(pid_t pid) {
+  kill(pid, 9);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+
+inline void ok_suppressed(pid_t pid) {
+  // Diagnostic-only probe. detlint: allow(raw-transport-syscall)
+  kill(pid, 0);
+}
+
+}  // namespace fixture

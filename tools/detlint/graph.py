@@ -6,12 +6,15 @@ The repo's modules form a declared layering (DESIGN.md §12):
     layer 1   rng, tensor
     layer 2   parallel, nn, data
     layer 3   sim, io, metrics
-    layer 4   algo
+    layer 4   net
+    layer 5   algo
 
 A module may include its own layer and anything below; an include of a
 *higher* layer is an upward edge and fails the lint (that boundary is
-what lets layers be swapped out independently — e.g. ROADMAP item 1's
-transport backend slots in below algo without touching trainers). Edges
+what lets layers be swapped out independently — the `net` transport
+backend of ROADMAP item 1 slots in below algo without touching trainers,
+and `net` is the only module allowed to touch raw sockets/fork/poll:
+the raw-transport-syscall rule in rules.py enforces that side). Edges
 inside one layer are allowed individually but must stay acyclic: the
 module graph as a whole is checked for cycles, so two layer-3 modules
 cannot quietly grow a mutual dependency either.
@@ -33,6 +36,7 @@ LAYERS: List[List[str]] = [
     ["rng", "tensor"],
     ["parallel", "nn", "data"],
     ["sim", "io", "metrics"],
+    ["net"],
     ["algo"],
 ]
 
@@ -154,7 +158,7 @@ def _check_layering(project: Project) -> Iterable[Finding]:
                 f"'{e.from_module}' (layer {lf}) includes '{e.to_path}' "
                 f"from '{e.to_module}' (layer {lt}); the declared layering "
                 f"is core <- rng/tensor <- parallel/nn/data <- "
-                f"sim/io/metrics <- algo")
+                f"sim/io/metrics <- net <- algo")
 
     # Cycles over the whole module graph (covers same-layer cycles the
     # upward check cannot see).
@@ -171,8 +175,8 @@ def _check_layering(project: Project) -> Iterable[Finding]:
 RULE_LAYERING = ProjectRule(
     "layering",
     "Include-graph layering: enforces the declared module DAG "
-    "(core <- rng/tensor <- parallel/nn/data <- sim/io/metrics <- algo) "
-    "over all of src/ — no upward includes, no module cycles, no "
+    "(core <- rng/tensor <- parallel/nn/data <- sim/io/metrics <- net "
+    "<- algo) over all of src/ — no upward includes, no module cycles, no "
     "undeclared modules. Emits layering-upward-include, layering-cycle, "
     "and layering-unknown-module findings.",
     _check_layering,

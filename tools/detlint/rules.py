@@ -375,6 +375,22 @@ RULE_PERSISTENCE = _ident_rule(
 )
 
 
+RULE_RAW_TRANSPORT = _ident_rule(
+    "raw-transport-syscall",
+    "Raw process/socket syscalls (fork, socketpair, send/recv, poll, "
+    "waitpid, kill, ...) are the transport layer's business: src/net owns "
+    "worker lifecycle, framing, and deadlines. A stray fork or send "
+    "elsewhere bypasses the robustness envelope (retries, liveness "
+    "tracking, orderly shutdown) and can leak fds or zombie processes.",
+    "raw transport/process syscall outside src/net; route it through "
+    "net::Transport",
+    called_idents=("fork", "vfork", "socketpair", "send", "recv", "poll",
+                   "waitpid", "kill", "pipe", "accept", "connect", "bind",
+                   "listen", "prctl", "sigaction", "signal"),
+    exclude=("net",),
+)
+
+
 class _ModelEntryCheckRule(Rule):
     """Every public Model entry point must open with HM_CHECK guards.
 
@@ -445,5 +461,6 @@ ALL_RULES: List[Rule] = [
     _OpenMpRule(),
     _StdoutRule(),
     RULE_PERSISTENCE,
+    RULE_RAW_TRANSPORT,
     _ModelEntryCheckRule(),
 ]
