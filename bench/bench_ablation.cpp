@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 
 namespace {
@@ -82,7 +83,7 @@ int run(int argc, char** argv) {
     print_result_line(std::to_string(m_e),
                       algo::train_hierminimax(model, fed, topo, opts));
   }
-  std::cerr << "[bench_ablation] done in " << sw.seconds() << " s\n";
+  log::info() << "[bench_ablation] done in " << sw.seconds() << " s";
   return 0;
 }
 
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    hm::log::error() << "error: " << e.what();
     return 1;
   }
 }

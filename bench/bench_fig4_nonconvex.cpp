@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 
 namespace {
@@ -69,8 +70,8 @@ int run(int argc, char** argv) {
     auto seed_opts = opts;
     seed_opts.seed = seed + static_cast<seed_t>(s);
     per_seed.push_back(bench::run_five_methods(model, fed, topo, seed_opts));
-    std::cerr << "[seed " << seed_opts.seed << "] done at " << sw.seconds()
-              << " s\n";
+    log::info() << "[seed " << seed_opts.seed << "] done at "
+                << sw.seconds() << " s";
   }
   const auto& runs = per_seed.front();
   bench::print_curves(std::cout, runs);
@@ -79,7 +80,7 @@ int run(int argc, char** argv) {
       std::cout, bench::average_over_seeds(per_seed, target), target);
   std::cout << "\n# final summary (dataset\tmethod\tavg\tworst\tvariance)\n";
   bench::print_final_summary(std::cout, "Fashion-MNIST-like", runs);
-  std::cerr << "[bench_fig4_nonconvex] done in " << sw.seconds() << " s\n";
+  log::info() << "[bench_fig4_nonconvex] done in " << sw.seconds() << " s";
   return 0;
 }
 
@@ -89,7 +90,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    hm::log::error() << "error: " << e.what();
     return 1;
   }
 }

@@ -12,6 +12,7 @@
 
 #include "algo/hierminimax_multi.hpp"
 #include "bench_common.hpp"
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 
 namespace {
@@ -72,7 +73,7 @@ int run(int argc, char** argv) {
               << std::defaultfloat << result.comm.levels[0].rounds << '\t'
               << deeper << '\n';
   }
-  std::cerr << "[bench_multilevel] done in " << sw.seconds() << " s\n";
+  log::info() << "[bench_multilevel] done in " << sw.seconds() << " s";
   return 0;
 }
 
@@ -82,7 +83,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    hm::log::error() << "error: " << e.what();
     return 1;
   }
 }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 
 namespace {
@@ -61,7 +62,7 @@ int run(int argc, char** argv) {
                 << '\n';
     }
   }
-  std::cerr << "[bench_quantization] done in " << sw.seconds() << " s\n";
+  log::info() << "[bench_quantization] done in " << sw.seconds() << " s";
   return 0;
 }
 
@@ -71,7 +72,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    hm::log::error() << "error: " << e.what();
     return 1;
   }
 }

@@ -7,12 +7,18 @@
 // rows are those benches' default surrogate dims, the `paper` rows the
 // paper's §6 dims (784-dim inputs, 300/100 MLP) with a reduced sample
 // count so dataset generation stays out of the measured region.
+// The `trace` arg measures the observability overhead ladder (DESIGN.md
+// §15): trace=0 is the compiled-in-idle arm (hooks present, tracer
+// disarmed — the ≤1% budget row), trace=1 runs with the span tracer
+// armed. The compiled-out arm is the same bench from a -DHM_OBS=OFF
+// build tree.
 #include <benchmark/benchmark.h>
 
 #include "algo/hierminimax.hpp"
 #include "bench_common.hpp"
 #include "nn/mlp.hpp"
 #include "nn/softmax_regression.hpp"
+#include "obs/obs.hpp"
 #include "sim/topology.hpp"
 
 namespace {
@@ -20,6 +26,17 @@ namespace {
 using namespace hm;
 
 constexpr index_t kRoundsPerIter = 4;
+
+/// Arms the tracer for one benchmark run when `traced`; always disarms
+/// on scope exit so arms never leak between registrations.
+struct TraceArm {
+  explicit TraceArm(bool traced) {
+    if (!traced) return;
+    obs::set_trace_capacity(1 << 16);
+    obs::set_trace_enabled(true);
+  }
+  ~TraceArm() { obs::set_trace_enabled(false); }
+};
 
 algo::TrainOptions fig3_opts(seed_t seed) {
   algo::TrainOptions opts;
@@ -59,6 +76,7 @@ void BM_Fig3Round(benchmark::State& state) {
   const nn::SoftmaxRegression model(fed.dim(), fed.num_classes());
   algo::TrainOptions opts = fig3_opts(1);
   opts.batched = state.range(1) != 0;
+  const TraceArm arm(state.range(2) != 0);
   for (auto _ : state) {
     auto result = algo::train_hierminimax(model, fed, topo, opts);
     benchmark::DoNotOptimize(result.w.data());
@@ -67,8 +85,9 @@ void BM_Fig3Round(benchmark::State& state) {
                           kRoundsPerIter);
 }
 BENCHMARK(BM_Fig3Round)
-    ->Args({64, 0})->Args({64, 1})->Args({784, 0})->Args({784, 1})
-    ->ArgNames({"dim", "batched"})
+    ->Args({64, 0, 0})->Args({64, 1, 0})->Args({784, 0, 0})
+    ->Args({784, 1, 0})->Args({64, 1, 1})->Args({784, 1, 1})
+    ->ArgNames({"dim", "batched", "trace"})
     ->Unit(benchmark::kMillisecond);
 
 void BM_Fig4Round(benchmark::State& state) {
@@ -85,6 +104,7 @@ void BM_Fig4Round(benchmark::State& state) {
                             : nn::Mlp({dim, 48, 24, fed.num_classes()});
   algo::TrainOptions opts = fig4_opts(2);
   opts.batched = state.range(1) != 0;
+  const TraceArm arm(state.range(2) != 0);
   for (auto _ : state) {
     auto result = algo::train_hierminimax(model, fed, topo, opts);
     benchmark::DoNotOptimize(result.w.data());
@@ -93,8 +113,9 @@ void BM_Fig4Round(benchmark::State& state) {
                           kRoundsPerIter);
 }
 BENCHMARK(BM_Fig4Round)
-    ->Args({32, 0})->Args({32, 1})->Args({784, 0})->Args({784, 1})
-    ->ArgNames({"dim", "batched"})
+    ->Args({32, 0, 0})->Args({32, 1, 0})->Args({784, 0, 0})
+    ->Args({784, 1, 0})->Args({32, 1, 1})->Args({784, 1, 1})
+    ->ArgNames({"dim", "batched", "trace"})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "algo/duality_gap.hpp"
 #include "algo/theory.hpp"
 #include "bench_common.hpp"
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 
 namespace {
@@ -117,7 +118,7 @@ int run(int argc, char** argv) {
               << std::setprecision(4) << s.worst << '\t' << s.average
               << '\t' << gap.gap << std::defaultfloat << '\n';
   }
-  std::cerr << "[bench_table1_tradeoff] done in " << sw.seconds() << " s\n";
+  log::info() << "[bench_table1_tradeoff] done in " << sw.seconds() << " s";
   return 0;
 }
 
@@ -127,7 +128,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    hm::log::error() << "error: " << e.what();
     return 1;
   }
 }

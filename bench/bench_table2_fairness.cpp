@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "core/log.hpp"
 #include "core/stopwatch.hpp"
 #include "metrics/evaluation.hpp"
 
@@ -95,8 +96,8 @@ int run(int argc, char** argv) {
     const auto favg = algo::train_hierfavg(model, fed, topo, opts);
     const auto mm = algo::train_hierminimax(model, fed, topo, opts);
     append_rows(rows, bench::family_name(family), favg, mm, 1.0);
-    std::cerr << "[table2] " << bench::family_name(family) << " done at "
-              << sw.seconds() << " s\n";
+    log::info() << "[table2] " << bench::family_name(family) << " done at "
+                << sw.seconds() << " s";
   }
 
   // --- Adult-like: 2 edges (groups), eta_p reduced as in the paper.
@@ -114,7 +115,7 @@ int run(int argc, char** argv) {
     const auto favg = algo::train_hierfavg(model, fed, topo, adult_opts);
     const auto mm = algo::train_hierminimax(model, fed, topo, adult_opts);
     append_rows(rows, "Adult-like", favg, mm, 1.0);
-    std::cerr << "[table2] Adult-like done at " << sw.seconds() << " s\n";
+    log::info() << "[table2] Adult-like done at " << sw.seconds() << " s";
   }
 
   // --- Li-Synthetic(1,1): 100 edge areas, worst-10% metric.
@@ -134,7 +135,7 @@ int run(int argc, char** argv) {
     const auto favg = algo::train_hierfavg(model, fed, topo, li_opts);
     const auto mm = algo::train_hierminimax(model, fed, topo, li_opts);
     append_rows(rows, "Synthetic(1,1)", favg, mm, 0.10);
-    std::cerr << "[table2] Synthetic done at " << sw.seconds() << " s\n";
+    log::info() << "[table2] Synthetic done at " << sw.seconds() << " s";
   }
 
   std::cout << "# Table 2: comparison of HierFAVG and HierMinimax\n"
@@ -145,7 +146,7 @@ int run(int argc, char** argv) {
     std::cout << row.dataset << '\t' << row.method << '\t' << row.average
               << '\t' << row.worst << '\t' << row.variance << '\n';
   }
-  std::cerr << "[bench_table2_fairness] done in " << sw.seconds() << " s\n";
+  log::info() << "[bench_table2_fairness] done in " << sw.seconds() << " s";
   return 0;
 }
 
@@ -155,7 +156,7 @@ int main(int argc, char** argv) {
   try {
     return run(argc, argv);
   } catch (const std::exception& e) {
-    std::cerr << "error: " << e.what() << '\n';
+    hm::log::error() << "error: " << e.what();
     return 1;
   }
 }

@@ -34,10 +34,18 @@
 // forks 4 edge-worker processes that talk to the coordinator over
 // Unix-domain sockets; the run is bit-identical to the in-process one,
 // and a SIGKILLed worker degrades like a crashed edge (--on-fault).
+//
+// Observability (see src/algo/obs_config.hpp and DESIGN.md §15):
+//   ./quickstart --obs --trace-out trace.json --metrics-out metrics.json
+// records round/phase/RPC spans and exports them as a Chrome trace
+// (chrome://tracing or https://ui.perfetto.dev) plus a metrics snapshot;
+// neither changes the trajectory — the run stays bit-identical.
+// --log-level debug (or HM_LOG_LEVEL=debug) raises diagnostic verbosity.
 #include <iostream>
 
 #include "algo/fault_config.hpp"
 #include "algo/hierminimax.hpp"
+#include "algo/obs_config.hpp"
 #include "algo/snapshot_config.hpp"
 #include "algo/transport_config.hpp"
 #include "io/checkpoint.hpp"
@@ -94,6 +102,11 @@ int main(int argc, char** argv) {
   // Optional multi-process backend: --transport socket --workers N runs
   // the edge phases in forked worker processes, bit-identical to inproc.
   algo::apply_transport_flags(flags, opts);
+
+  // Optional observability: --obs/--trace-out/--metrics-out record spans
+  // and metrics without perturbing the trajectory; --log-level (or
+  // HM_LOG_LEVEL) tunes diagnostic verbosity.
+  const algo::ObsOptions obs_opts = algo::apply_obs_flags(flags);
   if (opts.transport.kind != net::TransportKind::kInproc) {
     std::cout << "transport: " << net::to_string(opts.transport.kind)
               << " (workers=" << opts.transport.workers << ")\n";
@@ -106,6 +119,7 @@ int main(int argc, char** argv) {
 
   // 5. Train and report.
   const auto result = algo::train_hierminimax(model, fed, topo, opts);
+  algo::finish_obs_run(obs_opts, algo::build_run_manifest(flags, opts));
 
   std::cout << "round\tcomm_rounds\tavg_acc\tworst_acc\n";
   for (const auto& r : result.history.records()) {

@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""Validate observability exports against the checked-in JSON schemas.
+
+Usage:
+  scripts/validate_obs.py --metrics metrics.json [--trace trace.json]
+                          [--trace-format chrome|jsonl] [--reconcile]
+
+Checks
+  * --metrics FILE  validates against tools/schemas/metrics.schema.json
+  * --trace FILE    validates against tools/schemas/trace.schema.json
+                    (chrome, the default) or trace_jsonl.schema.json
+                    (one schema application per line)
+  * --reconcile     cross-checks the metrics snapshot against the
+                    LinkFaultStats invariant (src/sim/comm.hpp):
+                        attempted == delivered + dropped + in_retry
+                    for both hierarchy links, and — when a trace is
+                    given too — that every span category in the trace
+                    is one the schema knows.
+  * --expect-span NAME (repeatable) asserts the trace contains at
+                    least one span with that exact name.
+
+No third-party dependencies: the validator implements exactly the
+JSON-Schema subset the two schemas use (type, const, enum, required,
+properties, additionalProperties, items, pattern, minimum, oneOf).
+Exit code 0 = all good, 1 = validation failure, 2 = usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCHEMA_DIR = REPO_ROOT / "tools" / "schemas"
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+}
+
+
+def _type_ok(value: Any, name: str) -> bool:
+    if name == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if name == "null":
+        return value is None
+    return isinstance(value, _TYPES[name])
+
+
+def validate(value: Any, schema: dict, path: str, errors: List[str]) -> None:
+    """Appends one message per violation; descends only into values that
+    satisfy their structural keyword, so a wrong type yields one error,
+    not a cascade."""
+    if "oneOf" in schema:
+        branches = schema["oneOf"]
+        failures: List[List[str]] = []
+        for branch in branches:
+            sub: List[str] = []
+            validate(value, branch, path, sub)
+            if not sub:
+                return
+            failures.append(sub)
+        errors.append(f"{path}: matched none of the {len(branches)} oneOf "
+                      f"branches (closest: {min(failures, key=len)[0]})")
+        return
+    if "const" in schema:
+        if value != schema["const"]:
+            errors.append(f"{path}: expected {schema['const']!r}, "
+                          f"got {value!r}")
+        return
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not in {schema['enum']}")
+        return
+    if "type" in schema:
+        names = schema["type"]
+        names = [names] if isinstance(names, str) else names
+        if not any(_type_ok(value, n) for n in names):
+            errors.append(f"{path}: expected {'/'.join(names)}, "
+                          f"got {type(value).__name__}")
+            return
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                errors.append(f"{path}: missing required key '{key}'")
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in props:
+                validate(item, props[key], f"{path}.{key}", errors)
+            elif extra is False:
+                errors.append(f"{path}: unexpected key '{key}'")
+            elif isinstance(extra, dict):
+                validate(item, extra, f"{path}.{key}", errors)
+    elif isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(item, schema["items"], f"{path}[{i}]", errors)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+    if isinstance(value, str) and "pattern" in schema:
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match "
+                          f"{schema['pattern']!r}")
+
+
+def _load(path: Path) -> Any:
+    try:
+        with path.open(encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"error: cannot load {path}: {e}")
+
+
+def _metric_map(metrics_doc: dict) -> dict:
+    return {m["name"]: m["value"] for m in metrics_doc.get("metrics", [])}
+
+
+def check_reconcile(metrics_doc: dict, errors: List[str]) -> None:
+    """LinkFaultStats invariant, per hierarchy link (src/sim/comm.hpp):
+    attempted == delivered + dropped + in_retry. The sim.comm.*_fault
+    gauges are published verbatim from the final CommStats, so any slack
+    here means the obs export and the simulator's own accounting have
+    diverged."""
+    values = _metric_map(metrics_doc)
+    for link in ("client_edge", "edge_cloud"):
+        prefix = f"sim.comm.{link}_fault."
+        parts = {f: values.get(prefix + f)
+                 for f in ("attempted", "delivered", "dropped", "in_retry")}
+        missing = [prefix + f for f, v in parts.items() if v is None]
+        if missing:
+            errors.append(f"reconcile: metrics missing {missing}")
+            continue
+        lhs = parts["attempted"]
+        rhs = parts["delivered"] + parts["dropped"] + parts["in_retry"]
+        if lhs != rhs:
+            errors.append(
+                f"reconcile: {prefix}attempted={lhs} != delivered+dropped+"
+                f"in_retry={rhs}")
+
+
+def _trace_span_names(trace_doc: Any, fmt: str) -> List[str]:
+    if fmt == "chrome":
+        return [e["name"] for e in trace_doc.get("traceEvents", [])
+                if isinstance(e, dict) and "name" in e]
+    return [line["name"] for line in trace_doc
+            if isinstance(line, dict) and line.get("type") == "span"]
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--metrics", type=Path, help="metrics snapshot JSON")
+    ap.add_argument("--trace", type=Path, help="trace export")
+    ap.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                    default="chrome")
+    ap.add_argument("--reconcile", action="store_true",
+                    help="check the LinkFaultStats delivery invariant")
+    ap.add_argument("--expect-span", action="append", default=[],
+                    metavar="NAME",
+                    help="require at least one span with this name")
+    args = ap.parse_args()
+    if args.metrics is None and args.trace is None:
+        ap.error("nothing to validate: pass --metrics and/or --trace")
+    if args.reconcile and args.metrics is None:
+        ap.error("--reconcile needs --metrics")
+    if args.expect_span and args.trace is None:
+        ap.error("--expect-span needs --trace")
+
+    errors: List[str] = []
+    metrics_doc = None
+    if args.metrics is not None:
+        schema = _load(SCHEMA_DIR / "metrics.schema.json")
+        metrics_doc = _load(args.metrics)
+        validate(metrics_doc, schema, "$", errors)
+        print(f"metrics: {args.metrics} — "
+              f"{len(metrics_doc.get('metrics', []))} metrics"
+              if isinstance(metrics_doc, dict) else "metrics: not an object")
+
+    trace_doc: Any = None
+    if args.trace is not None:
+        if args.trace_format == "chrome":
+            schema = _load(SCHEMA_DIR / "trace.schema.json")
+            trace_doc = _load(args.trace)
+            validate(trace_doc, schema, "$", errors)
+            n = len(trace_doc.get("traceEvents", [])) \
+                if isinstance(trace_doc, dict) else 0
+        else:
+            schema = _load(SCHEMA_DIR / "trace_jsonl.schema.json")
+            trace_doc = []
+            with args.trace.open(encoding="utf-8") as fh:
+                for lineno, raw in enumerate(fh, start=1):
+                    if not raw.strip():
+                        continue
+                    try:
+                        line = json.loads(raw)
+                    except json.JSONDecodeError as e:
+                        errors.append(f"line {lineno}: not JSON: {e}")
+                        continue
+                    validate(line, schema, f"line {lineno}", errors)
+                    trace_doc.append(line)
+            n = sum(1 for d in trace_doc
+                    if isinstance(d, dict) and d.get("type") == "span")
+        print(f"trace: {args.trace} — {n} spans ({args.trace_format})")
+
+    if args.reconcile and isinstance(metrics_doc, dict):
+        check_reconcile(metrics_doc, errors)
+
+    if args.expect_span:
+        names = set(_trace_span_names(trace_doc, args.trace_format))
+        for want in args.expect_span:
+            if want not in names:
+                errors.append(f"trace: no span named '{want}' "
+                              f"(saw: {sorted(names)})")
+
+    for e in errors:
+        print(f"FAIL {e}", file=sys.stderr)
+    if errors:
+        print(f"validate_obs: {len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print("validate_obs: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,6 +4,7 @@
 #include "sim/quantize.hpp"
 #include "algo/trainer_common.hpp"
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tensor/vecops.hpp"
 
@@ -92,6 +93,8 @@ TrainResult train_drfa(const nn::Model& model,
   }
 
   for (index_t k = k0; k < opts.rounds; ++k) {
+    HM_OBS_SPAN("drfa.round", "algo", k, 0);
+    HM_OBS_INC("algo.drfa.rounds");
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
 
     // --- Phase 1: sample m clients ~ q (with replacement), local SGD

@@ -4,6 +4,7 @@
 #include "sim/quantize.hpp"
 #include "algo/trainer_common.hpp"
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tensor/vecops.hpp"
 
@@ -62,6 +63,8 @@ TrainResult train_fedavg(const nn::Model& model,
   }
 
   for (index_t k = k0; k < opts.rounds; ++k) {
+    HM_OBS_SPAN("fedavg.round", "algo", k, 0);
+    HM_OBS_INC("algo.fedavg.rounds");
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
     rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
     const auto clients =

@@ -3,6 +3,7 @@
 #include "algo/edge_channel.hpp"
 #include "algo/trainer_common.hpp"
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/liveness.hpp"
 #include "sim/quantize.hpp"
@@ -116,6 +117,8 @@ TrainResult train_hierminimax(const nn::Model& model,
   }
 
   for (index_t k = k0; k < opts.rounds; ++k) {
+    HM_OBS_SPAN("hierminimax.round", "algo", k, 0);
+    HM_OBS_INC("algo.hierminimax.rounds");
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
 
     // --- Phase 1: sample edges by p^(k) and the checkpoint index.
@@ -135,8 +138,11 @@ TrainResult train_hierminimax(const nn::Model& model,
     // Seed + local SGD + client-edge aggregation for every participating
     // edge, wherever that edge's compute lives. A worker process that
     // died marks its edges in `live`.
-    channel->phase1(k, c1, c2, parts.ids, result.w, edge_w, edge_ckpt,
-                    edge_has_ckpt, live);
+    {
+      HM_OBS_SPAN("hierminimax.phase1", "algo", k, parts.ids.size());
+      channel->phase1(k, c1, c2, parts.ids, result.w, edge_w, edge_ckpt,
+                      edge_has_ckpt, live);
+    }
 
     // An edge is down when the plan says so (simulated crash) or its
     // worker process actually died — both take the same degraded paths.
@@ -256,6 +262,7 @@ TrainResult train_hierminimax(const nn::Model& model,
     // reports at all) also skips the ascent: there is no fresh checkpoint
     // to estimate losses at, so the round leaves (w, p) untouched.
     if (aggregated) {
+      HM_OBS_SPAN("hierminimax.phase2", "algo", k, 0);
       rng::Xoshiro256 uniform_gen = round_gen.split(detail::kTagSampleUniform);
       const auto losses_set =
           rng::sample_without_replacement(num_edges, m_e, uniform_gen);

@@ -5,6 +5,7 @@
 #include "algo/local_sgd.hpp"
 #include "algo/trainer_common.hpp"
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "tensor/vecops.hpp"
 
@@ -322,6 +323,8 @@ MultiTrainResult train_hierminimax_multi(const nn::Model& model,
   }
 
   for (index_t k = k0; k < opts.rounds; ++k) {
+    HM_OBS_SPAN("hierminimax_multi.round", "algo", k, 0);
+    HM_OBS_INC("algo.hierminimax_multi.rounds");
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
 
     // --- Phase 1.
@@ -625,6 +628,8 @@ MultiTrainResult train_hierfavg_multi(const nn::Model& model,
   }
 
   for (index_t k = k0; k < opts.rounds; ++k) {
+    HM_OBS_SPAN("hierfavg_multi.round", "algo", k, 0);
+    HM_OBS_INC("algo.hierfavg_multi.rounds");
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
     rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
     const auto areas =

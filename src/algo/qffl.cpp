@@ -5,6 +5,7 @@
 #include "algo/local_sgd.hpp"
 #include "algo/trainer_common.hpp"
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/quantize.hpp"
 #include "tensor/vecops.hpp"
@@ -61,6 +62,8 @@ TrainResult train_qffl(const nn::Model& model,
   }
 
   for (index_t k = k0; k < opts.rounds; ++k) {
+    HM_OBS_SPAN("qffl.round", "algo", k, 0);
+    HM_OBS_INC("algo.qffl.rounds");
     rng::Xoshiro256 round_gen = root.split(static_cast<std::uint64_t>(k) + 1);
     rng::Xoshiro256 sample_gen = round_gen.split(detail::kTagSampleEdges);
     const auto clients =

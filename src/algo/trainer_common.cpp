@@ -7,6 +7,7 @@
 
 #include "core/check.hpp"
 #include "core/log.hpp"
+#include "obs/obs.hpp"
 #include "tensor/vecops.hpp"
 
 namespace hm::algo::detail {
@@ -346,11 +347,47 @@ std::vector<scalar_t> uniform_weights(index_t n) {
                                scalar_t{1} / static_cast<scalar_t>(n));
 }
 
+void publish_comm_metrics(const sim::CommStats& comm) {
+#if HM_OBS_ENABLED
+  auto& reg = obs::registry();
+  const auto set = [&reg](const char* name, std::uint64_t v) {
+    reg.gauge(name).set(static_cast<std::int64_t>(v));
+  };
+  set("sim.comm.client_edge.rounds", comm.client_edge_rounds);
+  set("sim.comm.client_edge.models_up", comm.client_edge_models_up);
+  set("sim.comm.client_edge.models_down", comm.client_edge_models_down);
+  set("sim.comm.client_edge.scalars", comm.client_edge_scalars);
+  set("sim.comm.client_edge.bytes", comm.client_edge_bytes);
+  set("sim.comm.edge_cloud.rounds", comm.edge_cloud_rounds);
+  set("sim.comm.edge_cloud.models_up", comm.edge_cloud_models_up);
+  set("sim.comm.edge_cloud.models_down", comm.edge_cloud_models_down);
+  set("sim.comm.edge_cloud.scalars", comm.edge_cloud_scalars);
+  set("sim.comm.edge_cloud.bytes", comm.edge_cloud_bytes);
+  const auto set_fault = [&set](const char* prefix,
+                                const sim::LinkFaultStats& f) {
+    const std::string p(prefix);
+    // Names outlive the run: the registry stores std::string keys.
+    struct Field { const char* name; std::uint64_t value; };
+    const Field fields[] = {{".attempted", f.attempted},
+                            {".delivered", f.delivered},
+                            {".dropped", f.dropped},
+                            {".in_retry", f.in_retry},
+                            {".straggled", f.straggled}};
+    for (const Field& fld : fields) set((p + fld.name).c_str(), fld.value);
+  };
+  set_fault("sim.comm.client_edge_fault", comm.client_edge_fault);
+  set_fault("sim.comm.edge_cloud_fault", comm.edge_cloud_fault);
+#else
+  (void)comm;
+#endif
+}
+
 void maybe_record(const nn::Model& model, const data::FederatedDataset& fed,
                   parallel::ThreadPool& pool, index_t round,
                   index_t total_rounds, index_t eval_every,
                   const std::vector<scalar_t>& w, const sim::CommStats& comm,
                   metrics::TrainingHistory& history) {
+  publish_comm_metrics(comm);
   const bool final_round = round == total_rounds;
   const bool due = eval_every > 0 && round % eval_every == 0;
   if (!final_round && !due) return;

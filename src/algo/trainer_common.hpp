@@ -156,11 +156,20 @@ std::vector<scalar_t> uniform_weights(index_t n);
 
 /// Append a RoundRecord (per-edge accuracy + uniform-weight loss) when
 /// the cadence says this round is due (always due at the final round).
+/// Also mirrors the cumulative CommStats into the obs registry (see
+/// publish_comm_metrics), so a metrics snapshot taken after training
+/// reconciles exactly with TrainResult::comm.
 void maybe_record(const nn::Model& model, const data::FederatedDataset& fed,
                   parallel::ThreadPool& pool, index_t round,
                   index_t total_rounds, index_t eval_every,
                   const std::vector<scalar_t>& w, const sim::CommStats& comm,
                   metrics::TrainingHistory& history);
+
+/// Mirror the cumulative CommStats (including both LinkFaultStats) into
+/// absolute obs gauges under "sim.comm.*". Value channel: CommStats is a
+/// pure function of (seed, config) by the determinism contract, and the
+/// gauges inherit that. No-op when obs hooks are compiled out.
+void publish_comm_metrics(const sim::CommStats& comm);
 
 // ——— Crash-safe snapshot plumbing (io/snapshot.hpp) ———
 //

@@ -54,7 +54,9 @@ inline std::string check_message(const char* kind, const char* expr,
 [[noreturn]] inline void assert_failed(const char* expr, const char* file,
                                        int line, const std::string& msg) {
   const std::string what = check_message("assert", expr, file, line, msg);
-  std::fprintf(stderr, "hm: %s\n", what.c_str());
+  // The abort path cannot risk re-entering hm::log (it may allocate or
+  // throw); this is the one sanctioned raw stderr write outside core/log.
+  std::fprintf(stderr, "hm: %s\n", what.c_str());  // detlint: allow(stray-stderr)
   std::fflush(stderr);
   std::abort();
 }

@@ -1,7 +1,9 @@
 #include "core/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 
 namespace hm::log {
@@ -27,6 +29,53 @@ Level threshold() { return g_threshold.load(std::memory_order_relaxed); }
 
 void set_threshold(Level level) {
   g_threshold.store(level, std::memory_order_relaxed);
+}
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parse_level(const std::string& name, Level& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") {
+    out = Level::kDebug;
+  } else if (lower == "info") {
+    out = Level::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    out = Level::kWarn;
+  } else if (lower == "error") {
+    out = Level::kError;
+  } else if (lower == "off" || lower == "none") {
+    out = Level::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool apply_env_threshold() {
+  const char* env = std::getenv("HM_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return false;
+  Level level = Level::kInfo;
+  if (!parse_level(env, level)) {
+    warn() << "ignoring invalid HM_LOG_LEVEL='" << env
+           << "' (want debug|info|warn|error|off)";
+    return false;
+  }
+  set_threshold(level);
+  return true;
 }
 
 void write(Level level, const std::string& message) {

@@ -13,6 +13,19 @@ enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 Level threshold();
 void set_threshold(Level level);
 
+/// Canonical lowercase name ("debug", "info", "warn", "error", "off").
+const char* level_name(Level level);
+
+/// Parse a level name (case-insensitive; accepts "warning" for kWarn).
+/// Returns false and leaves `out` untouched on unknown input.
+bool parse_level(const std::string& name, Level& out);
+
+/// Apply the HM_LOG_LEVEL environment variable, if set and valid, as
+/// the threshold. Returns true when a valid value was applied. CLI
+/// flags (--log-level) take precedence — callers apply the env first,
+/// then any explicit flag on top.
+bool apply_env_threshold();
+
 /// Emit one line at `level` (no trailing newline needed).
 void write(Level level, const std::string& message);
 

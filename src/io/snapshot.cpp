@@ -15,6 +15,7 @@
 
 #include "core/check.hpp"
 #include "core/log.hpp"
+#include "obs/obs.hpp"
 
 namespace hm::io {
 
@@ -456,12 +457,15 @@ std::string save_snapshot(const std::string& dir, index_t keep,
 
   const std::vector<std::uint8_t> bytes = snap.serialize();
   atomic_write_file(path, bytes.data(), bytes.size());
+  HM_OBS_INC("io.snapshot.writes");
+  HM_OBS_ADD("io.snapshot.bytes_written", bytes.size());
 
   // Prune: keep the `keep` newest snapshot files, drop older ones and any
   // orphaned temp files from interrupted writes.
   const std::vector<Candidate> all = list_candidates(dir);
   for (std::size_t i = static_cast<std::size_t>(keep); i < all.size(); ++i) {
     fs::remove(all[i].path, ec);
+    HM_OBS_INC("io.snapshot.rotated");
   }
   for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
        it.increment(ec)) {
@@ -472,6 +476,7 @@ std::string save_snapshot(const std::string& dir, index_t keep,
         it->path().string() != path + kTmpSuffix) {
       std::error_code rm_ec;
       fs::remove(it->path(), rm_ec);
+      HM_OBS_INC("io.snapshot.orphans_swept");
     }
   }
   return path;
@@ -521,6 +526,8 @@ std::optional<LoadedSnapshot> load_latest_snapshot(const std::string& dir,
                     << "' after rejecting " << rejected.size()
                     << " newer candidate(s)";
       }
+      HM_OBS_INC("io.snapshot.loads");
+      HM_OBS_ADD("io.snapshot.load_rejected", rejected.size());
       return LoadedSnapshot{std::move(snap), c.path, c.round,
                             std::move(rejected)};
     } catch (const CheckError& e) {

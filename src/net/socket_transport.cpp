@@ -34,11 +34,13 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <exception>
 
 #include "core/check.hpp"
 #include "core/log.hpp"
 #include "net/frame.hpp"
 #include "net/transport.hpp"
+#include "obs/obs.hpp"
 
 namespace hm::net {
 
@@ -47,6 +49,33 @@ namespace {
 MonoClock::time_point deadline_in_ms(index_t ms) {
   return MonoClock::now() + std::chrono::milliseconds(ms);
 }
+
+// Manual RPC-attempt spans: an attempt opens at post() and resolves in a
+// later poll iteration (reply, lane death, or deadline), so RAII cannot
+// scope it. Everything here is timing channel — attempts, retries, and
+// their durations exist only because of real-wire behavior.
+#if HM_OBS_ENABLED
+std::uint64_t attempt_clock() {
+  return obs::trace_enabled() ? obs::trace_now_ns() : 0;
+}
+
+void record_attempt(std::uint64_t start_ns, index_t lane,
+                    std::uint64_t tag) {
+  if (start_ns == 0 || !obs::trace_enabled()) return;
+  obs::SpanRecord r;
+  r.name = "rpc_attempt";
+  r.cat = "net";
+  r.a0 = static_cast<std::uint64_t>(lane);
+  r.a1 = tag;
+  r.channel = static_cast<std::uint8_t>(obs::Channel::kTiming);
+  r.start_ns = start_ns;
+  r.end_ns = obs::trace_now_ns();
+  obs::trace_record(r);
+}
+#else
+std::uint64_t attempt_clock() { return 0; }
+void record_attempt(std::uint64_t, index_t, std::uint64_t) {}
+#endif
 
 /// Child-side request loop. Runs until the coordinator closes the
 /// socket, sends a shutdown frame, or the stream breaks. The injected
@@ -124,7 +153,16 @@ class SocketTransport final : public Transport {
         try {
           const Handler handler = factory(lane);
           serve_worker(sv[1], lane, handler, spec_.kill);
+        } catch (const std::exception& e) {
+          // Diagnose through the leveled logger (stderr is shared with
+          // the coordinator); the nonzero exit is what the coordinator
+          // acts on.
+          log::error() << "net: worker lane " << lane
+                       << " died on unhandled exception: " << e.what();
+          status = 1;
         } catch (...) {
+          log::error() << "net: worker lane " << lane
+                       << " died on unhandled non-standard exception";
           status = 1;
         }
         ::close(sv[1]);
@@ -152,6 +190,8 @@ class SocketTransport final : public Transport {
   std::vector<std::optional<Bytes>> exchange(
       const std::vector<std::optional<RpcRequest>>& requests) override {
     HM_CHECK(static_cast<index_t>(requests.size()) == lanes());
+    HM_OBS_SPAN_T("exchange", "net", requests.size(), 0);
+    HM_OBS_INC_T("net.socket.exchanges");
     reap_exited();
     std::vector<std::optional<Bytes>> replies(requests.size());
 
@@ -161,6 +201,7 @@ class SocketTransport final : public Transport {
       std::uint64_t seq = 0;
       index_t attempts = 0;  // retransmissions used so far
       MonoClock::time_point deadline;
+      std::uint64_t obs_start_ns = 0;  // attempt span origin (0 = idle)
       bool done = false;
     };
     std::vector<Pending> pending;
@@ -172,7 +213,11 @@ class SocketTransport final : public Transport {
       p.lane = lane;
       p.req = &*requests[i];
       p.deadline = deadline_in_ms(spec_.rpc_timeout_ms);
-      if (!post(lane, *p.req, p.seq, p.deadline)) continue;
+      p.obs_start_ns = attempt_clock();
+      if (!post(lane, *p.req, p.seq, p.deadline)) {
+        record_attempt(p.obs_start_ns, lane, p.req->tag);
+        continue;
+      }
       pending.push_back(p);
     }
 
@@ -213,20 +258,27 @@ class SocketTransport final : public Transport {
         if (p.done) continue;
         if ((pfds[j].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
           if (drain_reply(p, replies)) {
-            if (p.done) --open;
+            if (p.done) {
+              record_attempt(p.obs_start_ns, p.lane, p.req->tag);
+              --open;
+            }
             continue;
           }
         }
         if (MonoClock::now() >= p.deadline) {
+          record_attempt(p.obs_start_ns, p.lane, p.req->tag);
           if (p.attempts < spec_.rpc_retries) {
             // Retransmit under a fresh seq; the deadline grows by the
             // deterministic exponential backoff term.
             p.attempts += 1;
             stats_.retries += 1;
+            HM_OBS_INC_T("net.socket.retries");
             p.deadline = deadline_in_ms(
                 spec_.rpc_timeout_ms +
                 (spec_.rpc_backoff_ms << (p.attempts - 1)));
+            p.obs_start_ns = attempt_clock();
             if (!post(p.lane, *p.req, p.seq, p.deadline)) {
+              record_attempt(p.obs_start_ns, p.lane, p.req->tag);
               p.done = true;
               --open;
             }
@@ -235,6 +287,7 @@ class SocketTransport final : public Transport {
                         << " exhausted its retry budget (tag " << p.req->tag
                         << "); killing the hung worker";
             stats_.timeouts += 1;
+            HM_OBS_INC_T("net.socket.timeouts");
             demote(p.lane);
             p.done = true;
             --open;
@@ -253,6 +306,7 @@ class SocketTransport final : public Transport {
       Frame ping;
       ping.type = FrameType::kPing;
       ping.seq = ++seq_counter_;
+      HM_OBS_INC_T("net.socket.heartbeats");
       const auto deadline = deadline_in_ms(spec_.rpc_timeout_ms);
       if (send_frame(ln.fd, ping, deadline) != FrameError::kOk) {
         demote(lane);
@@ -366,6 +420,7 @@ class SocketTransport final : public Transport {
     if (ln.up) {
       ln.up = false;
       stats_.worker_deaths += 1;
+      HM_OBS_INC_T("net.socket.worker_deaths");
     }
   }
 
@@ -378,6 +433,7 @@ class SocketTransport final : public Transport {
     f.seq = seq = ++seq_counter_;
     f.tag = req.tag;
     f.payload = req.payload;
+    HM_OBS_INC_T("net.socket.rpc_attempts");
     const FrameError err = send_frame(ln.fd, f, deadline);
     if (err != FrameError::kOk) {
       log::warn() << "net: request to worker lane " << lane << " failed ("
@@ -387,6 +443,9 @@ class SocketTransport final : public Transport {
     }
     stats_.frames_sent += 1;
     stats_.bytes_sent += kFrameHeaderBytes + f.payload.size();
+    HM_OBS_INC_T("net.socket.frames_sent");
+    HM_OBS_ADD_T("net.socket.bytes_sent",
+                 kFrameHeaderBytes + f.payload.size());
     return true;
   }
 
@@ -412,10 +471,14 @@ class SocketTransport final : public Transport {
     }
     stats_.frames_received += 1;
     stats_.bytes_received += kFrameHeaderBytes + f.payload.size();
+    HM_OBS_INC_T("net.socket.frames_received");
+    HM_OBS_ADD_T("net.socket.bytes_received",
+                 kFrameHeaderBytes + f.payload.size());
     if (f.type == FrameType::kReply && f.seq == want_seq) {
       out = std::move(f.payload);
       return true;
     }
+    HM_OBS_INC_T("net.socket.stale_frames");
     return false;  // stale reply or pong: discarded
   }
 

@@ -2,6 +2,7 @@
 
 #include "core/check.hpp"
 #include "net/frame.hpp"
+#include "obs/obs.hpp"
 
 namespace hm::net {
 
@@ -51,6 +52,8 @@ class LoopbackTransport final : public Transport {
   std::vector<std::optional<Bytes>> exchange(
       const std::vector<std::optional<RpcRequest>>& requests) override {
     HM_CHECK(static_cast<index_t>(requests.size()) == lanes());
+    HM_OBS_SPAN("exchange", "net", requests.size(), 0);
+    HM_OBS_INC("net.exchanges");
     std::vector<std::optional<Bytes>> replies(requests.size());
     for (std::size_t lane = 0; lane < requests.size(); ++lane) {
       if (!requests[lane].has_value()) continue;
@@ -62,6 +65,8 @@ class LoopbackTransport final : public Transport {
       const std::vector<std::uint8_t> wire = encode_frame(req);
       stats_.frames_sent += 1;
       stats_.bytes_sent += wire.size();
+      HM_OBS_INC("net.frames_sent");
+      HM_OBS_ADD("net.bytes_sent", wire.size());
       Frame delivered;
       std::string detail;
       const FrameError err =
@@ -82,6 +87,8 @@ class LoopbackTransport final : public Transport {
                    "loopback reply failed to round-trip: " << detail);
       stats_.frames_received += 1;
       stats_.bytes_received += rep_wire.size();
+      HM_OBS_INC("net.frames_received");
+      HM_OBS_ADD("net.bytes_received", rep_wire.size());
       replies[lane] = std::move(rep_delivered.payload);
     }
     return replies;

@@ -1,0 +1,75 @@
+#include "obs/manifest.hpp"
+
+#include "obs/build_info.hpp"
+
+namespace hm::obs {
+
+void Manifest::set(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : entries) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  entries.emplace_back(key, value);
+}
+
+const std::string* Manifest::find(const std::string& key) const {
+  for (const auto& [k, v] : entries) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Manifest::render_json() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : entries) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    append_escaped(out, k);
+    out += "\":\"";
+    append_escaped(out, v);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+Manifest make_base_manifest() {
+  Manifest m;
+  m.set("schema", "hm.obs/1");
+  m.set("git", kGitDescribe);
+  m.set("build_type", kBuildType);
+#ifdef NDEBUG
+  m.set("assertions", "off");
+#else
+  m.set("assertions", "on");
+#endif
+#if HM_OBS_ENABLED
+  m.set("obs_hooks", "compiled-in");
+#else
+  m.set("obs_hooks", "compiled-out");
+#endif
+  return m;
+}
+
+}  // namespace hm::obs

@@ -1,0 +1,287 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace hm::obs {
+
+const char* to_string(Channel channel) {
+  return channel == Channel::kTiming ? "timing" : "value";
+}
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  HM_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                   std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                       bounds_.end(),
+               "histogram bounds must be strictly increasing");
+}
+
+void Histogram::record(std::uint64_t v) {
+  // First bucket whose bound is >= v; everything past the last finite
+  // bound lands in the overflow bucket.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> pow2_bounds() {
+  std::vector<std::uint64_t> b;
+  for (std::uint64_t v = 1; v <= (std::uint64_t{1} << 20); v <<= 1) {
+    b.push_back(v);
+  }
+  return b;
+}
+
+// ——— Registry ———
+
+struct Registry::Entry {
+  std::string name;
+  MetricKind kind;
+  Channel channel;
+  Counter counter;
+  Gauge gauge;
+  Histogram histogram;
+
+  Entry(std::string n, MetricKind k, Channel c,
+        std::vector<std::uint64_t> bounds)
+      : name(std::move(n)), kind(k), channel(c),
+        histogram(std::move(bounds)) {}
+};
+
+Registry::~Registry() {
+  for (Entry* e : entries_) delete e;
+}
+
+Registry::Entry& Registry::find_or_create(
+    const std::string& name, MetricKind kind, Channel channel,
+    std::vector<std::uint64_t>* bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Entry* e : entries_) {
+    if (e->name == name) {
+      HM_CHECK_MSG(e->kind == kind,
+                   "metric '" << name << "' registered as "
+                              << to_string(e->kind) << ", requested as "
+                              << to_string(kind));
+      return *e;
+    }
+  }
+  entries_.push_back(new Entry(name, kind, channel,
+                               bounds != nullptr
+                                   ? std::move(*bounds)
+                                   : std::vector<std::uint64_t>{}));
+  return *entries_.back();
+}
+
+Counter& Registry::counter(const std::string& name, Channel channel) {
+  return find_or_create(name, MetricKind::kCounter, channel, nullptr)
+      .counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, Channel channel) {
+  return find_or_create(name, MetricKind::kGauge, channel, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<std::uint64_t> bounds,
+                               Channel channel) {
+  return find_or_create(name, MetricKind::kHistogram, channel, &bounds)
+      .histogram;
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.metrics.reserve(entries_.size());
+    for (const Entry* e : entries_) {
+      MetricValue v;
+      v.name = e->name;
+      v.kind = e->kind;
+      v.channel = e->channel;
+      switch (e->kind) {
+        case MetricKind::kCounter:
+          v.value = static_cast<std::int64_t>(e->counter.value());
+          break;
+        case MetricKind::kGauge:
+          v.value = e->gauge.value();
+          break;
+        case MetricKind::kHistogram: {
+          v.value = static_cast<std::int64_t>(e->histogram.count());
+          v.sum = e->histogram.sum();
+          v.bounds = e->histogram.bounds();
+          v.buckets.reserve(e->histogram.buckets_.size());
+          for (const auto& b : e->histogram.buckets_) {
+            v.buckets.push_back(b.load(std::memory_order_relaxed));
+          }
+          break;
+        }
+      }
+      snap.metrics.push_back(std::move(v));
+    }
+  }
+  // Sorted by name: snapshots are independent of registration order.
+  std::sort(snap.metrics.begin(), snap.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+// ——— Snapshot algebra ———
+
+const MetricValue* MetricsSnapshot::find(const std::string& name) const {
+  for (const MetricValue& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void check_compatible(const MetricValue& a, const MetricValue& b) {
+  HM_CHECK_MSG(a.kind == b.kind && a.bounds == b.bounds,
+               "metric '" << a.name
+                          << "': snapshots disagree on kind or bounds");
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  out.metrics.reserve(metrics.size());
+  for (const MetricValue& m : metrics) {
+    MetricValue d = m;
+    if (const MetricValue* prev = earlier.find(m.name)) {
+      check_compatible(m, *prev);
+      if (m.kind != MetricKind::kGauge) {
+        d.value = m.value - prev->value;
+        d.sum = m.sum - prev->sum;
+        for (std::size_t i = 0; i < d.buckets.size(); ++i) {
+          d.buckets[i] = m.buckets[i] - prev->buckets[i];
+        }
+      }
+    }
+    out.metrics.push_back(std::move(d));
+  }
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::merge(const MetricsSnapshot& other) const {
+  MetricsSnapshot out = *this;
+  for (const MetricValue& m : other.metrics) {
+    bool found = false;
+    for (MetricValue& mine : out.metrics) {
+      if (mine.name != m.name) continue;
+      check_compatible(mine, m);
+      if (mine.kind != MetricKind::kGauge) {
+        mine.value += m.value;
+        mine.sum += m.sum;
+        for (std::size_t i = 0; i < mine.buckets.size(); ++i) {
+          mine.buckets[i] += m.buckets[i];
+        }
+      }
+      found = true;
+      break;
+    }
+    if (!found) out.metrics.push_back(m);
+  }
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+MetricsSnapshot MetricsSnapshot::value_channel() const {
+  MetricsSnapshot out;
+  for (const MetricValue& m : metrics) {
+    if (m.channel == Channel::kValue) out.metrics.push_back(m);
+  }
+  return out;
+}
+
+Registry& registry() {
+  static Registry* instance = new Registry();  // leaked: outlives workers
+  return *instance;
+}
+
+// ——— JSON export ———
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out.push_back(',');
+    out += std::to_string(v[i]);
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+std::string render_metrics_json(const MetricsSnapshot& snapshot,
+                                const std::string& manifest_json) {
+  std::string out;
+  out.reserve(snapshot.metrics.size() * 96 + manifest_json.size() + 128);
+  out += "{\"schema\":\"hm.metrics/1\",\"manifest\":";
+  out += manifest_json.empty() ? "{}" : manifest_json;
+  out += ",\"metrics\":[";
+  bool first = true;
+  for (const MetricValue& m : snapshot.metrics) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n{\"name\":\"";
+    append_escaped(out, m.name);
+    out += "\",\"kind\":\"";
+    out += to_string(m.kind);
+    out += "\",\"channel\":\"";
+    out += to_string(m.channel);
+    out += "\",\"value\":";
+    out += std::to_string(m.value);
+    if (m.kind == MetricKind::kHistogram) {
+      out += ",\"sum\":";
+      out += std::to_string(m.sum);
+      out += ",\"bounds\":";
+      append_u64_array(out, m.bounds);
+      out += ",\"buckets\":";
+      append_u64_array(out, m.buckets);
+    }
+    out.push_back('}');
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace hm::obs

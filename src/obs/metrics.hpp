@@ -1,0 +1,181 @@
+// Metrics registry (DESIGN.md §15): named counters, gauges, and
+// fixed-bucket histograms with lock-free hot-path updates.
+//
+// Determinism contract: a metric lives on one of two channels.
+//  * kValue   — its value must be a pure function of (seed, config):
+//               event counts, payload tallies, delivery accounting.
+//               Value-channel metrics are what the obs-on/obs-off
+//               bit-identity tests and the snapshot reconciliation
+//               checks compare.
+//  * kTiming  — anything the host's scheduler or clock can perturb:
+//               durations, retry/timeout tallies under real transports,
+//               worker-join occupancy. Exports tag the channel so
+//               consumers never diff timing values across runs.
+// Registration order never matters: snapshot() lists metrics sorted by
+// name, so two processes that register the same metric set in any order
+// produce identical snapshots.
+//
+// Instruments are registered once (first call wins; later calls with
+// the same name return the same instrument) and never deallocated, so a
+// cached `Counter&` stays valid for the process lifetime and add() is a
+// single relaxed atomic fetch_add — safe from any thread, including
+// thread-pool workers inside a region.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hm::obs {
+
+enum class Channel : std::uint8_t { kValue = 0, kTiming = 1 };
+enum class MetricKind : std::uint8_t {
+  kCounter = 0,
+  kGauge = 1,
+  kHistogram = 2,
+};
+
+const char* to_string(Channel channel);
+const char* to_string(MetricKind kind);
+
+/// Monotone event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins signed level (mirrors of externally-owned tallies,
+/// configuration facts like the active SIMD level).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram over unsigned integer observations. Bucket i
+/// counts observations v with v <= bounds[i] (first match); the last
+/// implicit bucket is +inf. Bounds are frozen at registration, so
+/// merge/diff across snapshots of the same metric are well defined.
+class Histogram {
+ public:
+  void record(std::uint64_t v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+  std::vector<std::uint64_t> bounds_;  // strictly increasing
+  // One atomic per finite bucket + one overflow bucket.
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Power-of-two default bounds 1, 2, 4, ..., 2^20 for size/occupancy
+/// style histograms.
+std::vector<std::uint64_t> pow2_bounds();
+
+/// One metric's state at snapshot time. For histograms `buckets` holds
+/// the per-bucket counts (bounds.size() + 1 entries, last = overflow)
+/// and `value` the total count; `sum` is the sum of observations.
+struct MetricValue {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  Channel channel = Channel::kValue;
+  std::int64_t value = 0;
+  std::uint64_t sum = 0;                  // histograms only
+  std::vector<std::uint64_t> bounds;      // histograms only
+  std::vector<std::uint64_t> buckets;     // histograms only
+
+  bool operator==(const MetricValue& o) const = default;
+};
+
+/// Point-in-time copy of a registry, sorted by metric name (and thus
+/// independent of registration order).
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  const MetricValue* find(const std::string& name) const;
+
+  /// Counter/histogram entries subtract (this - earlier); gauges keep
+  /// this snapshot's value (levels have no meaningful delta). Metrics
+  /// absent from `earlier` are kept as-is. Throws CheckError on
+  /// kind/bounds mismatches for shared names.
+  MetricsSnapshot diff(const MetricsSnapshot& earlier) const;
+
+  /// Union-merge (e.g. folding per-process snapshots): counters and
+  /// histograms add, gauges keep this snapshot's value for shared names.
+  MetricsSnapshot merge(const MetricsSnapshot& other) const;
+
+  /// Value-channel subset only — the deterministic comparison set.
+  MetricsSnapshot value_channel() const;
+};
+
+/// Named instrument registry. The process-wide instance behind the
+/// HM_OBS_* macros is `registry()`; tests may build private instances.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// Get-or-register. The first call fixes kind and channel (and bounds
+  /// for histograms); a later call with the same name and a different
+  /// kind throws CheckError (channel/bounds of the first call win).
+  Counter& counter(const std::string& name,
+                   Channel channel = Channel::kValue);
+  Gauge& gauge(const std::string& name, Channel channel = Channel::kValue);
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds,
+                       Channel channel = Channel::kValue);
+
+  MetricsSnapshot snapshot() const;
+  std::size_t size() const;
+
+ private:
+  struct Entry;
+  Entry& find_or_create(const std::string& name, MetricKind kind,
+                        Channel channel,
+                        std::vector<std::uint64_t>* bounds);
+  // Registration and snapshots lock; add()/set()/record() never do.
+  mutable std::mutex mutex_;
+  std::vector<Entry*> entries_;  // owned (freed by ~Registry); stable
+};
+
+/// The process-wide registry used by the HM_OBS_* macros.
+Registry& registry();
+
+/// Render a snapshot as one JSON document:
+///   {"schema":"hm.metrics/1","manifest":{...},"metrics":[...]}
+/// Counters/gauges carry "value"; histograms add "sum", "bounds",
+/// "buckets". Every metric carries its "kind" and "channel" tags so
+/// consumers can restrict themselves to the deterministic value channel.
+/// `manifest_json` must be a complete JSON object ("{}" when absent).
+std::string render_metrics_json(const MetricsSnapshot& snapshot,
+                                const std::string& manifest_json);
+
+}  // namespace hm::obs

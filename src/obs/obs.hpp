@@ -1,0 +1,108 @@
+// Umbrella header + instrumentation macros for the observability
+// subsystem (DESIGN.md §15).
+//
+// Compile gate: HM_OBS_ENABLED (CMake option HM_OBS, default ON).
+// With HM_OBS_ENABLED=0 every HM_OBS_* macro expands to ((void)0) — no
+// counter touch, no enabled check, no clock read — which is the
+// "compiled out" arm of the bit-identity contract. The obs library
+// itself still builds either way, so exporters and CLI plumbing link;
+// they simply see an empty registry and ring.
+//
+// Runtime gate: metrics counters always count when compiled in (one
+// relaxed fetch_add at round/phase/region granularity — the measured
+// compiled-in-idle overhead, budget ≤1%); span recording additionally
+// requires obs::set_trace_enabled(true).
+//
+// Hot-path usage — the name must be a string literal; the instrument
+// handle is looked up once per call site and cached in a function-local
+// static, so steady state is one atomic op:
+//
+//   HM_OBS_INC("parallel.regions_dispatched");
+//   HM_OBS_ADD("sim.device_jobs", static_cast<std::uint64_t>(count));
+//   HM_OBS_HIST("parallel.region_chunks", chunks);
+//   HM_OBS_SPAN("round", "algo", k, 0);          // RAII, value channel
+//   HM_OBS_SPAN_T("rpc_attempt", "net", lane, tag);  // timing channel
+#pragma once
+
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#ifndef HM_OBS_ENABLED
+#define HM_OBS_ENABLED 1
+#endif
+
+#if HM_OBS_ENABLED
+
+#define HM_OBS_CONCAT_IMPL(a, b) a##b
+#define HM_OBS_CONCAT(a, b) HM_OBS_CONCAT_IMPL(a, b)
+
+// Counter add on the given channel ("" variants use the value channel).
+#define HM_OBS_ADD_ON(name_lit, n, chan)                               \
+  do {                                                                 \
+    static ::hm::obs::Counter& HM_OBS_CONCAT(hm_obs_c_, __LINE__) =    \
+        ::hm::obs::registry().counter((name_lit), (chan));             \
+    HM_OBS_CONCAT(hm_obs_c_, __LINE__).add(n);                         \
+  } while (0)
+#define HM_OBS_ADD(name_lit, n) \
+  HM_OBS_ADD_ON(name_lit, n, ::hm::obs::Channel::kValue)
+#define HM_OBS_ADD_T(name_lit, n) \
+  HM_OBS_ADD_ON(name_lit, n, ::hm::obs::Channel::kTiming)
+#define HM_OBS_INC(name_lit) HM_OBS_ADD(name_lit, 1)
+#define HM_OBS_INC_T(name_lit) HM_OBS_ADD_T(name_lit, 1)
+
+// Gauge set (absolute; mirrors of externally-owned tallies).
+#define HM_OBS_SET_ON(name_lit, v, chan)                               \
+  do {                                                                 \
+    static ::hm::obs::Gauge& HM_OBS_CONCAT(hm_obs_g_, __LINE__) =      \
+        ::hm::obs::registry().gauge((name_lit), (chan));               \
+    HM_OBS_CONCAT(hm_obs_g_, __LINE__)                                 \
+        .set(static_cast<std::int64_t>(v));                            \
+  } while (0)
+#define HM_OBS_SET(name_lit, v) \
+  HM_OBS_SET_ON(name_lit, v, ::hm::obs::Channel::kValue)
+#define HM_OBS_SET_T(name_lit, v) \
+  HM_OBS_SET_ON(name_lit, v, ::hm::obs::Channel::kTiming)
+
+// Histogram observation (power-of-two buckets).
+#define HM_OBS_HIST_ON(name_lit, v, chan)                              \
+  do {                                                                 \
+    static ::hm::obs::Histogram& HM_OBS_CONCAT(hm_obs_h_, __LINE__) =  \
+        ::hm::obs::registry().histogram(                               \
+            (name_lit), ::hm::obs::pow2_bounds(), (chan));             \
+    HM_OBS_CONCAT(hm_obs_h_, __LINE__)                                 \
+        .record(static_cast<std::uint64_t>(v));                        \
+  } while (0)
+#define HM_OBS_HIST(name_lit, v) \
+  HM_OBS_HIST_ON(name_lit, v, ::hm::obs::Channel::kValue)
+#define HM_OBS_HIST_T(name_lit, v) \
+  HM_OBS_HIST_ON(name_lit, v, ::hm::obs::Channel::kTiming)
+
+// RAII spans. _T marks spans whose existence is timing-dependent
+// (retries, heartbeats on a real wire).
+#define HM_OBS_SPAN(name_lit, cat_lit, a0, a1)                       \
+  const ::hm::obs::Span HM_OBS_CONCAT(hm_obs_span_, __LINE__)(       \
+      (name_lit), (cat_lit), static_cast<std::uint64_t>(a0),         \
+      static_cast<std::uint64_t>(a1), ::hm::obs::Channel::kValue)
+#define HM_OBS_SPAN_T(name_lit, cat_lit, a0, a1)                     \
+  const ::hm::obs::Span HM_OBS_CONCAT(hm_obs_span_, __LINE__)(       \
+      (name_lit), (cat_lit), static_cast<std::uint64_t>(a0),         \
+      static_cast<std::uint64_t>(a1), ::hm::obs::Channel::kTiming)
+
+#else  // HM_OBS_ENABLED == 0: hooks compile to nothing.
+
+#define HM_OBS_ADD_ON(name_lit, n, chan) ((void)0)
+#define HM_OBS_ADD(name_lit, n) ((void)0)
+#define HM_OBS_ADD_T(name_lit, n) ((void)0)
+#define HM_OBS_INC(name_lit) ((void)0)
+#define HM_OBS_INC_T(name_lit) ((void)0)
+#define HM_OBS_SET_ON(name_lit, v, chan) ((void)0)
+#define HM_OBS_SET(name_lit, v) ((void)0)
+#define HM_OBS_SET_T(name_lit, v) ((void)0)
+#define HM_OBS_HIST_ON(name_lit, v, chan) ((void)0)
+#define HM_OBS_HIST(name_lit, v) ((void)0)
+#define HM_OBS_HIST_T(name_lit, v) ((void)0)
+#define HM_OBS_SPAN(name_lit, cat_lit, a0, a1) ((void)0)
+#define HM_OBS_SPAN_T(name_lit, cat_lit, a0, a1) ((void)0)
+
+#endif  // HM_OBS_ENABLED

@@ -1,0 +1,248 @@
+// Tracer internals. This is the designated timing channel: the only obs
+// translation unit that reads a clock (steady_clock via hm::Stopwatch
+// semantics; detlint: obs-clock-outside-timing).
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "core/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace hm::obs {
+
+namespace {
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<SpanRecord> ring;     // capacity-bounded, wraps
+  std::size_t capacity = 1 << 16;
+  std::size_t next_capacity = 1 << 16;
+  std::uint64_t admitted = 0;       // total spans ever recorded
+  std::uint64_t epoch_ns = 0;       // monotonic origin of this session
+};
+
+std::atomic<bool> g_enabled{false};
+std::atomic<std::uint32_t> g_next_tid{0};
+
+TraceState& state() {
+  static TraceState* instance = new TraceState();  // leaked: worker-safe
+  return *instance;
+}
+
+std::uint32_t this_tid() {
+  thread_local std::uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::uint64_t mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');  // control chars cannot appear in our names
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+/// Microseconds with 3 decimals, rendered without float formatting so
+/// the output is locale- and libc-independent.
+void append_us(std::string& out, std::uint64_t ns) {
+  append_u64(out, ns / 1000);
+  out.push_back('.');
+  const std::uint64_t frac = ns % 1000;
+  out.push_back(static_cast<char>('0' + frac / 100));
+  out.push_back(static_cast<char>('0' + frac / 10 % 10));
+  out.push_back(static_cast<char>('0' + frac % 10));
+}
+
+}  // namespace
+
+bool trace_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool enabled) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (enabled) {
+    st.capacity = st.next_capacity;
+    st.ring.clear();
+    st.ring.reserve(st.capacity);
+    st.admitted = 0;
+    st.epoch_ns = mono_ns();
+  }
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void set_trace_capacity(std::size_t capacity) {
+  HM_CHECK(capacity > 0);
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  st.next_capacity = capacity;
+}
+
+std::uint64_t trace_now_ns() { return mono_ns(); }
+
+void trace_record(const SpanRecord& record) {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  SpanRecord r = record;
+  r.seq = st.admitted;
+  if (st.ring.size() < st.capacity) {
+    st.ring.push_back(r);
+  } else {
+    st.ring[static_cast<std::size_t>(st.admitted % st.capacity)] = r;
+  }
+  st.admitted += 1;
+}
+
+std::vector<SpanRecord> trace_spans() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  if (st.admitted <= st.ring.size()) return st.ring;
+  // Ring wrapped: unroll oldest-first from the write cursor.
+  std::vector<SpanRecord> out;
+  out.reserve(st.ring.size());
+  const std::size_t cursor =
+      static_cast<std::size_t>(st.admitted % st.capacity);
+  for (std::size_t i = 0; i < st.ring.size(); ++i) {
+    out.push_back(st.ring[(cursor + i) % st.ring.size()]);
+  }
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.admitted > st.ring.size()
+             ? st.admitted - static_cast<std::uint64_t>(st.ring.size())
+             : 0;
+}
+
+Span::Span(const char* name, const char* cat, std::uint64_t a0,
+           std::uint64_t a1, Channel channel) {
+  if (!trace_enabled()) return;
+  active_ = true;
+  rec_.name = name;
+  rec_.cat = cat;
+  rec_.a0 = a0;
+  rec_.a1 = a1;
+  rec_.channel = static_cast<std::uint8_t>(channel);
+  rec_.tid = this_tid();
+  rec_.start_ns = mono_ns();
+}
+
+Span::Span(const char* name, const char* cat, std::uint64_t a0,
+           std::uint64_t a1)
+    : Span(name, cat, a0, a1, Channel::kValue) {}
+
+Span::~Span() {
+  if (!active_) return;
+  rec_.end_ns = mono_ns();
+  trace_record(rec_);
+}
+
+namespace {
+
+/// Shared span body: value-channel fields first, timing after.
+void append_span_fields(std::string& out, const SpanRecord& s,
+                        std::uint64_t epoch_ns) {
+  out += "\"name\":\"";
+  append_escaped(out, s.name);
+  out += "\",\"cat\":\"";
+  append_escaped(out, s.cat);
+  out += "\",\"a0\":";
+  append_u64(out, s.a0);
+  out += ",\"a1\":";
+  append_u64(out, s.a1);
+  out += ",\"channel\":\"";
+  out += to_string(static_cast<Channel>(s.channel));
+  out += "\",\"ts_us\":";
+  append_us(out, s.start_ns >= epoch_ns ? s.start_ns - epoch_ns : 0);
+  out += ",\"dur_us\":";
+  append_us(out, s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0);
+  out += ",\"tid\":";
+  append_u64(out, s.tid);
+  out += ",\"seq\":";
+  append_u64(out, s.seq);
+}
+
+std::uint64_t epoch() {
+  TraceState& st = state();
+  std::lock_guard<std::mutex> lock(st.mutex);
+  return st.epoch_ns;
+}
+
+}  // namespace
+
+std::string render_trace_jsonl() {
+  const std::vector<SpanRecord> spans = trace_spans();
+  const std::uint64_t epoch_ns = epoch();
+  std::string out;
+  out.reserve(spans.size() * 128 + 128);
+  out += "{\"type\":\"trace_header\",\"spans\":";
+  append_u64(out, static_cast<std::uint64_t>(spans.size()));
+  out += ",\"dropped\":";
+  append_u64(out, trace_dropped());
+  out += "}\n";
+  for (const SpanRecord& s : spans) {
+    out += "{\"type\":\"span\",";
+    append_span_fields(out, s, epoch_ns);
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string render_chrome_trace(const std::string& manifest_json) {
+  const std::vector<SpanRecord> spans = trace_spans();
+  const std::uint64_t epoch_ns = epoch();
+  std::string out;
+  out.reserve(spans.size() * 160 + manifest_json.size() + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"metadata\":";
+  out += manifest_json.empty() ? "{}" : manifest_json;
+  out += ",\"traceEvents\":[";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n{\"ph\":\"X\",\"pid\":0,\"tid\":";
+    append_u64(out, s.tid);
+    out += ",\"name\":\"";
+    append_escaped(out, s.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, s.cat);
+    out += "\",\"ts\":";
+    append_us(out, s.start_ns >= epoch_ns ? s.start_ns - epoch_ns : 0);
+    out += ",\"dur\":";
+    append_us(out, s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0);
+    out += ",\"args\":{\"a0\":";
+    append_u64(out, s.a0);
+    out += ",\"a1\":";
+    append_u64(out, s.a1);
+    out += ",\"channel\":\"";
+    out += to_string(static_cast<Channel>(s.channel));
+    out += "\"}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace hm::obs

@@ -1,0 +1,92 @@
+// Span-based tracer (DESIGN.md §15): round → phase → cluster → RPC
+// attempt spans into a bounded in-memory ring buffer, exported as JSONL
+// or Chrome trace_event JSON.
+//
+// Channel separation (the determinism contract): a span's *identity*
+// (name, category, the two integer args) lives on the value channel and
+// must be a pure function of (seed, config). Its *timing* (timestamps,
+// duration, recording thread, ring sequence) is the timing channel —
+// host-dependent by nature and clearly fenced off in the export schema.
+// Spans whose very existence is timing-dependent (a retry attempt on a
+// real wire) are recorded with Channel::kTiming so value-channel
+// comparisons skip them entirely.
+//
+// The tracer is disabled by default: a disabled Span is two relaxed
+// atomic loads and no clock read, which is what keeps the compiled-in
+// idle overhead within the ≤1% budget. All clock access lives in
+// trace.cpp — the one obs translation unit allowed to read a clock
+// (enforced by detlint's obs-clock-outside-timing rule).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hm::obs {
+
+enum class Channel : std::uint8_t;  // metrics.hpp
+
+/// One completed span. `name` and `cat` point at string literals with
+/// static storage duration (the HM_OBS_SPAN macro guarantees this).
+struct SpanRecord {
+  const char* name = "";
+  const char* cat = "";
+  std::uint64_t a0 = 0;       // value channel: e.g. round
+  std::uint64_t a1 = 0;       // value channel: e.g. entity / lane / tag
+  std::uint8_t channel = 0;   // Channel as u8 (0 = value, 1 = timing)
+  std::uint32_t tid = 0;      // timing channel: recording thread
+  std::uint64_t seq = 0;      // timing channel: ring admission order
+  std::uint64_t start_ns = 0; // timing channel: monotonic
+  std::uint64_t end_ns = 0;   // timing channel: monotonic
+};
+
+/// Whether spans are being recorded. Cheap enough for hot paths.
+bool trace_enabled();
+
+/// Turn recording on/off. Enabling resets the ring, the sequence
+/// counter, and the epoch so exported timestamps start near zero.
+void set_trace_enabled(bool enabled);
+
+/// Ring capacity in spans (default 65536). Takes effect at the next
+/// set_trace_enabled(true); the ring keeps the most recent `capacity`
+/// spans and counts the overwritten ones.
+void set_trace_capacity(std::size_t capacity);
+
+/// Completed spans, oldest first, plus how many were overwritten.
+std::vector<SpanRecord> trace_spans();
+std::uint64_t trace_dropped();
+
+/// Out-of-line record hooks (the Span RAII type calls these; tests may
+/// call them directly to fabricate spans).
+std::uint64_t trace_now_ns();
+void trace_record(const SpanRecord& record);
+
+/// RAII span. Inactive (no clock read, nothing recorded) while the
+/// tracer is disabled; a span that outlives a set_trace_enabled(false)
+/// still records (the ring survives until the next enable).
+class Span {
+ public:
+  Span(const char* name, const char* cat, std::uint64_t a0,
+       std::uint64_t a1, Channel channel);
+  Span(const char* name, const char* cat, std::uint64_t a0,
+       std::uint64_t a1);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+ private:
+  SpanRecord rec_;
+  bool active_ = false;
+};
+
+/// Render every recorded span as JSON Lines: one object per span with
+/// value-channel fields ("name", "cat", "a0", "a1", "channel") and
+/// timing-channel fields ("ts_us", "dur_us", "tid", "seq").
+std::string render_trace_jsonl();
+
+/// Render as a Chrome trace_event document ({"traceEvents": [...]},
+/// complete "X" events; load via chrome://tracing or Perfetto). The
+/// manifest argument is attached as document-level "metadata".
+std::string render_chrome_trace(const std::string& manifest_json);
+
+}  // namespace hm::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/check.hpp"
+#include "obs/obs.hpp"
 
 namespace hm::parallel {
 
@@ -62,6 +63,7 @@ bool ThreadPool::try_run_task(std::size_t self) {
       q.tasks.pop_front();
     }
     pending_tasks_.fetch_sub(1, std::memory_order_release);
+    HM_OBS_INC("parallel.tasks_executed");
     task();  // packaged_task captures exceptions into the future
     return true;
   }
@@ -99,6 +101,9 @@ void ThreadPool::join_region(std::uint64_t epoch) {
   // the region state. See the protocol note in the header.
   active_.fetch_add(1);
   if (region_epoch_.load() == epoch) {
+    // How many workers actually reach a live region is a race with the
+    // region finishing, hence the timing channel.
+    HM_OBS_INC_T("parallel.region_joiners");
     work_region();
   }
   if (active_.fetch_sub(1) == 1) active_.notify_all();
@@ -107,12 +112,21 @@ void ThreadPool::join_region(std::uint64_t epoch) {
 void ThreadPool::run_region(index_t num_chunks, RegionFn fn, void* ctx) {
   HM_CHECK(num_chunks >= 0 && fn != nullptr);
   if (num_chunks == 0) return;
+  // Region/chunk totals are dispatch-independent (the inline and pooled
+  // paths run the same chunks), so they sit on the value channel; the
+  // inline/dispatch split depends on hardware_concurrency and nesting,
+  // so it is timing.
+  HM_OBS_INC("parallel.regions");
+  HM_OBS_ADD("parallel.chunks", static_cast<std::uint64_t>(num_chunks));
+  HM_OBS_HIST("parallel.region_chunks", num_chunks);
   if (num_chunks == 1 || tl_region_depth > 0 || workers_.empty() ||
       !dispatch_regions_) {
+    HM_OBS_INC_T("parallel.regions_inlined");
     RegionDepthGuard depth;
     for (index_t c = 0; c < num_chunks; ++c) fn(ctx, c);
     return;
   }
+  HM_OBS_INC_T("parallel.regions_dispatched");
   std::lock_guard<std::mutex> region_lock(region_mutex_);
   // Phase 1: invalidate (odd epoch) and quiesce stragglers from the
   // previous region before rewriting shared state.

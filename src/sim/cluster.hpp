@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <functional>
 
+#include "obs/obs.hpp"
 #include "parallel/parallel_for.hpp"
 #include "sim/topology.hpp"
 
@@ -35,6 +36,9 @@ class ClusterSim {
   /// rethrows the first job exception.
   void run_devices(index_t count, const std::function<void(index_t)>& job,
                    index_t grain = 0) const {
+    HM_OBS_SPAN("run_devices", "sim", count, 0);
+    HM_OBS_INC("sim.device_batches");
+    HM_OBS_ADD("sim.device_jobs", count);
     parallel::parallel_for(*pool_, 0, count, job,
                            device_grain(count, grain));
   }
@@ -51,6 +55,9 @@ class ClusterSim {
       run_devices(count, job, grain);
       return;
     }
+    HM_OBS_SPAN("run_devices", "sim", count, round);
+    HM_OBS_INC("sim.device_batches");
+    HM_OBS_ADD("sim.device_jobs", count);
     parallel::parallel_for(
         *pool_, 0, count,
         [&](index_t i) {

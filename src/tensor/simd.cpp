@@ -4,6 +4,11 @@
 #include <cstdlib>
 #include <cstring>
 
+// simd.cpp is the one tensor TU allowed to touch obs (dispatch-table
+// publication); the kernels themselves must stay instrumentation-free
+// (detlint: obs-in-kernel).
+#include "obs/obs.hpp"
+
 namespace hm::tensor {
 
 namespace {
@@ -66,7 +71,19 @@ SimdLevel resolve_level() {
 }  // namespace
 
 SimdLevel active_simd_level() {
-  static const SimdLevel level = resolve_level();
+  static const SimdLevel level = [] {
+    const SimdLevel resolved = resolve_level();
+    // Publish the dispatch decision once. Host capability is build/host
+    // config, not timing: a run's value channel is only comparable
+    // across runs that pin HM_SIMD (as the determinism tests do).
+    HM_OBS_SET("tensor.simd.active_level",
+               static_cast<std::int64_t>(resolved));
+    HM_OBS_SET("tensor.simd.avx2_supported",
+               cpu_supports(SimdLevel::kAvx2) ? 1 : 0);
+    HM_OBS_SET("tensor.simd.avx512_supported",
+               cpu_supports(SimdLevel::kAvx512) ? 1 : 0);
+    return resolved;
+  }();
   return level;
 }
 

@@ -1,0 +1,33 @@
+// Fixture: raw stderr writes outside src/core/log must fire — std::cerr,
+// fprintf(stderr, ...), and perror — while fprintf(stdout, ...) is the
+// stray-stdout rule's business and an inline allow() suppresses the
+// sanctioned abort-path exception (mirroring core/check.hpp).
+// detlint-expect: stray-stderr@+8
+// detlint-expect: stray-stderr@+11
+// detlint-expect: stray-stdout@+11
+// detlint-expect: stray-stderr@+14
+
+namespace fixture {
+
+inline void report(const char* what) {
+  std::cerr << "boom: " << what << '\n';
+}
+
+inline void report_c(const char* what) {
+  std::fprintf(stderr, "boom: %s\n", what);
+  std::fprintf(stdout, "ok: %s\n", what);
+}
+
+inline void report_errno(const char* what) {
+  perror(what);
+}
+
+inline void sanctioned_abort_path(const char* what) {
+  std::fprintf(stderr, "hm: %s\n", what);  // detlint: allow(stray-stderr)
+}
+
+// "stderr" in a string and a cerr-like identifier must not fire.
+inline const char* kDoc = "never write to stderr or std::cerr directly";
+inline int cerr_like(int lucerne) { return lucerne; }
+
+}  // namespace fixture

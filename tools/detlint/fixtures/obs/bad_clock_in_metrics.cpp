@@ -1,0 +1,15 @@
+// Fixture: clock access in src/obs outside obs/trace.cpp must fire.
+// Value-channel payloads are pure functions of (seed, config); only the
+// tracer TU may read a clock (timestamps ride the timing channel).
+// detlint-expect: obs-clock-outside-timing@+6
+// detlint-expect: obs-clock-outside-timing@+5
+
+namespace fixture {
+
+inline long bad_gauge_value() {
+  return static_cast<long>(std::chrono::steady_clock::now()
+                               .time_since_epoch()
+                               .count());
+}
+
+}  // namespace fixture

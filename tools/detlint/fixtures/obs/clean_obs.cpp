@@ -1,0 +1,14 @@
+// Fixture: a clock-free obs file must lint clean. Mentions of clocks in
+// comments and strings must not fire (steady_clock, chrono, Stopwatch),
+// and identifiers merely containing a clock name are fine.
+namespace fixture {
+
+// Doc strings naming clocks are stripped before matching.
+inline const char* kDoc = "timestamps come from steady_clock via chrono";
+
+// chronological / stopwatch_count are not clock identifiers.
+inline long chronological_rank(long stopwatch_count) {
+  return stopwatch_count + 1;
+}
+
+}  // namespace fixture

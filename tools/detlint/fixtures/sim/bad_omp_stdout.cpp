@@ -1,6 +1,7 @@
-// Fixture: OpenMP pragmas and direct stdout writes must fire.
+// Fixture: OpenMP pragmas and direct stdout/stderr writes must fire.
 // detlint-expect: no-openmp
 // detlint-expect: stray-stdout
+// detlint-expect: stray-stderr
 #include <cstdio>
 #include <iostream>
 
@@ -12,7 +13,7 @@ inline void bad_parallel_print(int n) {
     std::cout << i << "\n";
     printf("%d\n", i);
   }
-  std::fprintf(stderr, "stderr is allowed\n");
+  std::fprintf(stderr, "stderr is banned too\n");
 }
 
 }  // namespace fixture

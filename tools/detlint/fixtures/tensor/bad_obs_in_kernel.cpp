@@ -1,0 +1,24 @@
+// Fixture: observability hooks inside src/tensor must fire — both the
+// HM_OBS_* macro form and a direct hm::obs:: call. Kernel work is
+// attributed from the calling layer (trainers / sim / thread pool).
+// detlint-expect: obs-in-kernel@+6
+// detlint-expect: obs-in-kernel@+12
+
+namespace fixture {
+
+inline double bad_dot(const double* x, const double* y, long n) {
+  HM_OBS_INC("tensor.dot_calls");  // hook on the hottest loop
+  double acc = 0.0;
+  for (long i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+inline void bad_publish(long n) {
+  obs::registry();  // qualified obs call, equally banned here
+  (void)n;
+}
+
+// A local identifier merely *containing* obs must not fire.
+inline long obs_count_like(long observations) { return observations; }
+
+}  // namespace fixture

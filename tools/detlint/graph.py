@@ -33,7 +33,7 @@ from .engine import Finding, Project, ProjectRule, SourceFile
 # The declared layering. Order inside a layer is irrelevant.
 LAYERS: List[List[str]] = [
     ["core"],
-    ["rng", "tensor"],
+    ["rng", "tensor", "obs"],
     ["parallel", "nn", "data"],
     ["sim", "io", "metrics"],
     ["net"],

@@ -361,6 +361,147 @@ class _StdoutRule(Rule):
                     yield Finding(f.rel, t.line, self.NAME, msg)
 
 
+class _StderrRule(Rule):
+    """Direct stderr writes outside src/core/log.
+
+    Diagnostics must flow through hm::log so --log-level / HM_LOG_LEVEL
+    control them and multi-process (socket transport) runs interleave
+    line-atomically. The one sanctioned exception — the abort path in
+    core/check.hpp, which cannot risk re-entering the logger — carries
+    an inline ``detlint: allow(stray-stderr)``.
+    """
+
+    NAME = "stray-stderr"
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "Diagnostics flow through src/core/log so --log-level / "
+            "HM_LOG_LEVEL gate them and worker processes never tear each "
+            "other's lines; raw stderr writes bypass both.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if f.in_dir("core/log") or f.rel.startswith("core/log"):
+            return
+        msg = "direct stderr write outside src/core/log; use hm::log"
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind != "ident":
+                continue
+            if t.text == "cerr":
+                # std::cerr (or any qualified ::cerr).
+                if i > 0 and ts[i - 1].kind == "punct" \
+                        and ts[i - 1].text == "::":
+                    yield Finding(f.rel, t.line, self.NAME, msg)
+            elif t.text == "perror" and _is_call(ts, i):
+                yield Finding(f.rel, t.line, self.NAME, msg)
+            elif t.text == "fprintf" and _is_call(ts, i):
+                nxt = ts[i + 2] if i + 2 < len(ts) else None
+                if nxt is not None and nxt.kind == "ident" \
+                        and nxt.text == "stderr":
+                    yield Finding(f.rel, t.line, self.NAME, msg)
+
+
+# --- observability contract (DESIGN.md §15) ---------------------------------
+
+
+class _ObsInKernelRule(Rule):
+    """Observability hooks inside src/tensor kernels.
+
+    The determinism contract keeps the tensor math layer free of obs
+    instrumentation: a counter bump per kernel invocation would sit on
+    the hottest loops in the codebase, and the zero-perturbation claim
+    (bit-identical trajectories with obs on/idle/compiled-out) is only
+    cheap to audit if the kernels provably contain no hooks at all.
+    Kernel-level activity is attributed from the call sites one layer
+    up (trainers, ClusterSim, the thread pool). The single exception is
+    tensor/simd.cpp, which publishes the run's SIMD dispatch decision —
+    once, at startup, outside any kernel.
+    """
+
+    NAME = "obs-in-kernel"
+    SCOPE = ("tensor",)
+    ALLOWED = ("tensor/simd.cpp",)
+    HOOK_RE = re.compile(r"HM_OBS_\w+")
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "src/tensor kernels must stay free of observability hooks "
+            "(HM_OBS_* macros, hm::obs calls): they sit on the hottest "
+            "loops and would make the zero-perturbation contract "
+            "unauditable. Attribute kernel work from the call sites one "
+            "layer up; only tensor/simd.cpp may publish its dispatch "
+            "decision.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if not f.in_dir(*self.SCOPE):
+            return
+        if f.rel in self.ALLOWED:
+            return
+        ts = f.code_tokens
+        for i, t in enumerate(ts):
+            if t.kind != "ident":
+                continue
+            if self.HOOK_RE.fullmatch(t.text):
+                yield Finding(
+                    f.rel, t.line, self.NAME,
+                    f"{t.text} inside a tensor kernel; attribute this "
+                    "from the calling layer instead")
+            elif t.text == "obs":
+                nxt = _next(ts, i)
+                if nxt is not None and nxt.kind == "punct" \
+                        and nxt.text == "::":
+                    yield Finding(
+                        f.rel, t.line, self.NAME,
+                        "hm::obs call inside a tensor kernel; attribute "
+                        "this from the calling layer instead")
+
+
+class _ObsClockRule(Rule):
+    """Clock reads in src/obs outside the designated timing TU.
+
+    The obs determinism contract separates channels: value-channel
+    payloads must be pure functions of (seed, config), so nothing in
+    the metrics registry or manifest may observe a clock. All time
+    acquisition lives in obs/trace.cpp (steady_clock only, feeding
+    span timestamps on the timing channel). A clock read anywhere else
+    in src/obs is a contract breach waiting to leak into a metric.
+    """
+
+    NAME = "obs-clock-outside-timing"
+    SCOPE = ("obs",)
+    ALLOWED = ("obs/trace.cpp",)
+    CLOCK_IDENTS = ("chrono", "steady_clock", "Stopwatch", "clock_gettime",
+                    "gettimeofday", "timespec")
+
+    def __init__(self):
+        super().__init__(
+            self.NAME,
+            "Value-channel metric payloads must be pure functions of "
+            "(seed, config); every clock read in src/obs is confined to "
+            "obs/trace.cpp, which stamps span timestamps on the timing "
+            "channel. A clock anywhere else in src/obs can leak wall "
+            "time into a metric value.",
+            self._check)
+
+    def _check(self, f: SourceFile) -> Iterable[Finding]:
+        if not f.in_dir(*self.SCOPE):
+            return
+        if f.rel in self.ALLOWED:
+            return
+        ts = f.code_tokens
+        for t in ts:
+            if t.kind == "ident" and t.text in self.CLOCK_IDENTS:
+                yield Finding(
+                    f.rel, t.line, self.NAME,
+                    f"clock access ({t.text}) in src/obs outside "
+                    "obs/trace.cpp; time belongs to the timing channel "
+                    "only")
+
+
 RULE_PERSISTENCE = _ident_rule(
     "direct-persistence",
     "Durable artifacts must go through src/io: its temp-file + fsync + "
@@ -460,6 +601,9 @@ ALL_RULES: List[Rule] = [
     _UnorderedIterationRule(),
     _OpenMpRule(),
     _StdoutRule(),
+    _StderrRule(),
+    _ObsInKernelRule(),
+    _ObsClockRule(),
     RULE_PERSISTENCE,
     RULE_RAW_TRANSPORT,
     _ModelEntryCheckRule(),
